@@ -1,0 +1,10 @@
+"""E10 — §2.2: the IVM advantage shrinks as the batch size approaches n."""
+
+from repro.bench.experiments import run_e10_crossover
+
+
+def test_e10_crossover(benchmark, assert_table):
+    table = benchmark(run_e10_crossover, size=120, batch_fractions=(0.02, 0.25, 1.0))
+    assert_table(table, ("d_over_n", "speedup"))
+    speedups = table.column("speedup")
+    assert speedups[0] > speedups[-1]

@@ -1,0 +1,9 @@
+"""E1 — §2.2 cost analysis: nested IVM of `related` vs re-evaluation."""
+
+from repro.bench.experiments import run_e1_related_ivm
+
+
+def test_e1_related_ivm(benchmark, assert_table):
+    table = benchmark(run_e1_related_ivm, sizes=(50, 100), batch_size=4, num_updates=2)
+    assert_table(table, ("n", "naive_ops", "nested_ivm_ops", "speedup"))
+    assert all(row["speedup"] > 1 for row in table.rows)

@@ -1,0 +1,9 @@
+"""E2 — Examples 2–3 / Theorem 4: the delta of filter touches only the update."""
+
+from repro.bench.experiments import run_e2_filter_delta
+
+
+def test_e2_filter_delta(benchmark, assert_table):
+    table = benchmark(run_e2_filter_delta, sizes=(200, 800), batch_size=4, num_updates=2)
+    assert_table(table, ("classic_ivm_ops", "naive_ops"))
+    assert table.rows[-1]["speedup"] > table.rows[0]["speedup"]

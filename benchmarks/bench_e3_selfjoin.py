@@ -1,0 +1,12 @@
+"""E3 — Example 4 / §4.1: recursive IVM for flatten(R) × flatten(R)."""
+
+from repro.bench.experiments import run_e3_selfjoin_recursive
+
+
+def test_e3_selfjoin_recursive(benchmark, assert_table):
+    table = benchmark(
+        run_e3_selfjoin_recursive, sizes=(20, 40), inner_cardinality=4, num_updates=2
+    )
+    assert_table(table, ("classic_ops", "recursive_ops"))
+    for row in table.rows:
+        assert row["recursive_ops"] <= row["classic_ops"] <= row["naive_ops"]

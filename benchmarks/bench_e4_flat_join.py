@@ -1,0 +1,8 @@
+"""E4 — Appendix A.1 / Example 8: flat relational IVM baseline (DOz join)."""
+
+from repro.bench.experiments import run_e4_flat_join
+
+
+def test_e4_flat_join(benchmark, assert_table):
+    table = benchmark(run_e4_flat_join, sizes=(400, 800), batch_size=4, num_updates=2)
+    assert_table(table, ("naive_seconds", "ivm_seconds"))

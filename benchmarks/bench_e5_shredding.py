@@ -1,0 +1,11 @@
+"""E5 — §5.1 / Lemma 6 / Theorem 8: shredding round-trip and equivalence."""
+
+from repro.bench.experiments import run_e5_shredding_roundtrip
+
+
+def test_e5_shredding_roundtrip(benchmark, assert_table):
+    table = benchmark(
+        run_e5_shredding_roundtrip, depths=(1, 2, 3), top_cardinality=40, inner_cardinality=4
+    )
+    assert_table(table, ("roundtrip_ok", "query_equivalent"))
+    assert all(row["roundtrip_ok"] and row["query_equivalent"] for row in table.rows)

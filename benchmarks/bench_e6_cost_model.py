@@ -1,0 +1,9 @@
+"""E6 — §4.2 / Lemma 3 / Example 6: the cost model versus measured work."""
+
+from repro.bench.experiments import run_e6_cost_model
+
+
+def test_e6_cost_model(benchmark, assert_table):
+    table = benchmark(run_e6_cost_model, sizes=(50, 100))
+    assert_table(table, ("predicted_tcost", "measured_ops"))
+    assert all(row["measured_over_predicted"] is not None for row in table.rows)

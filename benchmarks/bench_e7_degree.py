@@ -1,0 +1,9 @@
+"""E7 — Theorem 2: tower heights equal query degrees."""
+
+from repro.bench.experiments import run_e7_degree_towers
+
+
+def test_e7_degree_towers(benchmark, assert_table):
+    table = benchmark(run_e7_degree_towers, max_degree=5)
+    assert_table(table, ("degree", "tower_height", "matches_theorem"))
+    assert all(row["matches_theorem"] for row in table.rows)

@@ -1,0 +1,10 @@
+"""E8 — §2.2 / §5.2: deep updates through dictionary deltas."""
+
+from repro.bench.experiments import run_e8_deep_updates
+
+
+def test_e8_deep_updates(benchmark, assert_table):
+    table = benchmark(run_e8_deep_updates, sizes=(50, 200), inner_cardinality=5, touched_labels=2)
+    assert_table(table, ("ivm_ops", "rebuild_size"))
+    ops = table.column("ivm_ops")
+    assert ops[0] == ops[-1]

@@ -1,0 +1,12 @@
+"""E9 — §5.4 / Theorems 9 & 14: NC0 maintenance cones vs growing recompute cones."""
+
+from repro.bench.experiments import run_e9_circuit_cones
+
+
+def test_e9_circuit_cones(benchmark, assert_table):
+    table = benchmark(run_e9_circuit_cones, slot_counts=(4, 8, 16, 32), k=4)
+    assert_table(table, ("update_cone", "recompute_cone"))
+    update_cones = set(table.column("update_cone"))
+    assert len(update_cones) == 1  # constant in database size
+    recompute = table.column("recompute_cone")
+    assert recompute == sorted(recompute) and recompute[-1] > recompute[0]

@@ -1,0 +1,25 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+Every benchmark wraps one experiment runner from
+:mod:`repro.bench.experiments` with parameters small enough to finish in a
+few seconds; the printed tables (and the larger sweeps recorded in
+EXPERIMENTS.md) are produced by ``python -m repro.bench.experiments <id>
+[--full]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def assert_table():
+    """Helper: sanity-check that an experiment produced a non-empty table."""
+
+    def _check(table, expected_columns=()):
+        assert table.rows, f"experiment {table.title!r} produced no rows"
+        for column in expected_columns:
+            assert column in table.columns
+        return table
+
+    return _check

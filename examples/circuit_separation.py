@@ -1,0 +1,53 @@
+"""The complexity separation of Section 5.4, made concrete.
+
+Maintaining a shredded view under a constant-size update is per-slot addition
+modulo 2^k — an NC0 circuit whose output bits each depend on 2k input bits no
+matter how large the database grows.  Re-evaluating a query that aggregates
+over the whole input (flatten / projection) needs output bits that depend on
+every input slot.  The script builds both circuit families, runs the
+maintenance circuit on a real encoded view, and prints how the cone sizes
+scale.
+
+Run with::
+
+    python examples/circuit_separation.py
+"""
+
+from repro.bag import Bag
+from repro.circuits import (
+    ActiveDomain,
+    apply_update_circuit,
+    build_recompute_circuit,
+    build_update_circuit,
+    encode_fbag,
+)
+
+
+def main() -> None:
+    k = 4
+    domain = ActiveDomain(tuple(f"v{i}" for i in range(4)))
+
+    # A concrete maintenance step on the FBag encoding of a flat (shredded) view.
+    view = encode_fbag(Bag.from_pairs([(("v0",), 2), (("v2",), 1)]), domain, arity=1, k=k)
+    delta = encode_fbag(Bag.from_pairs([(("v0",), 1), (("v3",), 5)]), domain, arity=1, k=k)
+    circuit = build_update_circuit(view.num_slots, k)
+    _, updated = apply_update_circuit(circuit, view, delta)
+    print("view ⊎ delta decoded from the circuit output:", updated)
+
+    print("\nslots | maintenance cone | recompute cone | maintenance depth | recompute depth")
+    for slots in (4, 8, 16, 32, 64):
+        update_circuit = build_update_circuit(slots, k)
+        recompute_circuit = build_recompute_circuit(slots, k)
+        print(
+            f"{slots:5d} | {update_circuit.max_cone_size():16d} | "
+            f"{recompute_circuit.max_cone_size():14d} | "
+            f"{update_circuit.depth():17d} | {recompute_circuit.depth():15d}"
+        )
+    print(
+        "\nThe maintenance cone stays at 2k bits (NC0); the re-evaluation cone grows "
+        "linearly with the database (it cannot be NC0), matching Theorem 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

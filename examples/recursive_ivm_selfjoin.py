@@ -1,0 +1,58 @@
+"""Recursive IVM on Example 4: ``flatten(R) × flatten(R)``.
+
+The first-order delta of this query still depends on the database (it
+mentions ``flatten(R)``), so recursive IVM materializes that part once and
+maintains it with the second-order delta.  The script prints the whole delta
+tower and compares per-update work of classical and recursive IVM.
+
+Run with::
+
+    python examples/recursive_ivm_selfjoin.py [n]
+"""
+
+import sys
+
+from repro.delta import delta_tower
+from repro.ivm import ClassicIVMView, Database, NaiveView, RecursiveIVMView
+from repro.nrc import ast
+from repro.nrc.pretty import render
+from repro.nrc.types import BASE, bag_of
+from repro.workloads import generate_bag_of_bags, nested_update_stream
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    schema = bag_of(bag_of(BASE))
+    relation = ast.Relation("R", schema)
+    query = ast.Product((ast.Flatten(relation), ast.Flatten(relation)))
+
+    # The tower of higher-order deltas (Theorem 2: height = degree = 2).
+    tower = delta_tower(query, ["R"])
+    print("query degree:", tower.height)
+    for order, level in enumerate(tower.levels):
+        print(f"  δ^{order}(h) =", render(level))
+
+    database = Database()
+    database.register("R", schema, generate_bag_of_bags(size, inner_cardinality=4))
+    naive = NaiveView(query, database)
+    classic = ClassicIVMView(query, database)
+    recursive = RecursiveIVMView(query, database)
+    print("\nmaterialized by recursive IVM:", recursive.materialized_names())
+    print("residual delta:", render(recursive.residual_delta))
+
+    for update in nested_update_stream("R", 3, 1, inner_cardinality=4):
+        database.apply_update(update)
+    assert classic.result() == naive.result() == recursive.result()
+
+    print(
+        "\nmean operations/update — naive: %.0f, classic IVM: %.0f, recursive IVM: %.0f"
+        % (
+            naive.stats.mean_update_operations,
+            classic.stats.mean_update_operations,
+            recursive.stats.mean_update_operations,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

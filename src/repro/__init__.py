@@ -1,0 +1,14 @@
+"""repro — Incremental View Maintenance for Collection Programming (NRC+ on bags).
+
+A from-scratch reproduction of Koch, Lupei and Tannen, *Incremental View
+Maintenance for Collection Programming* (PODS 2016): the positive nested
+relational calculus on bags, its delta rules, cost model, shredding
+transformation and the IVM engines (classical, recursive and nested/shredded)
+built on top of them.
+"""
+
+from repro.bag import Bag, EMPTY_BAG
+
+__version__ = "1.0.0"
+
+__all__ = ["Bag", "EMPTY_BAG", "__version__"]

@@ -1,0 +1,24 @@
+"""Generalized bags with integer multiplicities and nested-value utilities."""
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.bag.values import (
+    is_base_value,
+    is_nested_value,
+    iter_inner_bags,
+    nested_cardinalities,
+    render_value,
+    value_depth,
+    value_size,
+)
+
+__all__ = [
+    "Bag",
+    "EMPTY_BAG",
+    "is_base_value",
+    "is_nested_value",
+    "iter_inner_bags",
+    "nested_cardinalities",
+    "render_value",
+    "value_depth",
+    "value_size",
+]

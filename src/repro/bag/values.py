@@ -1,0 +1,172 @@
+"""Nested value helpers: validation, depth, sizes and canonical rendering.
+
+A *nested value* in this library is one of:
+
+* a base value — ``str``, ``int``, ``float`` or ``bool`` (the paper's
+  ``Base`` type),
+* the unit value — the empty Python tuple ``()`` (the paper's ``⟨⟩``),
+* a tuple of nested values (product types), or
+* a :class:`~repro.bag.bag.Bag` whose elements are nested values
+  (``Bag(C)`` types).
+
+These functions are structural utilities shared by the evaluator, the cost
+model (``size``), the shredding machinery and the workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+from repro.bag.bag import Bag
+
+__all__ = [
+    "is_base_value",
+    "is_nested_value",
+    "value_depth",
+    "value_size",
+    "nested_cardinalities",
+    "iter_inner_bags",
+    "render_value",
+]
+
+_BASE_TYPES = (str, int, float, bool)
+
+
+def is_base_value(value: Any) -> bool:
+    """True iff ``value`` is a base (atomic) value."""
+    return isinstance(value, _BASE_TYPES)
+
+
+def is_nested_value(value: Any) -> bool:
+    """True iff ``value`` is a well-formed nested value (recursively checked)."""
+    if is_base_value(value):
+        return True
+    if isinstance(value, tuple):
+        return all(is_nested_value(component) for component in value)
+    if isinstance(value, Bag):
+        return all(is_nested_value(element) for element in value.elements())
+    return False
+
+
+def value_depth(value: Any) -> int:
+    """Maximum bag-nesting depth of a value.
+
+    Base values and tuples of base values have depth 0; a flat bag has
+    depth 1; a bag of bags has depth 2, and so on.  Tuples take the maximum
+    over their components.
+    """
+    if is_base_value(value):
+        return 0
+    if isinstance(value, tuple):
+        if not value:
+            return 0
+        return max(value_depth(component) for component in value)
+    if isinstance(value, Bag):
+        inner = 0
+        for element in value.elements():
+            inner = max(inner, value_depth(element))
+        return 1 + inner
+    raise TypeError(f"not a nested value: {value!r}")
+
+
+def value_size(value: Any) -> int:
+    """Total number of atomic constituents, counting bag multiplicities.
+
+    This is the "physical size" of a value used by workload reporting and by
+    the incrementality discussion in Appendix A.2 (``size(ΔR) ≪ size(R)``);
+    the cost-domain ``size`` of Section 4.2 lives in :mod:`repro.cost.size`.
+    """
+    if is_base_value(value):
+        return 1
+    if isinstance(value, tuple):
+        if not value:
+            return 1
+        return sum(value_size(component) for component in value)
+    if isinstance(value, Bag):
+        total = 1
+        for element, multiplicity in value.items():
+            total += abs(multiplicity) * value_size(element)
+        return total
+    raise TypeError(f"not a nested value: {value!r}")
+
+
+def nested_cardinalities(value: Any) -> Tuple[int, ...]:
+    """Per-nesting-level maximum cardinalities of a value.
+
+    For the nested bag ``{{a},{b},{c,d}}`` this returns ``(3, 2)``: the top
+    bag has 3 elements and inner bags have at most 2 — the same shape as the
+    cost value ``3{2}`` of the introduction.
+    """
+    if is_base_value(value) or (isinstance(value, tuple) and not value):
+        return ()
+    if isinstance(value, tuple):
+        levels: Tuple[int, ...] = ()
+        for component in value:
+            levels = _merge_levels(levels, nested_cardinalities(component))
+        return levels
+    if isinstance(value, Bag):
+        inner: Tuple[int, ...] = ()
+        for element in value.elements():
+            inner = _merge_levels(inner, nested_cardinalities(element))
+        return (value.cardinality(),) + inner
+    raise TypeError(f"not a nested value: {value!r}")
+
+
+def _merge_levels(left: Tuple[int, ...], right: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Pointwise maximum of two per-level cardinality tuples."""
+    length = max(len(left), len(right))
+    merged = []
+    for index in range(length):
+        left_value = left[index] if index < len(left) else 0
+        right_value = right[index] if index < len(right) else 0
+        merged.append(max(left_value, right_value))
+    return tuple(merged)
+
+
+def iter_inner_bags(value: Any) -> Iterator[Bag]:
+    """Yield every bag occurring strictly inside ``value`` (depth-first).
+
+    The top-level value itself is not yielded when it is a bag; this mirrors
+    the set of bags that the shredding transformation replaces with labels.
+    """
+    if is_base_value(value):
+        return
+    if isinstance(value, tuple):
+        for component in value:
+            if isinstance(component, Bag):
+                yield component
+                for element in component.elements():
+                    yield from iter_inner_bags(element)
+            else:
+                yield from iter_inner_bags(component)
+        return
+    if isinstance(value, Bag):
+        for element in value.elements():
+            yield from iter_inner_bags(element)
+        return
+    raise TypeError(f"not a nested value: {value!r}")
+
+
+def render_value(value: Any) -> str:
+    """Render a nested value as the paper's brace/angle notation.
+
+    Bags render as ``{a, b^2}`` (multiplicities shown when ≠ 1) and tuples as
+    ``⟨x, y⟩``; the output is deterministic (elements sorted by rendering).
+    """
+    if is_base_value(value):
+        return str(value)
+    if isinstance(value, tuple):
+        return "⟨" + ", ".join(render_value(component) for component in value) + "⟩"
+    if isinstance(value, Bag):
+        parts = []
+        rendered = sorted(
+            ((render_value(element), multiplicity) for element, multiplicity in value.items()),
+            key=lambda item: item[0],
+        )
+        for text, multiplicity in rendered:
+            if multiplicity == 1:
+                parts.append(text)
+            else:
+                parts.append(f"{text}^{multiplicity}")
+        return "{" + ", ".join(parts) + "}"
+    raise TypeError(f"not a nested value: {value!r}")

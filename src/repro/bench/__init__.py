@@ -1,0 +1,33 @@
+"""Benchmark harness: result tables and the E1–E10 experiment runners."""
+
+from repro.bench.harness import ResultTable, ratio, timed
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    run_e1_related_ivm,
+    run_e2_filter_delta,
+    run_e3_selfjoin_recursive,
+    run_e4_flat_join,
+    run_e5_shredding_roundtrip,
+    run_e6_cost_model,
+    run_e7_degree_towers,
+    run_e8_deep_updates,
+    run_e9_circuit_cones,
+    run_e10_crossover,
+)
+
+__all__ = [
+    "ResultTable",
+    "ratio",
+    "timed",
+    "ALL_EXPERIMENTS",
+    "run_e1_related_ivm",
+    "run_e2_filter_delta",
+    "run_e3_selfjoin_recursive",
+    "run_e4_flat_join",
+    "run_e5_shredding_roundtrip",
+    "run_e6_cost_model",
+    "run_e7_degree_towers",
+    "run_e8_deep_updates",
+    "run_e9_circuit_cones",
+    "run_e10_crossover",
+]

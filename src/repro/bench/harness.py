@@ -1,0 +1,101 @@
+"""Benchmark harness utilities: result tables, timing and work accounting.
+
+Every experiment produces a :class:`ResultTable` — an ordered list of rows
+with named columns — which can be printed as an aligned text table (the form
+in which EXPERIMENTS.md records paper-vs-measured outcomes) or exported as
+CSV for further analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ResultTable", "timed", "ratio"]
+
+
+@dataclass
+class ResultTable:
+    """An experiment result: a title, ordered columns and rows of values."""
+
+    title: str
+    columns: Tuple[str, ...]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns {sorted(unknown)} for table {self.title!r}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def format(self) -> str:
+        """Render as an aligned, human-readable text table."""
+        header = list(self.columns)
+        body: List[List[str]] = []
+        for row in self.rows:
+            body.append([_format_cell(row.get(column)) for column in self.columns])
+        widths = [len(column) for column in header]
+        for line in body:
+            for index, cell in enumerate(line):
+                widths[index] = max(widths[index], len(cell))
+        divider = "-+-".join("-" * width for width in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(column.ljust(width) for column, width in zip(header, widths)))
+        lines.append(divider)
+        for line in body:
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV (no quoting needed for the values we produce)."""
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(_format_cell(row.get(column)) for column in self.columns))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def timed(function: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``function`` once and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started
+
+
+def ratio(numerator: float, denominator: float) -> Optional[float]:
+    """Safe ratio (``None`` when the denominator is zero)."""
+    if denominator == 0:
+        return None
+    return numerator / denominator

@@ -1,0 +1,30 @@
+"""Circuit-complexity substrate: FBag/NStr encodings and NC0/TC0-style circuits."""
+
+from repro.circuits.bitrep import (
+    ActiveDomain,
+    FBagEncoding,
+    decode_fbag,
+    encode_fbag,
+    nested_to_symbols,
+    symbols_to_position_relation,
+)
+from repro.circuits.gates import Circuit, GateRef
+from repro.circuits.maintenance import (
+    apply_update_circuit,
+    build_recompute_circuit,
+    build_update_circuit,
+)
+
+__all__ = [
+    "ActiveDomain",
+    "FBagEncoding",
+    "decode_fbag",
+    "encode_fbag",
+    "nested_to_symbols",
+    "symbols_to_position_relation",
+    "Circuit",
+    "GateRef",
+    "apply_update_circuit",
+    "build_recompute_circuit",
+    "build_update_circuit",
+]

@@ -1,0 +1,34 @@
+"""Cost domains, the ``size`` function, the cost interpretation and ``tcost``."""
+
+from repro.cost.domains import (
+    ATOM_COST,
+    AtomCost,
+    BagCost,
+    Cost,
+    TupleCost,
+    bottom_cost,
+    less_equal,
+    strictly_less,
+    sup,
+)
+from repro.cost.size import is_incremental_update, size_of
+from repro.cost.tcost import delta_is_cheaper, tcost
+from repro.cost.transform import CostContext, cost_of
+
+__all__ = [
+    "ATOM_COST",
+    "AtomCost",
+    "BagCost",
+    "Cost",
+    "TupleCost",
+    "bottom_cost",
+    "less_equal",
+    "strictly_less",
+    "sup",
+    "is_incremental_update",
+    "size_of",
+    "delta_is_cheaper",
+    "tcost",
+    "CostContext",
+    "cost_of",
+]

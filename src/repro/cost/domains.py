@@ -1,0 +1,166 @@
+"""Cost domains ``A°`` with their partial orders (Section 4.2).
+
+Every NRC+ type ``A`` gets a cost domain::
+
+    Base° = 1°     (A1 × A2)° = A1° × A2°     Bag(A)° = N+{A°}
+
+``1°`` has the single constant cost 1, tuple costs track each component
+separately, and a bag cost pairs a cardinality estimate with the least upper
+bound of its elements' costs — so the cost value preserves how data is
+distributed across nesting levels (the introduction's ``3{2}`` example for
+``{{a},{b},{c,d}}``).
+
+The strict order ``≺`` and the non-strict order ``⪯`` follow the paper's
+type-indexed definitions; ``sup`` is the least upper bound used by ``⊎`` in
+the cost interpretation.  Labels cost the same as base values (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CostModelError
+from repro.nrc.types import (
+    BagType,
+    BaseType,
+    DictType,
+    LabelType,
+    ProductType,
+    Type,
+    UnitType,
+)
+
+__all__ = [
+    "Cost",
+    "AtomCost",
+    "TupleCost",
+    "BagCost",
+    "ATOM_COST",
+    "bottom_cost",
+    "sup",
+    "strictly_less",
+    "less_equal",
+]
+
+
+class Cost:
+    """Abstract base class of cost-domain values."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass(frozen=True)
+class AtomCost(Cost):
+    """The cost ``1`` of a base value, unit value or label (``Base° = 1°``)."""
+
+    def render(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True)
+class TupleCost(Cost):
+    """Component-wise cost of a tuple value (``(A1 × A2)° = A1° × A2°``)."""
+
+    components: Tuple[Cost, ...]
+
+    def render(self) -> str:
+        return "⟨" + ", ".join(component.render() for component in self.components) + "⟩"
+
+
+@dataclass(frozen=True)
+class BagCost(Cost):
+    """Cost ``n{c}`` of a bag: cardinality ``n`` and element-cost bound ``c``."""
+
+    cardinality: int
+    element: Cost
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise CostModelError("bag cardinality estimates must be non-negative")
+
+    def render(self) -> str:
+        if self.cardinality == 1:
+            return "{" + self.element.render() + "}"
+        return f"{self.cardinality}{{{self.element.render()}}}"
+
+
+#: Shared instance of the base-value cost.
+ATOM_COST = AtomCost()
+
+
+def bottom_cost(type_: Type) -> Cost:
+    """The bottom element ``1_A`` of the cost domain of ``type_``."""
+    if isinstance(type_, (BaseType, UnitType, LabelType)):
+        return ATOM_COST
+    if isinstance(type_, ProductType):
+        return TupleCost(tuple(bottom_cost(component) for component in type_.components))
+    if isinstance(type_, BagType):
+        return BagCost(0, bottom_cost(type_.element))
+    if isinstance(type_, DictType):
+        # Dictionaries are costed through their entry bags; the bottom is the
+        # bottom of the entry type.
+        return bottom_cost(type_.value)
+    # Unknown/polymorphic types (from polymorphic empties) cost like atoms.
+    return ATOM_COST
+
+
+def sup(left: Cost, right: Cost) -> Cost:
+    """Least upper bound of two cost values of the same shape."""
+    if isinstance(left, AtomCost) and isinstance(right, AtomCost):
+        return ATOM_COST
+    if isinstance(left, AtomCost):
+        return right
+    if isinstance(right, AtomCost):
+        return left
+    if isinstance(left, TupleCost) and isinstance(right, TupleCost):
+        if len(left.components) != len(right.components):
+            raise CostModelError("cannot take sup of tuple costs with different arities")
+        return TupleCost(
+            tuple(sup(l, r) for l, r in zip(left.components, right.components))
+        )
+    if isinstance(left, BagCost) and isinstance(right, BagCost):
+        return BagCost(max(left.cardinality, right.cardinality), sup(left.element, right.element))
+    raise CostModelError(f"cannot take sup of {left.render()} and {right.render()}")
+
+
+def less_equal(left: Cost, right: Cost) -> bool:
+    """The non-strict order ``left ⪯ right``."""
+    if isinstance(left, AtomCost) and isinstance(right, AtomCost):
+        return True
+    if isinstance(left, AtomCost) or isinstance(right, AtomCost):
+        # Mixing shapes can happen with polymorphic empties; an atom is the
+        # cheapest possible shape.
+        return isinstance(left, AtomCost)
+    if isinstance(left, TupleCost) and isinstance(right, TupleCost):
+        if len(left.components) != len(right.components):
+            raise CostModelError("cannot compare tuple costs with different arities")
+        return all(less_equal(l, r) for l, r in zip(left.components, right.components))
+    if isinstance(left, BagCost) and isinstance(right, BagCost):
+        return left.cardinality <= right.cardinality and less_equal(left.element, right.element)
+    raise CostModelError(f"cannot compare {left.render()} and {right.render()}")
+
+
+def strictly_less(left: Cost, right: Cost) -> bool:
+    """The strict order ``left ≺ right`` of Section 4.2.
+
+    Base values are never strictly comparable; tuples compare component-wise
+    strictly; bags require a strictly smaller cardinality and ``⪯`` elements.
+    """
+    if isinstance(left, AtomCost) and isinstance(right, AtomCost):
+        return False
+    if isinstance(left, TupleCost) and isinstance(right, TupleCost):
+        if len(left.components) != len(right.components):
+            raise CostModelError("cannot compare tuple costs with different arities")
+        return all(
+            strictly_less(l, r) for l, r in zip(left.components, right.components)
+        )
+    if isinstance(left, BagCost) and isinstance(right, BagCost):
+        return left.cardinality < right.cardinality and less_equal(left.element, right.element)
+    if isinstance(left, AtomCost) or isinstance(right, AtomCost):
+        return False
+    raise CostModelError(f"cannot compare {left.render()} and {right.render()}")

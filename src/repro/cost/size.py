@@ -1,0 +1,55 @@
+"""The ``size`` function: from nested values to cost-domain values.
+
+``size_A : A → A°`` (Section 4.2) maps every value to a cost proportional to
+its size: base values cost 1, tuples cost component-wise, and a bag costs its
+cardinality (counting repetitions) paired with the supremum of its elements'
+costs.  An update ``ΔR`` is *incremental* for ``R`` exactly when
+``size(ΔR) ≺ size(R)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.bag.bag import Bag
+from repro.bag.values import is_base_value
+from repro.cost.domains import ATOM_COST, BagCost, Cost, TupleCost, bottom_cost, strictly_less, sup
+from repro.errors import CostModelError
+from repro.nrc.types import BagType, Type
+from repro.labels import Label
+
+__all__ = ["size_of", "is_incremental_update"]
+
+
+def size_of(value: Any, type_: Optional[Type] = None) -> Cost:
+    """Return ``size(value)`` in the cost domain of its type.
+
+    The optional ``type_`` is only used to produce the correct bottom element
+    for empty bags (an empty bag of nested type still records the shape of
+    its would-be elements); without it, empty bags cost ``0{1}``.
+    """
+    if is_base_value(value) or isinstance(value, Label):
+        return ATOM_COST
+    if isinstance(value, tuple):
+        if not value:
+            return ATOM_COST
+        return TupleCost(tuple(size_of(component) for component in value))
+    if isinstance(value, Bag):
+        element_bound: Cost
+        if value.is_empty():
+            if isinstance(type_, BagType):
+                element_bound = bottom_cost(type_.element)
+            else:
+                element_bound = ATOM_COST
+            return BagCost(0, element_bound)
+        element_bound = None  # type: ignore[assignment]
+        for element in value.elements():
+            element_cost = size_of(element)
+            element_bound = element_cost if element_bound is None else sup(element_bound, element_cost)
+        return BagCost(value.cardinality(), element_bound)
+    raise CostModelError(f"cannot compute the size of {value!r}")
+
+
+def is_incremental_update(update: Bag, base: Bag) -> bool:
+    """True iff ``size(update) ≺ size(base)`` (the paper's incrementality test)."""
+    return strictly_less(size_of(update), size_of(base))

@@ -1,0 +1,53 @@
+"""Time bounds from cost values: ``tcost`` (Lemma 3) and Theorem 4's check.
+
+``tcost_A : A° → N`` converts a cost-domain value into a scalar time bound::
+
+    tcost(1)        = 1
+    tcost(⟨c1,c2⟩)  = tcost(c1) + tcost(c2)
+    tcost(n{c})     = n · tcost(c)
+
+Lemma 3: an IncNRC+ expression ``h`` can be evaluated within
+``O(tcost(C[[h]]))`` under the lazy evaluation strategy.  Theorem 4: for an
+incremental update, ``tcost(C[[δ(h)]]) < tcost(C[[h]])`` — the delta is
+strictly cheaper than re-evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cost.domains import AtomCost, BagCost, Cost, TupleCost
+from repro.cost.transform import CostContext, cost_of
+from repro.delta.rules import delta
+from repro.errors import CostModelError
+from repro.nrc.ast import Expr
+
+__all__ = ["tcost", "delta_is_cheaper"]
+
+
+def tcost(cost: Cost) -> int:
+    """Scalar time bound of a cost-domain value."""
+    if isinstance(cost, AtomCost):
+        return 1
+    if isinstance(cost, TupleCost):
+        return sum(tcost(component) for component in cost.components)
+    if isinstance(cost, BagCost):
+        return cost.cardinality * tcost(cost.element)
+    raise CostModelError(f"cannot compute tcost of {cost!r}")
+
+
+def delta_is_cheaper(
+    expr: Expr,
+    context: CostContext,
+    targets: Optional[Iterable[str]] = None,
+) -> bool:
+    """Check Theorem 4 on a concrete query and cost context.
+
+    Returns ``True`` when ``tcost(C[[δ(expr)]]) < tcost(C[[expr]])`` — i.e.
+    the derived delta has a strictly lower running-time estimate than
+    re-evaluating the query.
+    """
+    original_cost = tcost(cost_of(expr, context))
+    delta_expr = delta(expr, targets)
+    delta_cost = tcost(cost_of(delta_expr, context))
+    return delta_cost < original_cost

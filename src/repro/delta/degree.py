@@ -1,0 +1,82 @@
+"""Query degree: how many delta derivations until input independence.
+
+Section 4.1 associates to every IncNRC+ expression a degree ``deg_φ(h)``;
+Theorem 2 shows ``deg(δ(h)) = deg(h) − 1`` for input-dependent ``h``, so the
+degree is exactly the number of delta derivations needed before the resulting
+expression no longer depends on the database (and recursive IVM can stop).
+
+As with :mod:`repro.delta.rules`, the degree is computed with respect to a
+set of updated sources; a relation contributes 1 only if it is in the target
+set (an un-updated relation behaves like a constant for the purposes of the
+delta tower).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.errors import NotInFragmentError
+from repro.nrc import ast
+from repro.nrc.analysis import referenced_sources
+from repro.nrc.ast import Expr
+
+__all__ = ["degree"]
+
+
+def degree(
+    expr: Expr,
+    targets: Optional[Iterable[str]] = None,
+    var_degrees: Optional[Dict[str, int]] = None,
+) -> int:
+    """Return ``deg_φ(expr)`` with respect to the updated sources.
+
+    ``var_degrees`` is the assignment ``φ`` of degrees to free bag variables
+    (defaults to 0 for unknown variables, i.e. they are treated as
+    input-independent constants).
+    """
+    target_set = frozenset(targets) if targets is not None else referenced_sources(expr)
+    return _degree(expr, target_set, dict(var_degrees or {}))
+
+
+def _degree(expr: Expr, targets: FrozenSet[str], phi: Dict[str, int]) -> int:
+    if isinstance(expr, ast.Relation):
+        return 1 if expr.name in targets else 0
+    if isinstance(expr, ast.DictVar):
+        return 1 if expr.name in targets else 0
+    if isinstance(expr, (ast.DeltaRelation, ast.DeltaDictVar)):
+        return 0
+    if isinstance(expr, ast.BagVar):
+        return phi.get(expr.name, 0)
+    if isinstance(
+        expr,
+        (ast.SngVar, ast.SngProj, ast.SngUnit, ast.Empty, ast.Pred, ast.InLabel, ast.DictEmpty),
+    ):
+        return 0
+    if isinstance(expr, ast.Sng):
+        body_degree = _degree(expr.body, targets, phi)
+        if body_degree > 0:
+            raise NotInFragmentError(
+                "degree is defined for IncNRC+ only; sng(e) has an "
+                "update-dependent body — shred the query first"
+            )
+        return 0
+    if isinstance(expr, ast.Union):
+        return max(_degree(term, targets, phi) for term in expr.terms)
+    if isinstance(expr, ast.For):
+        return _degree(expr.source, targets, phi) + _degree(expr.body, targets, phi)
+    if isinstance(expr, ast.Product):
+        return sum(_degree(factor, targets, phi) for factor in expr.factors)
+    if isinstance(expr, (ast.Flatten, ast.Negate)):
+        return _degree(expr.body, targets, phi)
+    if isinstance(expr, ast.Let):
+        bound_degree = _degree(expr.bound, targets, phi)
+        inner = dict(phi)
+        inner[expr.name] = bound_degree
+        return _degree(expr.body, targets, inner)
+    if isinstance(expr, ast.DictSingleton):
+        return _degree(expr.body, targets, phi)
+    if isinstance(expr, (ast.DictUnion, ast.DictAdd)):
+        return max(_degree(term, targets, phi) for term in expr.terms)
+    if isinstance(expr, ast.DictLookup):
+        return _degree(expr.dictionary, targets, phi)
+    raise NotInFragmentError(f"no degree rule for node {type(expr).__name__}")

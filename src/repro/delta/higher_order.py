@@ -1,0 +1,84 @@
+"""Higher-order delta derivation (recursive IVM), Section 4.1.
+
+Starting from a query ``h`` one can keep differentiating: ``δ(h)`` maintains
+``h``, ``δ²(h)`` maintains (the partial evaluation of) ``δ(h)``, and so on.
+Theorem 2 guarantees that the degree drops by one with every derivation, so
+after ``deg(h)`` steps the delta is input-independent and the tower is
+complete.  :func:`delta_tower` builds exactly that finite tower; the runtime
+that materializes and maintains it lives in :mod:`repro.ivm.recursive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.delta.degree import degree
+from repro.delta.rules import delta
+from repro.nrc.analysis import referenced_sources
+from repro.nrc.ast import Expr
+
+__all__ = ["DeltaTower", "delta_tower"]
+
+#: Safety bound: the paper proves towers are finite (height = deg(h)), but a
+#: defensive cap keeps an accidental misuse from looping.
+_MAX_TOWER_HEIGHT = 64
+
+
+@dataclass(frozen=True)
+class DeltaTower:
+    """A finite tower ``h, δ(h), δ²(h), …, δ^k(h)`` of higher-order deltas.
+
+    ``levels[i]`` is ``δ^i(h)`` (``levels[0]`` is the original query) and the
+    ``i``-th derivation introduced update symbols of order ``i``.  The last
+    level is input-independent: it depends only on the update symbols, which
+    is where recursive IVM stops deriving.
+    """
+
+    targets: Tuple[str, ...]
+    levels: Tuple[Expr, ...]
+
+    @property
+    def height(self) -> int:
+        """Number of delta derivations performed (``len(levels) - 1``)."""
+        return len(self.levels) - 1
+
+    @property
+    def query(self) -> Expr:
+        return self.levels[0]
+
+    def level(self, index: int) -> Expr:
+        """Return ``δ^index(h)``."""
+        return self.levels[index]
+
+    def degrees(self) -> Tuple[int, ...]:
+        """Degrees of every level — Theorem 2 predicts ``deg(h), deg(h)-1, …, 0``."""
+        return tuple(degree(level, self.targets) for level in self.levels)
+
+
+def delta_tower(
+    expr: Expr,
+    targets: Optional[Iterable[str]] = None,
+    max_height: Optional[int] = None,
+) -> DeltaTower:
+    """Derive the full tower of higher-order deltas of ``expr``.
+
+    Derivation stops as soon as the latest delta no longer depends on the
+    updated sources (degree 0), or when ``max_height`` derivations have been
+    performed.
+    """
+    target_tuple = (
+        tuple(sorted(targets)) if targets is not None else tuple(sorted(referenced_sources(expr)))
+    )
+    bound = max_height if max_height is not None else _MAX_TOWER_HEIGHT
+
+    levels: List[Expr] = [expr]
+    current = expr
+    order = 1
+    while order <= bound:
+        if degree(current, target_tuple) == 0:
+            break
+        current = delta(current, target_tuple, order=order)
+        levels.append(current)
+        order += 1
+    return DeltaTower(target_tuple, tuple(levels))

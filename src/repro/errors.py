@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class TypeCheckError(ReproError):
+    """An NRC+ expression does not satisfy the typing rules of Figure 3."""
+
+
+class EvaluationError(ReproError):
+    """Runtime failure while evaluating an NRC+ expression."""
+
+
+class UnboundVariableError(EvaluationError):
+    """A variable was referenced without a binding in the environment."""
+
+
+class NotInFragmentError(ReproError):
+    """An operation requires IncNRC+ but the expression falls outside it.
+
+    Raised, for example, when deriving a delta for a query that uses the
+    unrestricted singleton constructor ``sng(e)`` with an input-dependent
+    body (Section 4 of the paper): such queries must first be shredded.
+    """
+
+
+class DictionaryConflictError(ReproError):
+    """Label union ``d1 ∪ d2`` found two disagreeing definitions for a label.
+
+    This mirrors the ``error`` outcome of the label-union semantics in
+    Section 5.2 of the paper.
+    """
+
+
+class ConsistencyError(ReproError):
+    """A shredded value violates Definition 1 or 2 (Appendix C.3)."""
+
+
+class ShreddingError(ReproError):
+    """The shredding transformation could not be applied."""
+
+
+class CostModelError(ReproError):
+    """Failure while computing cost-domain values (Section 4.2)."""
+
+
+class CircuitError(ReproError):
+    """Failure while building or evaluating a gate-level circuit."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""

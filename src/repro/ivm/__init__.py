@@ -1,0 +1,25 @@
+"""IVM engines: database, updates, and the naive/classic/recursive/nested views."""
+
+from repro.ivm.classic import ClassicIVMView
+from repro.ivm.database import Database, ShreddedDelta
+from repro.ivm.naive import NaiveView
+from repro.ivm.nested import NestedIVMView
+from repro.ivm.recursive import RecursiveIVMView, partially_evaluate
+from repro.ivm.updates import Update, UpdateStream, deletions, insertions
+from repro.ivm.views import MaintenanceStats, View
+
+__all__ = [
+    "ClassicIVMView",
+    "Database",
+    "ShreddedDelta",
+    "NaiveView",
+    "NestedIVMView",
+    "RecursiveIVMView",
+    "partially_evaluate",
+    "Update",
+    "UpdateStream",
+    "deletions",
+    "insertions",
+    "MaintenanceStats",
+    "View",
+]

@@ -1,0 +1,75 @@
+"""Classical (first-order) IVM for IncNRC+ queries.
+
+The delta query ``δ(h)[R, ΔR]`` is derived once, at view-creation time, and
+evaluated against the *pre-update* database plus the update on every refresh
+(Equation (5) of Appendix A.1 / Proposition 4.1)::
+
+    h[R ⊎ ΔR] = h[R] ⊎ δ(h)[R, ΔR]
+
+Queries outside IncNRC+ (an ``sng`` body depending on an updated relation)
+are rejected with :class:`~repro.errors.NotInFragmentError`; use
+:class:`repro.ivm.nested.NestedIVMView`, which shreds the query first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bag.bag import Bag
+from repro.delta.rules import delta
+from repro.instrument import OpCounter
+from repro.ivm.database import Database, ShreddedDelta
+from repro.ivm.updates import Update
+from repro.ivm.views import View
+from repro.nrc.analysis import referenced_relations
+from repro.nrc.ast import Expr
+from repro.nrc.evaluator import evaluate_bag
+
+__all__ = ["ClassicIVMView"]
+
+
+class ClassicIVMView(View):
+    """Materialized view maintained with a single, first-order delta query."""
+
+    def __init__(
+        self,
+        query: Expr,
+        database: Database,
+        targets: Optional[Sequence[str]] = None,
+        register: bool = True,
+    ) -> None:
+        super().__init__()
+        self._query = query
+        self._database = database
+        self._targets = tuple(sorted(targets)) if targets is not None else tuple(
+            sorted(referenced_relations(query))
+        )
+        self._delta_query = delta(query, self._targets)
+
+        counter = OpCounter()
+        started = self._now()
+        self._result = evaluate_bag(query, database.environment(), counter)
+        self.stats.record_init(self._now() - started, counter)
+        if register:
+            database.register_view(self)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def delta_query(self) -> Expr:
+        """The derived delta query (inspectable, e.g. for pretty printing)."""
+        return self._delta_query
+
+    def result(self) -> Bag:
+        return self._result
+
+    def on_update(self, update: Update, shredded_delta: ShreddedDelta) -> None:
+        counter = OpCounter()
+        started = self._now()
+        deltas = {
+            (name, 1): bag for name, bag in update.relations.items() if not bag.is_empty()
+        }
+        if deltas:
+            environment = self._database.environment().with_deltas(deltas)
+            change = evaluate_bag(self._delta_query, environment, counter)
+            self._result = self._result.union(change)
+        self.stats.record_update(self._now() - started, counter)

@@ -1,0 +1,235 @@
+"""The database: nested relations, their shredded mirror, and update dispatch.
+
+A :class:`Database` stores
+
+* the *nested* relation instances (bags of possibly-nested tuples), used by
+  direct evaluation and by the naive re-evaluation baseline, and
+* a *shredded mirror* — flat relations plus input dictionaries (Section 5.1)
+  — maintained incrementally, used by the shredded/nested IVM engine.
+
+Views register themselves with :meth:`register_view`.  ``apply_update``
+notifies every registered view *before* mutating the stored instances, so
+delta queries are evaluated against the pre-update state exactly as required
+by ``h[R ⊎ ΔR] = h[R] ⊎ δ(h)[R, ΔR]``; the update is applied to the stored
+relations afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.dictionaries import DictValue, MaterializedDict
+from repro.errors import WorkloadError
+from repro.ivm.updates import Update
+from repro.labels import LabelFactory
+from repro.nrc.evaluator import Environment
+from repro.nrc.types import BagType
+from repro.shredding.shred_database import (
+    flat_relation_name,
+    input_context_for,
+    input_dict_name,
+    shred_relation,
+)
+from repro.shredding.context import iter_context_dicts
+from repro.shredding.shred_values import ValueShredder
+
+__all__ = ["Database", "ShreddedDelta"]
+
+
+class ShreddedDelta:
+    """The shredded form of an update: delta symbols for the flat world.
+
+    ``bags`` maps flat relation names to flat delta bags; ``dictionaries``
+    maps input dictionary names to dictionary deltas (new label definitions
+    from shredding inserted tuples, plus any explicit deep deltas).
+    """
+
+    def __init__(
+        self,
+        bags: Optional[Dict[str, Bag]] = None,
+        dictionaries: Optional[Dict[str, MaterializedDict]] = None,
+    ) -> None:
+        self.bags: Dict[str, Bag] = dict(bags or {})
+        self.dictionaries: Dict[str, MaterializedDict] = dict(dictionaries or {})
+
+    def as_delta_symbols(self, order: int = 1) -> Dict[Tuple[str, int], object]:
+        """Bindings for the ``Δ`` symbols of delta queries."""
+        symbols: Dict[Tuple[str, int], object] = {}
+        for name, bag in self.bags.items():
+            symbols[(name, order)] = bag
+        for name, dictionary in self.dictionaries.items():
+            symbols[(name, order)] = dictionary
+        return symbols
+
+    def source_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.bags) | set(self.dictionaries)))
+
+
+class Database:
+    """Named nested relations with an incrementally-maintained shredded mirror."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, BagType] = {}
+        self._relations: Dict[str, Bag] = {}
+        self._shredder = ValueShredder(LabelFactory(prefix="db"))
+        self._flat: Dict[str, Bag] = {}
+        self._dictionaries: Dict[str, MaterializedDict] = {}
+        self._views: List[object] = []
+
+    # ------------------------------------------------------------------ #
+    # Schema and data registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, schema: BagType, instance: Optional[Bag] = None) -> None:
+        """Register a relation with its schema and optional initial instance."""
+        if name in self._schemas:
+            raise WorkloadError(f"relation {name!r} is already registered")
+        if not isinstance(schema, BagType):
+            raise TypeError("relation schemas must be bag types")
+        self._schemas[name] = schema
+        self._relations[name] = instance or EMPTY_BAG
+        self._reshred_relation(name)
+
+    def _reshred_relation(self, name: str) -> None:
+        schema = self._schemas[name]
+        shredded = shred_relation(name, self._relations[name], schema.element, self._shredder)
+        self._flat[flat_relation_name(name)] = shredded.flat
+        for dict_name, dictionary in shredded.dictionaries.items():
+            if not isinstance(dictionary, MaterializedDict):
+                dictionary = dictionary.materialize(dictionary.support() or ())
+            self._dictionaries[dict_name] = dictionary
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def schema(self, name: str) -> BagType:
+        return self._schemas[name]
+
+    def relation(self, name: str) -> Bag:
+        return self._relations[name]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._schemas))
+
+    def shredded_source_names(self, name: str) -> Tuple[str, ...]:
+        """Names of the flat relation and input dictionaries backing ``name``."""
+        names = [flat_relation_name(name)]
+        context = input_context_for(name, self._schemas[name].element)
+        for path, _ in iter_context_dicts(context):
+            names.append(input_dict_name(name, path))
+        return tuple(names)
+
+    def environment(self) -> Environment:
+        """Environment for direct (nested) evaluation."""
+        return Environment(relations=self._relations)
+
+    def shredded_environment(self) -> Environment:
+        """Environment for evaluating shredded (flat) queries."""
+        return Environment(relations=self._flat, dictionaries=self._dictionaries)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def register_view(self, view: object) -> None:
+        """Register a view to be notified on every update (pre-mutation)."""
+        self._views.append(view)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def shred_update(self, update: Update) -> ShreddedDelta:
+        """Shred an update into delta symbols for the flat world.
+
+        Inner bags of inserted tuples receive fresh labels (consistently with
+        the database's label memoisation), and their definitions become
+        dictionary deltas; explicit deep deltas are passed through.
+        """
+        delta = ShreddedDelta()
+        for name, bag in update.relations.items():
+            if name not in self._schemas:
+                raise WorkloadError(f"update touches unknown relation {name!r}")
+            if bag.is_empty():
+                continue
+            shredded = shred_relation(name, bag, self._schemas[name].element, self._shredder)
+            delta.bags[flat_relation_name(name)] = shredded.flat
+            for dict_name, dictionary in shredded.dictionaries.items():
+                if isinstance(dictionary, MaterializedDict) and len(dictionary) == 0:
+                    continue
+                existing = delta.dictionaries.get(dict_name, MaterializedDict({}))
+                merged = existing.add(dictionary)  # type: ignore[assignment]
+                delta.dictionaries[dict_name] = merged  # type: ignore[assignment]
+        for dict_name, entries in update.deep.items():
+            existing = delta.dictionaries.get(dict_name, MaterializedDict({}))
+            delta.dictionaries[dict_name] = existing.add(MaterializedDict(dict(entries)))  # type: ignore[assignment]
+        return delta
+
+    def apply_update(self, update: Update) -> ShreddedDelta:
+        """Notify views of ``update`` and then apply it to the stored instances."""
+        shredded_delta = self.shred_update(update)
+
+        for view in list(self._views):
+            on_update = getattr(view, "on_update", None)
+            if on_update is not None:
+                on_update(update, shredded_delta)
+
+        # Nested instances.
+        for name, bag in update.relations.items():
+            self._relations[name] = self._relations[name].union(bag)
+
+        # Shredded mirror: flat relations and dictionaries.
+        for flat_name, bag in shredded_delta.bags.items():
+            self._flat[flat_name] = self._flat.get(flat_name, EMPTY_BAG).union(bag)
+        for dict_name, dictionary in shredded_delta.dictionaries.items():
+            existing = self._dictionaries.get(dict_name, MaterializedDict({}))
+            merged = existing.add(dictionary)
+            if not isinstance(merged, MaterializedDict):
+                merged = merged.materialize(merged.support() or ())
+            self._dictionaries[dict_name] = merged
+
+        # Deep updates also change the *nested* instances: rebuild the nested
+        # relation from the shredded mirror is expensive, so instead nested
+        # instances are only guaranteed to reflect relation deltas.  Engines
+        # that need the nested view of deep updates reconstruct it through the
+        # shredded mirror (see repro.ivm.nested).
+        if update.deep:
+            self._refresh_nested_from_shredded(update)
+        return shredded_delta
+
+    def _refresh_nested_from_shredded(self, update: Update) -> None:
+        """Re-nest relations whose inner bags were deep-updated."""
+        from repro.shredding.shred_values import unshred_bag
+        from repro.shredding.context import BagContext, TupleContext, UNIT_CONTEXT
+        from repro.nrc.types import ProductType
+
+        touched = set()
+        for dict_name in update.deep:
+            touched.add(dict_name.split("__D")[0])
+        for name in touched:
+            if name not in self._schemas:
+                continue
+            element_type = self._schemas[name].element
+            context = self._value_context_for(name, element_type)
+            flat = self._flat[flat_relation_name(name)]
+            self._relations[name] = unshred_bag(flat, element_type, context)
+
+    def _value_context_for(self, name: str, element_type) -> object:
+        """Value context of a relation assembled from the stored dictionaries."""
+        from repro.shredding.context import BagContext, TupleContext, UNIT_CONTEXT
+        from repro.nrc.types import BagType as _BagType, ProductType
+
+        def _build(type_, path):
+            if isinstance(type_, ProductType):
+                return TupleContext(
+                    tuple(
+                        _build(component, path + (index,))
+                        for index, component in enumerate(type_.components)
+                    )
+                )
+            if isinstance(type_, _BagType):
+                dictionary = self._dictionaries.get(
+                    input_dict_name(name, path), MaterializedDict({})
+                )
+                return BagContext(dictionary, _build(type_.element, path + ("e",)))
+            return UNIT_CONTEXT
+
+        return _build(element_type, ())

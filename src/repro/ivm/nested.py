@@ -1,0 +1,309 @@
+"""Nested IVM through shredding — the paper's solution for full NRC+.
+
+A query that adds nesting (an ``sng(e)`` whose body touches the database)
+cannot be maintained by delta rules alone: its delta would need *deep
+updates*.  Section 5 solves this by shredding the query into a flat part
+``h^F`` and a context ``h^Γ`` of label dictionaries, both of which are
+efficiently incrementalizable (Theorem 5).  This module is the runtime for
+that strategy, mirroring the maintenance plan worked out for the ``related``
+query in Section 2.2:
+
+* the flat view is maintained with the delta of ``h^F``;
+* every dictionary of ``h^Γ`` is materialized *for the labels that actually
+  occur* (domain maintenance) and refreshed per update by
+
+  - adding ``δ(h^Γ)(ℓ)`` to every existing definition, and
+  - initializing definitions for labels newly introduced by ``δ(h^F)``
+    against the post-update state;
+
+* the nested result is reconstructed on demand by the nesting function ``u``
+  (Theorem 8 guarantees it equals direct re-evaluation).
+
+Deep updates to inner bags of the *input* arrive as dictionary deltas and
+flow through the same delta machinery — no recomputation of unrelated inner
+bags ever happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.dictionaries import DictValue, MaterializedDict
+from repro.errors import ShreddingError
+from repro.instrument import OpCounter, maybe_count
+from repro.ivm.database import Database, ShreddedDelta
+from repro.ivm.updates import Update
+from repro.ivm.views import View
+from repro.labels import Label
+from repro.nrc.analysis import referenced_sources
+from repro.nrc.ast import Expr
+from repro.nrc.evaluator import Environment, evaluate, evaluate_bag
+from repro.delta.rules import delta
+from repro.shredding.context import (
+    BagContext,
+    Context,
+    TupleContext,
+    UNIT_CONTEXT,
+    UnitContext,
+    EmptyContext,
+    iter_context_dicts,
+)
+from repro.shredding.shred_query import ShreddedQuery, shred_query
+from repro.shredding.shred_values import unshred_bag
+
+__all__ = ["NestedIVMView"]
+
+
+@dataclass
+class _DictState:
+    """Maintenance state of one dictionary position of the output context."""
+
+    path: Tuple[Any, ...]
+    expression: Expr
+    delta_expression: Expr
+    materialized: MaterializedDict = field(default_factory=lambda: MaterializedDict({}))
+
+
+class NestedIVMView(View):
+    """Materialized view over a full NRC+ query, maintained in shredded form."""
+
+    def __init__(
+        self,
+        query: Expr,
+        database: Database,
+        register: bool = True,
+    ) -> None:
+        super().__init__()
+        self._query = query
+        self._database = database
+        self._shredded: ShreddedQuery = shred_query(query)
+        if self._shredded.output_type is None:
+            raise ShreddingError("cannot maintain a query with unknown output type")
+
+        self._dict_states: List[_DictState] = []
+        sources: Set[str] = set(referenced_sources(self._shredded.flat))
+        for path, expression in iter_context_dicts(self._shredded.context):
+            sources |= set(referenced_sources(expression))
+        self._targets = tuple(sorted(sources))
+
+        self._flat_delta = delta(self._shredded.flat, self._targets)
+        for path, expression in iter_context_dicts(self._shredded.context):
+            self._dict_states.append(
+                _DictState(
+                    path=path,
+                    expression=expression,
+                    delta_expression=delta(expression, self._targets),
+                )
+            )
+
+        counter = OpCounter()
+        started = self._now()
+        environment = database.shredded_environment()
+        self._flat_view = evaluate_bag(self._shredded.flat, environment, counter)
+        for state in self._dict_states:
+            dictionary = self._evaluate_dictionary(state.expression, environment, counter)
+            active = self._active_labels(state)
+            entries = {label: dictionary.lookup(label) for label in active}
+            state.materialized = MaterializedDict(entries)
+        self.stats.record_init(self._now() - started, counter)
+        if register:
+            database.register_view(self)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shredded(self) -> ShreddedQuery:
+        return self._shredded
+
+    @property
+    def flat_delta(self) -> Expr:
+        return self._flat_delta
+
+    def flat_result(self) -> Bag:
+        """The materialized flat view ``h^F`` (labels in place of inner bags)."""
+        return self._flat_view
+
+    def dictionary(self, path: Tuple[Any, ...]) -> MaterializedDict:
+        """The materialized dictionary at a context path."""
+        for state in self._dict_states:
+            if state.path == path:
+                return state.materialized
+        raise KeyError(f"no dictionary at context path {path!r}")
+
+    def dictionary_paths(self) -> Tuple[Tuple[Any, ...], ...]:
+        return tuple(state.path for state in self._dict_states)
+
+    # ------------------------------------------------------------------ #
+    # Result reconstruction (the nesting function u)
+    # ------------------------------------------------------------------ #
+    def result(self) -> Bag:
+        """Reconstruct the nested result from the shredded materializations."""
+        value_context = self._value_context(self._shredded.context, ())
+        element_type = self._shredded.output_type.element  # type: ignore[union-attr]
+        return unshred_bag(self._flat_view, element_type, value_context)
+
+    def _value_context(self, context: Context, path: Tuple[Any, ...]) -> Context:
+        if isinstance(context, (UnitContext, EmptyContext)):
+            return context
+        if isinstance(context, TupleContext):
+            return TupleContext(
+                tuple(
+                    self._value_context(component, path + (index,))
+                    for index, component in enumerate(context.components)
+                )
+            )
+        if isinstance(context, BagContext):
+            materialized = self.dictionary(path)
+            return BagContext(materialized, self._value_context(context.element, path + ("e",)))
+        raise ShreddingError(f"unexpected context node {context!r}")
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def on_update(self, update: Update, shredded_delta: ShreddedDelta) -> None:
+        counter = OpCounter()
+        started = self._now()
+        delta_symbols = shredded_delta.as_delta_symbols(order=1)
+
+        pre_env = self._database.shredded_environment()
+        delta_env = pre_env.with_deltas(delta_symbols)
+        post_env = self._post_update_environment(pre_env, shredded_delta)
+
+        # 1. Maintain the flat view with δ(h^F).
+        flat_change = evaluate_bag(self._flat_delta, delta_env, counter)
+        self._flat_view = self._flat_view.union(flat_change)
+
+        # 2. Maintain every dictionary: refresh existing definitions with
+        #    δ(h^Γ)(ℓ) and initialize definitions for newly active labels.
+        for state in self._dict_states:
+            delta_dictionary = self._evaluate_dictionary(
+                state.delta_expression, delta_env, counter
+            )
+            entries: Dict[Label, Bag] = dict(state.materialized.items())
+            # When the delta dictionary has finite support (e.g. deep updates
+            # arriving as explicit label deltas) only the touched labels need
+            # refreshing; intensional deltas (dictionary bodies over ΔR) are
+            # probed for every existing label — the O(n·d) term of §2.2.
+            delta_support = delta_dictionary.support()
+            if delta_support is None:
+                refresh_labels = list(entries)
+            else:
+                refresh_labels = [label for label in delta_support if label in entries]
+            for label in refresh_labels:
+                change = delta_dictionary.lookup(label)
+                maybe_count(counter, "dict_refreshes")
+                if not change.is_empty():
+                    entries[label] = entries[label].union(change)
+
+            active = self._active_labels(state, entries_hint=entries)
+            new_labels = [label for label in active if label not in entries]
+            if new_labels:
+                full_dictionary = self._evaluate_dictionary(
+                    state.expression, post_env, counter
+                )
+                for label in new_labels:
+                    maybe_count(counter, "dict_initializations")
+                    entries[label] = full_dictionary.lookup(label)
+            state.materialized = MaterializedDict(entries)
+
+        self.stats.record_update(self._now() - started, counter)
+
+    def vacuum(self) -> int:
+        """Drop dictionary entries whose labels are no longer reachable.
+
+        Returns the number of entries removed.  Stale entries are harmless
+        for correctness (unshredding never looks them up) but keeping the
+        dictionaries tight mirrors the space bounds of the paper.
+        """
+        removed = 0
+        for state in self._dict_states:
+            active = self._active_labels(state)
+            entries = {
+                label: bag for label, bag in state.materialized.items() if label in active
+            }
+            removed += len(state.materialized) - len(entries)
+            state.materialized = MaterializedDict(entries)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _evaluate_dictionary(
+        expression: Expr, environment: Environment, counter: OpCounter
+    ) -> DictValue:
+        value = evaluate(expression, environment, counter)
+        if not isinstance(value, DictValue):
+            raise ShreddingError("context expressions must evaluate to dictionaries")
+        return value
+
+    def _post_update_environment(
+        self, pre_env: Environment, shredded_delta: ShreddedDelta
+    ) -> Environment:
+        post = pre_env.copy()
+        for name, bag in shredded_delta.bags.items():
+            post.relations[name] = post.relations.get(name, EMPTY_BAG).union(bag)
+        for name, dictionary in shredded_delta.dictionaries.items():
+            existing = post.dictionaries.get(name, MaterializedDict({}))
+            post.dictionaries[name] = existing.add(dictionary)
+        return post
+
+    def _active_labels(
+        self,
+        state: _DictState,
+        entries_hint: Optional[Dict[Label, Bag]] = None,
+    ) -> List[Label]:
+        """Labels that must be defined at this dictionary position.
+
+        Root positions (no ``"e"`` in the path) draw their labels from the
+        flat view; nested positions draw them from the entries of their
+        parent dictionary.
+        """
+        path = state.path
+        if "e" not in path:
+            carrier = self._flat_view
+            tuple_path = path
+        else:
+            split = max(index for index, token in enumerate(path) if token == "e")
+            parent_path = path[:split]
+            tuple_path = path[split + 1 :]
+            parent_entries = self._parent_entries(parent_path, entries_hint, state)
+            carrier = parent_entries
+        labels: List[Label] = []
+        seen: Set[Label] = set()
+        for element in carrier.elements():
+            value = self._project(element, tuple_path)
+            if isinstance(value, Label) and value not in seen:
+                seen.add(value)
+                labels.append(value)
+        return labels
+
+    def _parent_entries(
+        self,
+        parent_path: Tuple[Any, ...],
+        entries_hint: Optional[Dict[Label, Bag]],
+        state: _DictState,
+    ) -> Bag:
+        """Union of all entries of the parent dictionary (carrier for nested labels)."""
+        for candidate in self._dict_states:
+            if candidate.path == parent_path:
+                parent = candidate.materialized
+                union = EMPTY_BAG
+                for _, bag in parent.items():
+                    union = union.union(bag)
+                return union
+        raise ShreddingError(f"no parent dictionary at path {parent_path!r}")
+
+    @staticmethod
+    def _project(value: Any, path: Tuple[Any, ...]) -> Any:
+        current = value
+        for token in path:
+            if not isinstance(token, int):
+                raise ShreddingError(f"unexpected path token {token!r}")
+            if not isinstance(current, tuple) or token >= len(current):
+                return None
+            current = current[token]
+        return current

@@ -1,0 +1,115 @@
+"""Updates: the ``ΔR`` objects fed to the IVM engines.
+
+An :class:`Update` bundles
+
+* *relation deltas* — nested bags (with positive/negative multiplicities for
+  insertions/deletions) applied to base relations through ``⊎``, and
+* *deep deltas* — per-label bag deltas applied to the *input dictionaries* of
+  the shredded database, i.e. the paper's deep updates to inner bags of the
+  input (Section 2.2, Section 5).
+
+:class:`UpdateStream` is a convenience container used by workload generators
+and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.bag.bag import Bag
+from repro.dictionaries import MaterializedDict
+from repro.labels import Label
+
+__all__ = ["Update", "UpdateStream", "insertions", "deletions"]
+
+
+@dataclass
+class Update:
+    """One update event.
+
+    ``relations`` maps relation names to nested delta bags; ``deep`` maps
+    *input dictionary names* (see
+    :func:`repro.shredding.shred_database.input_dict_name`) to per-label bag
+    deltas.
+    """
+
+    relations: Dict[str, Bag] = field(default_factory=dict)
+    deep: Dict[str, Dict[Label, Bag]] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        """True iff the update changes nothing."""
+        return all(bag.is_empty() for bag in self.relations.values()) and not any(
+            self.deep.values()
+        )
+
+    def total_size(self) -> int:
+        """Total number of changed tuples (the ``d`` of the cost analyses)."""
+        size = sum(bag.cardinality() for bag in self.relations.values())
+        for entries in self.deep.values():
+            size += sum(bag.cardinality() for bag in entries.values())
+        return size
+
+    def deep_dict_deltas(self) -> Dict[str, MaterializedDict]:
+        """Deep deltas as dictionary values (pointwise-addition operands)."""
+        return {
+            name: MaterializedDict(dict(entries)) for name, entries in self.deep.items()
+        }
+
+    def touched_relations(self) -> Tuple[str, ...]:
+        return tuple(sorted(name for name, bag in self.relations.items() if not bag.is_empty()))
+
+    def __repr__(self) -> str:
+        relation_parts = ", ".join(
+            f"{name}:{bag.cardinality()}" for name, bag in sorted(self.relations.items())
+        )
+        deep_parts = ", ".join(
+            f"{name}:{len(entries)} labels" for name, entries in sorted(self.deep.items())
+        )
+        inner = "; ".join(part for part in (relation_parts, deep_parts) if part)
+        return f"Update({inner})"
+
+
+def insertions(relation: str, elements: Iterable) -> Update:
+    """Convenience: an update inserting the given elements into ``relation``."""
+    return Update(relations={relation: Bag(elements)})
+
+
+def deletions(relation: str, elements: Iterable) -> Update:
+    """Convenience: an update deleting the given elements from ``relation``."""
+    return Update(relations={relation: Bag(elements).negate()})
+
+
+class UpdateStream:
+    """An ordered sequence of updates."""
+
+    def __init__(self, updates: Iterable[Update] = ()) -> None:
+        self._updates: List[Update] = list(updates)
+
+    def append(self, update: Update) -> None:
+        self._updates.append(update)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __getitem__(self, index: int) -> Update:
+        return self._updates[index]
+
+    def total_size(self) -> int:
+        return sum(update.total_size() for update in self._updates)
+
+    def merged(self) -> Update:
+        """Collapse the stream into a single cumulative update."""
+        relations: Dict[str, Bag] = {}
+        deep: Dict[str, Dict[Label, Bag]] = {}
+        for update in self._updates:
+            for name, bag in update.relations.items():
+                relations[name] = relations.get(name, Bag()).union(bag)
+            for name, entries in update.deep.items():
+                bucket = deep.setdefault(name, {})
+                for label, bag in entries.items():
+                    bucket[label] = bucket.get(label, Bag()).union(bag)
+        return Update(relations=relations, deep=deep)

@@ -1,0 +1,89 @@
+"""Shared view infrastructure: maintenance statistics and the base protocol.
+
+Every view implementation (naive, classic, recursive, nested) exposes the
+same two-phase life cycle:
+
+* construction materializes the view against the current database state;
+* :meth:`on_update` (called by the database *before* it mutates its stored
+  relations) refreshes the materialization for one update.
+
+``MaintenanceStats`` accumulates the abstract operation counts and wall-clock
+times used by the benchmark harness to compare strategies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.instrument import OpCounter
+
+__all__ = ["MaintenanceStats", "View"]
+
+
+@dataclass
+class MaintenanceStats:
+    """Work accounting for a view: initialization plus per-update refreshes."""
+
+    init_seconds: float = 0.0
+    init_operations: int = 0
+    update_seconds: List[float] = field(default_factory=list)
+    update_operations: List[int] = field(default_factory=list)
+
+    def record_init(self, seconds: float, counter: OpCounter) -> None:
+        self.init_seconds = seconds
+        self.init_operations = counter.total()
+
+    def record_update(self, seconds: float, counter: OpCounter) -> None:
+        self.update_seconds.append(seconds)
+        self.update_operations.append(counter.total())
+
+    @property
+    def updates_applied(self) -> int:
+        return len(self.update_seconds)
+
+    @property
+    def total_update_seconds(self) -> float:
+        return sum(self.update_seconds)
+
+    @property
+    def total_update_operations(self) -> int:
+        return sum(self.update_operations)
+
+    @property
+    def mean_update_operations(self) -> float:
+        if not self.update_operations:
+            return 0.0
+        return sum(self.update_operations) / len(self.update_operations)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "init_seconds": self.init_seconds,
+            "init_operations": float(self.init_operations),
+            "updates_applied": float(self.updates_applied),
+            "total_update_seconds": self.total_update_seconds,
+            "total_update_operations": float(self.total_update_operations),
+            "mean_update_operations": self.mean_update_operations,
+        }
+
+
+class View:
+    """Base class for materialized views."""
+
+    def __init__(self) -> None:
+        self.stats = MaintenanceStats()
+
+    # Subclasses implement result() and on_update().
+    def result(self):
+        raise NotImplementedError
+
+    def on_update(self, update, shredded_delta) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Timing helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _now() -> float:
+        return time.perf_counter()

@@ -1,0 +1,220 @@
+"""Static analyses over NRC+ expressions.
+
+These analyses underpin the incrementalization machinery:
+
+* *free element variables* and *free bag variables* (the Π and Γ contexts of
+  Figure 3) are needed by the shredder to build labels and by the delta rules
+  for ``let``;
+* *input dependence* (does an expression mention a database relation or
+  dictionary, directly or through a ``let``-bound variable?) decides both
+  IncNRC+ membership (Section 3) and Lemma 1's shortcut ``δ(h) = ∅``;
+* *IncNRC+ membership*: every ``sng(e)`` occurrence must have an
+  input-independent body (the paper's ``sng*``);
+* *sng indexing* assigns the static indices ``ι`` used by shredding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.nrc import ast
+from repro.nrc.ast import Expr
+from repro.nrc.traverse import iter_subexpressions, map_expr
+
+__all__ = [
+    "free_elem_vars",
+    "free_bag_vars",
+    "referenced_relations",
+    "referenced_dictionaries",
+    "referenced_sources",
+    "referenced_deltas",
+    "max_delta_order",
+    "is_input_independent",
+    "sng_occurrences",
+    "unrestricted_sng_occurrences",
+    "is_incremental_fragment",
+    "annotate_sng_indices",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Free variables
+# --------------------------------------------------------------------------- #
+def free_elem_vars(expr: Expr) -> FrozenSet[str]:
+    """Free Π-variables (element variables bound by ``for``) of ``expr``."""
+    if isinstance(expr, (ast.SngVar,)):
+        return frozenset({expr.var})
+    if isinstance(expr, ast.SngProj):
+        return frozenset({expr.var})
+    if isinstance(expr, ast.Pred):
+        return expr.predicate.free_vars()
+    if isinstance(expr, ast.InLabel):
+        return frozenset(expr.params)
+    if isinstance(expr, ast.DictLookup):
+        return frozenset({expr.var}) | free_elem_vars(expr.dictionary)
+    if isinstance(expr, ast.For):
+        source_vars = free_elem_vars(expr.source)
+        body_vars = free_elem_vars(expr.body) - {expr.var}
+        return source_vars | body_vars
+    if isinstance(expr, ast.DictSingleton):
+        return free_elem_vars(expr.body) - frozenset(expr.params)
+    result: FrozenSet[str] = frozenset()
+    for child in expr.children():
+        result |= free_elem_vars(child)
+    return result
+
+
+def free_bag_vars(expr: Expr) -> FrozenSet[str]:
+    """Free Γ-variables (``let``-bound variables ``X``) of ``expr``."""
+    if isinstance(expr, ast.BagVar):
+        return frozenset({expr.name})
+    if isinstance(expr, ast.Let):
+        bound_vars = free_bag_vars(expr.bound)
+        body_vars = free_bag_vars(expr.body) - {expr.name}
+        return bound_vars | body_vars
+    result: FrozenSet[str] = frozenset()
+    for child in expr.children():
+        result |= free_bag_vars(child)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Input dependence
+# --------------------------------------------------------------------------- #
+def referenced_relations(expr: Expr) -> FrozenSet[str]:
+    """Names of database relations mentioned anywhere in ``expr``."""
+    names: Set[str] = set()
+    for node in iter_subexpressions(expr):
+        if isinstance(node, ast.Relation):
+            names.add(node.name)
+    return frozenset(names)
+
+
+def referenced_dictionaries(expr: Expr) -> FrozenSet[str]:
+    """Names of database dictionaries mentioned anywhere in ``expr``."""
+    names: Set[str] = set()
+    for node in iter_subexpressions(expr):
+        if isinstance(node, ast.DictVar):
+            names.add(node.name)
+    return frozenset(names)
+
+
+def referenced_sources(expr: Expr) -> FrozenSet[str]:
+    """All database sources (relations and dictionaries) mentioned in ``expr``."""
+    return referenced_relations(expr) | referenced_dictionaries(expr)
+
+
+def referenced_deltas(expr: Expr) -> FrozenSet[Tuple[str, int]]:
+    """Pairs ``(source, order)`` of update symbols mentioned in ``expr``."""
+    pairs: Set[Tuple[str, int]] = set()
+    for node in iter_subexpressions(expr):
+        if isinstance(node, (ast.DeltaRelation, ast.DeltaDictVar)):
+            pairs.add((node.name, node.order))
+    return frozenset(pairs)
+
+
+def max_delta_order(expr: Expr) -> int:
+    """Highest update order mentioned in ``expr`` (0 if no update symbol occurs)."""
+    orders = [order for _, order in referenced_deltas(expr)]
+    return max(orders) if orders else 0
+
+
+def is_input_independent(
+    expr: Expr, dependent_vars: FrozenSet[str] = frozenset()
+) -> bool:
+    """True iff ``expr`` does not depend on the database.
+
+    An expression is input-*dependent* when it mentions a relation or a
+    database dictionary, or a free bag variable listed in ``dependent_vars``
+    (used by callers that track ``let``-bound variables whose definition is
+    itself input-dependent).  Update symbols ``ΔR`` do **not** count as input
+    dependence: they are parameters of delta queries, and Theorem 2's notion
+    of a degree-0 (input-independent) query is exactly "depends only on the
+    update".
+    """
+    if isinstance(expr, (ast.Relation, ast.DictVar)):
+        return False
+    if isinstance(expr, ast.BagVar):
+        return expr.name not in dependent_vars
+    if isinstance(expr, ast.Let):
+        if is_input_independent(expr.bound, dependent_vars):
+            narrowed = dependent_vars - {expr.name}
+            return is_input_independent(expr.body, narrowed)
+        widened = dependent_vars | {expr.name}
+        return is_input_independent(expr.body, widened)
+    return all(is_input_independent(child, dependent_vars) for child in expr.children())
+
+
+# --------------------------------------------------------------------------- #
+# IncNRC+ membership
+# --------------------------------------------------------------------------- #
+def sng_occurrences(expr: Expr) -> List[ast.Sng]:
+    """All unrestricted-singleton nodes in ``expr``, in pre-order."""
+    return [node for node in iter_subexpressions(expr) if isinstance(node, ast.Sng)]
+
+
+def unrestricted_sng_occurrences(expr: Expr) -> List[ast.Sng]:
+    """``sng(e)`` occurrences whose body is input-dependent.
+
+    These are exactly the constructs that push a query outside IncNRC+ and
+    force shredding (Section 4).  ``let``-bound variables are tracked so that
+    ``let X := R in sng(X)`` is correctly reported as unrestricted.
+    """
+    offenders: List[ast.Sng] = []
+
+    def _walk(node: Expr, dependent_vars: FrozenSet[str]) -> None:
+        if isinstance(node, ast.Let):
+            _walk(node.bound, dependent_vars)
+            if is_input_independent(node.bound, dependent_vars):
+                _walk(node.body, dependent_vars - {node.name})
+            else:
+                _walk(node.body, dependent_vars | {node.name})
+            return
+        if isinstance(node, ast.Sng) and not is_input_independent(node.body, dependent_vars):
+            offenders.append(node)
+        for child in node.children():
+            _walk(child, dependent_vars)
+
+    _walk(expr, frozenset())
+    return offenders
+
+
+def is_incremental_fragment(expr: Expr) -> bool:
+    """True iff ``expr`` belongs to IncNRC+ (resp. IncNRC+_l).
+
+    Per Section 3, the only restriction is that every singleton constructor
+    ``sng(e)`` has an input-independent body.
+    """
+    return not unrestricted_sng_occurrences(expr)
+
+
+# --------------------------------------------------------------------------- #
+# Static sng indexing (for shredding)
+# --------------------------------------------------------------------------- #
+def annotate_sng_indices(expr: Expr, prefix: str = "ι") -> Expr:
+    """Assign a deterministic static index to every un-indexed ``sng`` node.
+
+    Indices are assigned in pre-order (``ι0``, ``ι1``, …) so repeated calls on
+    the same expression are stable; nodes that already carry an index keep it.
+    """
+    from repro.nrc.traverse import _rebuild_with_children
+
+    # Indices follow the pre-order position of each un-indexed Sng node so
+    # that repeated annotation of the same query is deterministic.
+    pending = [
+        node
+        for node in iter_subexpressions(expr)
+        if isinstance(node, ast.Sng) and node.iota is None
+    ]
+    assigned = {id(node): f"{prefix}{position}" for position, node in enumerate(pending)}
+
+    def _go(node: Expr) -> Expr:
+        if isinstance(node, ast.Sng):
+            new_body = _go(node.body)
+            iota = node.iota if node.iota is not None else assigned[id(node)]
+            return dataclasses.replace(node, body=new_body, iota=iota)
+        new_children = tuple(_go(child) for child in node.children())
+        return _rebuild_with_children(node, new_children)
+
+    return _go(expr)

@@ -1,0 +1,412 @@
+"""Abstract syntax of NRC+ and of its label extension IncNRC+_l.
+
+The constructs follow Figure 3 of the paper:
+
+======================  ==============================================
+Paper construct          AST node
+======================  ==============================================
+``R``                    :class:`Relation`
+``X`` (let-bound var)    :class:`BagVar`
+``let X := e1 in e2``    :class:`Let`
+``sng(x)``               :class:`SngVar`
+``sng(π_i(x))``          :class:`SngProj`
+``sng(⟨⟩)``              :class:`SngUnit`
+``sng(e)`` / ``sng*(e)`` :class:`Sng`
+``∅``                    :class:`Empty`
+``for x in e1 union e2`` :class:`For`
+``flatten(e)``           :class:`Flatten`
+``e1 × e2``              :class:`Product` (generalized to n-ary)
+``e1 ⊎ e2``              :class:`Union`  (generalized to n-ary)
+``⊖(e)``                 :class:`Negate`
+``p(x)``                 :class:`Pred`
+======================  ==============================================
+
+The delta transformation needs a symbol for the update of a relation; this is
+:class:`DeltaRelation` (the paper's ``ΔR``, ``Δ'R``, … — one per derivation
+order).
+
+The label/dictionary constructs of Section 5 (the IncNRC+_l extension) are
+:class:`InLabel`, :class:`DictSingleton`, :class:`DictEmpty`,
+:class:`DictUnion`, :class:`DictAdd`, :class:`DictVar`,
+:class:`DeltaDictVar` and :class:`DictLookup`.
+
+All nodes are immutable dataclasses; generic traversals use :meth:`Expr.children`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.nrc.predicates import Predicate
+from repro.nrc.types import BagType, DictType, Type
+
+__all__ = [
+    "Expr",
+    "Relation",
+    "DeltaRelation",
+    "BagVar",
+    "Let",
+    "SngVar",
+    "SngProj",
+    "SngUnit",
+    "Sng",
+    "Empty",
+    "For",
+    "Flatten",
+    "Product",
+    "Union",
+    "Negate",
+    "Pred",
+    "InLabel",
+    "DictSingleton",
+    "DictEmpty",
+    "DictUnion",
+    "DictAdd",
+    "DictVar",
+    "DeltaDictVar",
+    "DictLookup",
+]
+
+
+class Expr:
+    """Abstract base class of every NRC+ / IncNRC+_l expression."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Sub-expressions, in a fixed order, for generic traversals."""
+        return ()
+
+    # Operator sugar -----------------------------------------------------
+    def __add__(self, other: "Expr") -> "Union":
+        """``e1 + e2`` builds the bag union ``e1 ⊎ e2``."""
+        return Union((self, other))
+
+    def __mul__(self, other: "Expr") -> "Product":
+        """``e1 * e2`` builds the Cartesian product ``e1 × e2``."""
+        return Product((self, other))
+
+    def __neg__(self) -> "Negate":
+        """``-e`` builds ``⊖(e)``."""
+        return Negate(self)
+
+
+# --------------------------------------------------------------------------- #
+# Core NRC+ constructs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Relation(Expr):
+    """A reference to a named database relation ``R : Bag(A)``.
+
+    The schema travels with the node so that type inference never needs an
+    external catalogue.
+    """
+
+    name: str
+    schema: BagType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.schema, BagType):
+            raise TypeError("relation schema must be a BagType")
+
+
+@dataclass(frozen=True)
+class DeltaRelation(Expr):
+    """The update symbol ``ΔR`` (or ``Δ'R``, … for higher derivation orders).
+
+    ``order`` counts how many delta derivations introduced this symbol:
+    the first-order delta introduces ``order == 1``, the second-order delta
+    ``order == 2``, and so on.  Update symbols are input-independent: their
+    own delta is the empty bag and their degree is 0.
+    """
+
+    name: str
+    schema: BagType
+    order: int = 1
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("delta order must be at least 1")
+
+
+@dataclass(frozen=True)
+class BagVar(Expr):
+    """A let-bound (Γ-context) variable ``X`` of bag or dictionary type."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """``let X := bound in body``."""
+
+    name: str
+    bound: Expr
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.bound, self.body)
+
+
+@dataclass(frozen=True)
+class SngVar(Expr):
+    """``sng(x)`` — the singleton bag containing the value of element var ``x``."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class SngProj(Expr):
+    """``sng(π_path(x))`` — singleton of a projection of element var ``x``.
+
+    ``path`` is a tuple of 0-based component indices; the paper's single-step
+    ``π_i`` is the length-one path.  An empty path is equivalent to
+    :class:`SngVar`.
+    """
+
+    var: str
+    path: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for index in self.path:
+            if index < 0:
+                raise ValueError("projection indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class SngUnit(Expr):
+    """``sng(⟨⟩)`` — the singleton bag containing the unit tuple (i.e. *true*)."""
+
+
+@dataclass(frozen=True)
+class Sng(Expr):
+    """The unrestricted singleton ``sng_ι(e)`` for ``e : Bag(B)``.
+
+    When ``body`` is input-independent this is the paper's ``sng*(e)`` and the
+    expression stays inside IncNRC+; otherwise the query must be shredded
+    before it can be incrementalized (Section 5).  ``iota`` is the static
+    index identifying this occurrence for label generation; when ``None`` the
+    shredder assigns one deterministically.
+    """
+
+    body: Expr
+    iota: Optional[str] = None
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Empty(Expr):
+    """The empty bag ``∅``.
+
+    ``element_type`` records the element type when known (useful for
+    typechecking and unshredding); ``None`` denotes a polymorphic empty bag,
+    which every context accepts.
+    """
+
+    element_type: Optional[Type] = None
+
+
+@dataclass(frozen=True)
+class For(Expr):
+    """``for var in source union body`` — iterate and union the results.
+
+    The multiplicity of each element of ``source`` scales the corresponding
+    ``body`` bag, following the bag-monad semantics of Figure 3.
+    """
+
+    var: str
+    source: Expr
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.source, self.body)
+
+
+@dataclass(frozen=True)
+class Flatten(Expr):
+    """``flatten(e)`` — union of the inner bags of a bag of bags."""
+
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """The n-ary Cartesian product ``e1 × … × en`` (n ≥ 2).
+
+    The paper's binary product is the ``n == 2`` case; results are n-ary
+    tuples and multiplicities multiply.
+    """
+
+    factors: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.factors) < 2:
+            raise ValueError("Product requires at least two factors")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.factors
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    """The n-ary bag union ``e1 ⊎ … ⊎ en`` (n ≥ 1)."""
+
+    terms: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("Union requires at least one term; use Empty for ∅")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.terms
+
+
+@dataclass(frozen=True)
+class Negate(Expr):
+    """``⊖(e)`` — negate every multiplicity."""
+
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Pred(Expr):
+    """A predicate ``p(x̄) : Bag(1)`` over base-typed projections of Π-variables."""
+
+    predicate: Predicate
+
+
+# --------------------------------------------------------------------------- #
+# IncNRC+_l constructs (labels and dictionaries, Section 5.2)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InLabel(Expr):
+    """``inL_{ι,Π}(ε) : Bag(L)`` — singleton bag holding the label ``⟨ι, ε⟩``.
+
+    ``params`` lists the element variables whose current values are packed
+    into the label, in order.  This is the flat part of the shredding of
+    ``sng_ι(e)``.
+    """
+
+    iota: str
+    params: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DictSingleton(Expr):
+    """``[(ι, Π) ↦ body]`` — an intensional label dictionary.
+
+    Looking up a label ``⟨ι', ε⟩`` returns ``body`` evaluated with ``params``
+    bound to ``ε`` when ``ι' == ι`` and the empty bag otherwise
+    (Section 5.2).  ``value_type`` is the bag type of the entries.
+    """
+
+    iota: str
+    params: Tuple[str, ...]
+    body: Expr
+    value_type: Optional[BagType] = None
+    param_types: Optional[Tuple[Type, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.param_types is not None and len(self.param_types) != len(self.params):
+            raise ValueError("param_types must match params in length")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class DictEmpty(Expr):
+    """The empty dictionary ``[]`` (empty support)."""
+
+    value_type: Optional[BagType] = None
+
+
+@dataclass(frozen=True)
+class DictUnion(Expr):
+    """Label union ``d1 ∪ … ∪ dn`` of dictionaries.
+
+    Conflicting definitions for the same label raise
+    :class:`~repro.errors.DictionaryConflictError` at evaluation time,
+    mirroring the ``error`` case of the paper.
+    """
+
+    terms: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("DictUnion requires at least one term")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.terms
+
+
+@dataclass(frozen=True)
+class DictAdd(Expr):
+    """Pointwise bag addition ``d1 ⊎ … ⊎ dn`` of dictionaries.
+
+    This is the operation that *modifies* label definitions — it is how deep
+    updates are applied to shredded views and inputs (Section 2.2, 5.2).
+    """
+
+    terms: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("DictAdd requires at least one term")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.terms
+
+
+@dataclass(frozen=True)
+class DictVar(Expr):
+    """A named dictionary stored in the database (shredded input context)."""
+
+    name: str
+    value_type: BagType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value_type, BagType):
+            raise TypeError("DictVar value_type must be a BagType")
+
+    @property
+    def dict_type(self) -> DictType:
+        return DictType(self.value_type)
+
+
+@dataclass(frozen=True)
+class DeltaDictVar(Expr):
+    """The update symbol ``ΔD`` for a database dictionary (deep input updates)."""
+
+    name: str
+    value_type: BagType
+    order: int = 1
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("delta order must be at least 1")
+        if not isinstance(self.value_type, BagType):
+            raise TypeError("DeltaDictVar value_type must be a BagType")
+
+
+@dataclass(frozen=True)
+class DictLookup(Expr):
+    """``d(l)`` — look up the bag associated with a label.
+
+    The label is obtained by projecting the element variable ``var`` along
+    ``path`` (0-based indices; the empty path uses the variable itself).
+    """
+
+    dictionary: Expr
+    var: str
+    path: Tuple[int, ...] = ()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.dictionary,)

@@ -1,0 +1,113 @@
+"""Convenience constructors for NRC+ expressions.
+
+The calculus of Figure 3 is deliberately spartan — tuples are built as
+products of singletons and ``where`` clauses are sugar over a nested ``for``
+on a predicate's ``Bag(1)`` result.  The helpers here provide that sugar so
+queries read like the paper's examples while still elaborating to the core
+constructs on which the delta/cost/shredding machinery operates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple, Union as TypingUnion
+
+from repro.nrc import ast
+from repro.nrc.ast import Expr
+from repro.nrc.predicates import Predicate
+from repro.nrc.types import BagType, Type
+
+__all__ = [
+    "for_in",
+    "where",
+    "filter_query",
+    "pair",
+    "tuple_bag",
+    "proj",
+    "var",
+    "sng",
+    "union_all",
+    "relation",
+    "fresh_var",
+]
+
+_FRESH = itertools.count()
+
+
+def fresh_var(prefix: str = "_v") -> str:
+    """Return a variable name guaranteed not to clash with user variables."""
+    return f"{prefix}{next(_FRESH)}"
+
+
+def relation(name: str, element_type: Type) -> ast.Relation:
+    """``R : Bag(element_type)`` — a database relation reference."""
+    return ast.Relation(name, BagType(element_type))
+
+
+def var(name: str) -> ast.SngVar:
+    """``sng(x)`` — used as the "yield the element itself" body."""
+    return ast.SngVar(name)
+
+
+def proj(name: str, *path: int) -> ast.SngProj:
+    """``sng(π_path(x))`` — yield a projection of an element variable."""
+    return ast.SngProj(name, tuple(path))
+
+
+def sng(body: Expr, iota: Optional[str] = None) -> ast.Sng:
+    """The unrestricted singleton ``sng_ι(e)`` over a bag-typed body."""
+    return ast.Sng(body, iota)
+
+
+def union_all(terms: Sequence[Expr]) -> Expr:
+    """Union an arbitrary number of terms (``∅`` for the empty sequence)."""
+    terms = tuple(terms)
+    if not terms:
+        return ast.Empty()
+    if len(terms) == 1:
+        return terms[0]
+    return ast.Union(terms)
+
+
+def where(predicate: Predicate, body: Expr) -> ast.For:
+    """Desugar a ``where`` clause: ``for _ in p(x̄) union body``.
+
+    The bound variable is ignored — the predicate's only possible element is
+    the unit tuple ``⟨⟩`` (Example 2 of the paper).
+    """
+    return ast.For(fresh_var("_w"), ast.Pred(predicate), body)
+
+
+def for_in(
+    variable: str,
+    source: Expr,
+    body: Expr,
+    condition: Optional[Predicate] = None,
+) -> ast.For:
+    """``for variable in source [where condition] union body``."""
+    inner = body if condition is None else where(condition, body)
+    return ast.For(variable, source, inner)
+
+
+def filter_query(source: Expr, predicate: Predicate, variable: str = "x") -> ast.For:
+    """Example 2's ``filter_p``: ``for x in source where p(x) union sng(x)``."""
+    return for_in(variable, source, var(variable), condition=predicate)
+
+
+def pair(left: Expr, right: Expr) -> ast.Product:
+    """``left × right`` — a bag of pairs; with singleton factors, a single pair."""
+    return ast.Product((left, right))
+
+
+def tuple_bag(*factors: Expr) -> Expr:
+    """Build a bag of n-ary tuples as the product of the given factors.
+
+    With singleton factors this is the calculus' way of constructing a tuple:
+    ``sng(π_0(m)) × sng(relB(m))`` is the pair ``⟨m.name, relB(m)⟩`` of the
+    motivating example.  A single factor is returned unchanged.
+    """
+    if not factors:
+        return ast.SngUnit()
+    if len(factors) == 1:
+        return factors[0]
+    return ast.Product(tuple(factors))

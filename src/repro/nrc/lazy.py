@@ -1,0 +1,109 @@
+"""Lazy evaluation of NRC+ — the strategy behind Lemma 3's time bound.
+
+The proof of Lemma 3 evaluates a query in two steps: first a *lazy* pass that
+produces the top-level bag where every inner bag created by ``sng(e)`` is a
+closure (a :class:`LazyBag` capturing the defining expression and the current
+variable assignment), then an *expansion* pass that forces exactly the
+closures that survive to the output.  Inner bags that are projected away are
+therefore never computed — which is what makes the cardinality-times-element
+cost bound ``tcost(C[[h]])`` achievable.
+
+The lazy evaluator shares the environment type of the strict evaluator;
+:func:`expand_value` / :func:`expand_bag` implement the paper's ``exp``
+function and :func:`evaluate_lazy_expanded` composes the two phases (and is
+observationally equivalent to :func:`repro.nrc.evaluator.evaluate_bag`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.errors import EvaluationError
+from repro.instrument import OpCounter
+from repro.nrc import ast
+from repro.nrc.ast import Expr
+from repro.nrc.evaluator import Environment, _Evaluator
+
+__all__ = ["LazyBag", "evaluate_lazy", "expand_value", "expand_bag", "evaluate_lazy_expanded"]
+
+
+class LazyBag:
+    """A suspended inner bag: the closure ``β_{e,ε}`` of the Lemma 3 proof."""
+
+    __slots__ = ("_expression", "_environment", "_counter", "_forced")
+
+    def __init__(
+        self, expression: Expr, environment: Environment, counter: Optional[OpCounter]
+    ) -> None:
+        self._expression = expression
+        self._environment = environment
+        self._counter = counter
+        self._forced: Optional[Bag] = None
+
+    def force(self) -> Bag:
+        """Evaluate the suspended expression (lazily, memoized)."""
+        if self._forced is None:
+            self._forced = _LazyEvaluator(self._environment, self._counter)._eval_bag(
+                self._expression
+            )
+        return self._forced
+
+    @property
+    def is_forced(self) -> bool:
+        return self._forced is not None
+
+    # Lazy bags are compared by identity: they only ever live inside the
+    # intermediate result of the lazy pass and are expanded before any
+    # value-level comparison happens.
+    def __repr__(self) -> str:
+        status = "forced" if self._forced is not None else "suspended"
+        return f"LazyBag({status})"
+
+
+class _LazyEvaluator(_Evaluator):
+    """The strict evaluator with the singleton rule replaced by suspension."""
+
+    def _eval_Sng(self, expr: ast.Sng) -> Bag:
+        snapshot = self._env.copy()
+        from repro.instrument import maybe_count
+
+        maybe_count(self._counter, "suspensions")
+        return Bag.singleton(LazyBag(expr.body, snapshot, self._counter))
+
+
+def evaluate_lazy(
+    expr: Expr, env: Optional[Environment] = None, counter: Optional[OpCounter] = None
+) -> Bag:
+    """Lazy pass: evaluate ``expr`` with inner ``sng`` bodies suspended."""
+    value = _LazyEvaluator(env or Environment(), counter).eval(expr)
+    if not isinstance(value, Bag):
+        raise EvaluationError("lazy evaluation is defined for bag-typed expressions")
+    return value
+
+
+def expand_value(value: Any) -> Any:
+    """The expansion function ``exp``: force every suspended inner bag."""
+    if isinstance(value, LazyBag):
+        return expand_bag(value.force())
+    if isinstance(value, tuple):
+        return tuple(expand_value(component) for component in value)
+    if isinstance(value, Bag):
+        return expand_bag(value)
+    return value
+
+
+def expand_bag(bag: Bag) -> Bag:
+    """Expand every element of a (possibly lazy) bag."""
+    if bag.is_empty():
+        return EMPTY_BAG
+    return Bag.from_pairs(
+        (expand_value(element), multiplicity) for element, multiplicity in bag.items()
+    )
+
+
+def evaluate_lazy_expanded(
+    expr: Expr, env: Optional[Environment] = None, counter: Optional[OpCounter] = None
+) -> Bag:
+    """Lazy pass followed by full expansion (equivalent to strict evaluation)."""
+    return expand_bag(evaluate_lazy(expr, env, counter))

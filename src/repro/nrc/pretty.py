@@ -1,0 +1,88 @@
+"""Pretty printing of NRC+ expressions in the paper's notation.
+
+The output mirrors the syntax used throughout the paper: ``for x in e1 union
+e2``, ``sng(e)``, ``flatten(e)``, ``⊎``, ``×``, ``⊖``, ``∅``, ``let X := e1 in
+e2``, plus the label constructs ``inL_ι(x̄)``, ``[(ι, x̄) ↦ e]``, ``d(l)``,
+``∪``.  Rendering is deterministic, making it suitable for golden tests and
+for inspecting deltas and shreddings in the examples.
+"""
+
+from __future__ import annotations
+
+from repro.nrc import ast
+from repro.nrc.ast import Expr
+
+__all__ = ["render"]
+
+
+def render(expr: Expr) -> str:
+    """Render ``expr`` as a single-line string in the paper's notation."""
+    return _render(expr)
+
+
+def _render(expr: Expr) -> str:
+    if isinstance(expr, ast.Relation):
+        return expr.name
+    if isinstance(expr, ast.DeltaRelation):
+        prefix = "Δ" + ("'" * (expr.order - 1))
+        return f"{prefix}{expr.name}"
+    if isinstance(expr, ast.BagVar):
+        return expr.name
+    if isinstance(expr, ast.Let):
+        return f"let {expr.name} := {_render(expr.bound)} in {_render(expr.body)}"
+    if isinstance(expr, ast.SngVar):
+        return f"sng({expr.var})"
+    if isinstance(expr, ast.SngProj):
+        path = ".".join(str(i) for i in expr.path)
+        return f"sng(π_{path}({expr.var}))"
+    if isinstance(expr, ast.SngUnit):
+        return "sng(⟨⟩)"
+    if isinstance(expr, ast.Sng):
+        subscript = f"_{expr.iota}" if expr.iota else ""
+        return f"sng{subscript}({_render(expr.body)})"
+    if isinstance(expr, ast.Empty):
+        return "∅"
+    if isinstance(expr, ast.For):
+        # Re-sugar the `where` encoding for readability.
+        if isinstance(expr.body, ast.For) and isinstance(expr.body.source, ast.Pred):
+            predicate = expr.body.source.predicate.render()
+            return (
+                f"for {expr.var} in {_render(expr.source)} where {predicate} "
+                f"union {_render(expr.body.body)}"
+            )
+        return f"for {expr.var} in {_render(expr.source)} union {_render(expr.body)}"
+    if isinstance(expr, ast.Flatten):
+        return f"flatten({_render(expr.body)})"
+    if isinstance(expr, ast.Product):
+        return "(" + " × ".join(_render(factor) for factor in expr.factors) + ")"
+    if isinstance(expr, ast.Union):
+        return "(" + " ⊎ ".join(_render(term) for term in expr.terms) + ")"
+    if isinstance(expr, ast.Negate):
+        return f"⊖({_render(expr.body)})"
+    if isinstance(expr, ast.Pred):
+        return f"p[{expr.predicate.render()}]"
+    if isinstance(expr, ast.InLabel):
+        params = ", ".join(expr.params)
+        return f"inL_{expr.iota}({params})"
+    if isinstance(expr, ast.DictSingleton):
+        params = ", ".join(expr.params)
+        return f"[({expr.iota}, ⟨{params}⟩) ↦ {_render(expr.body)}]"
+    if isinstance(expr, ast.DictEmpty):
+        return "[]"
+    if isinstance(expr, ast.DictUnion):
+        return "(" + " ∪ ".join(_render(term) for term in expr.terms) + ")"
+    if isinstance(expr, ast.DictAdd):
+        return "(" + " ⊎ ".join(_render(term) for term in expr.terms) + ")"
+    if isinstance(expr, ast.DictVar):
+        return expr.name
+    if isinstance(expr, ast.DeltaDictVar):
+        prefix = "Δ" + ("'" * (expr.order - 1))
+        return f"{prefix}{expr.name}"
+    if isinstance(expr, ast.DictLookup):
+        if expr.path:
+            path = ".".join(str(i) for i in expr.path)
+            key = f"{expr.var}.{path}"
+        else:
+            key = expr.var
+        return f"{_render(expr.dictionary)}({key})"
+    raise TypeError(f"cannot render node {type(expr).__name__}")

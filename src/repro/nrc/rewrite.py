@@ -1,0 +1,218 @@
+"""Algebraic simplification of NRC+ expressions.
+
+Delta derivation and shredding introduce many vacuous sub-terms — empty-bag
+branches, unions with a single member, ``let``s whose variable is never used.
+The simplifier removes them using only semantics-preserving equivalences of
+the calculus (the laws of the commutative group ``(Bag, ⊎, ⊖, ∅)`` and the
+monad laws of ``for``), so that deltas both read like the paper's examples
+and evaluate without touching dead branches.
+
+The entry point is :func:`simplify`, which rewrites bottom-up to a fixpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet
+
+from repro.nrc import ast
+from repro.nrc.analysis import free_bag_vars, free_elem_vars
+from repro.nrc.ast import Expr
+from repro.nrc.traverse import map_expr
+
+__all__ = ["simplify", "is_empty_expr", "rename_elem_var", "substitute_bag_var"]
+
+_MAX_PASSES = 20
+
+
+def is_empty_expr(expr: Expr) -> bool:
+    """Syntactic check: is ``expr`` literally the empty bag / dictionary?"""
+    return isinstance(expr, (ast.Empty, ast.DictEmpty))
+
+
+def simplify(expr: Expr) -> Expr:
+    """Simplify ``expr`` by rewriting to a fixpoint (at most a fixed pass budget)."""
+    current = expr
+    for _ in range(_MAX_PASSES):
+        simplified = map_expr(current, _simplify_node)
+        if simplified == current:
+            return simplified
+        current = simplified
+    return current
+
+
+# --------------------------------------------------------------------------- #
+# Variable manipulation
+# --------------------------------------------------------------------------- #
+def rename_elem_var(expr: Expr, old: str, new: str) -> Expr:
+    """Rename free occurrences of element variable ``old`` to ``new``.
+
+    Descends under binders except where ``old`` is re-bound (shadowing).
+    """
+    if isinstance(expr, ast.SngVar) and expr.var == old:
+        return ast.SngVar(new)
+    if isinstance(expr, ast.SngProj) and expr.var == old:
+        return ast.SngProj(new, expr.path)
+    if isinstance(expr, ast.DictLookup):
+        dictionary = rename_elem_var(expr.dictionary, old, new)
+        var = new if expr.var == old else expr.var
+        return ast.DictLookup(dictionary, var, expr.path)
+    if isinstance(expr, ast.InLabel):
+        params = tuple(new if param == old else param for param in expr.params)
+        return ast.InLabel(expr.iota, params)
+    if isinstance(expr, ast.Pred):
+        return ast.Pred(_rename_in_predicate(expr.predicate, old, new))
+    if isinstance(expr, ast.For):
+        source = rename_elem_var(expr.source, old, new)
+        if expr.var == old:
+            return dataclasses.replace(expr, source=source)
+        return dataclasses.replace(expr, source=source, body=rename_elem_var(expr.body, old, new))
+    if isinstance(expr, ast.DictSingleton):
+        if old in expr.params:
+            return expr
+        return dataclasses.replace(expr, body=rename_elem_var(expr.body, old, new))
+    new_children = tuple(rename_elem_var(child, old, new) for child in expr.children())
+    from repro.nrc.traverse import _rebuild_with_children
+
+    return _rebuild_with_children(expr, new_children)
+
+
+def _rename_in_predicate(predicate, old: str, new: str):
+    from repro.nrc import predicates as preds
+
+    if isinstance(predicate, preds.Comparison):
+        return preds.Comparison(
+            predicate.op,
+            _rename_operand(predicate.left, old, new),
+            _rename_operand(predicate.right, old, new),
+        )
+    if isinstance(predicate, preds.And):
+        return preds.And(tuple(_rename_in_predicate(t, old, new) for t in predicate.terms))
+    if isinstance(predicate, preds.Or):
+        return preds.Or(tuple(_rename_in_predicate(t, old, new) for t in predicate.terms))
+    if isinstance(predicate, preds.Not):
+        return preds.Not(_rename_in_predicate(predicate.term, old, new))
+    return predicate
+
+
+def _rename_operand(operand, old: str, new: str):
+    from repro.nrc import predicates as preds
+
+    if isinstance(operand, preds.VarPath) and operand.var == old:
+        return preds.VarPath(new, operand.path)
+    return operand
+
+
+def substitute_bag_var(expr: Expr, name: str, replacement: Expr) -> Expr:
+    """Substitute ``replacement`` for free occurrences of bag variable ``name``."""
+    if isinstance(expr, ast.BagVar) and expr.name == name:
+        return replacement
+    if isinstance(expr, ast.Let):
+        bound = substitute_bag_var(expr.bound, name, replacement)
+        if expr.name == name:
+            return dataclasses.replace(expr, bound=bound)
+        return dataclasses.replace(
+            expr, bound=bound, body=substitute_bag_var(expr.body, name, replacement)
+        )
+    new_children = tuple(substitute_bag_var(child, name, replacement) for child in expr.children())
+    from repro.nrc.traverse import _rebuild_with_children
+
+    return _rebuild_with_children(expr, new_children)
+
+
+# --------------------------------------------------------------------------- #
+# Node-level rewrites
+# --------------------------------------------------------------------------- #
+def _simplify_node(expr: Expr) -> Expr:
+    if isinstance(expr, ast.Union):
+        return _simplify_union(expr)
+    if isinstance(expr, ast.Product):
+        return _simplify_product(expr)
+    if isinstance(expr, ast.For):
+        return _simplify_for(expr)
+    if isinstance(expr, ast.Flatten):
+        return _simplify_flatten(expr)
+    if isinstance(expr, ast.Negate):
+        return _simplify_negate(expr)
+    if isinstance(expr, ast.Let):
+        return _simplify_let(expr)
+    if isinstance(expr, ast.DictUnion):
+        return _simplify_dict_combine(expr, ast.DictUnion)
+    if isinstance(expr, ast.DictAdd):
+        return _simplify_dict_combine(expr, ast.DictAdd)
+    return expr
+
+
+def _simplify_union(expr: ast.Union) -> Expr:
+    terms = []
+    for term in expr.terms:
+        if is_empty_expr(term):
+            continue
+        if isinstance(term, ast.Union):
+            terms.extend(term.terms)
+        else:
+            terms.append(term)
+    if not terms:
+        return ast.Empty()
+    if len(terms) == 1:
+        return terms[0]
+    return ast.Union(tuple(terms))
+
+
+def _simplify_product(expr: ast.Product) -> Expr:
+    if any(is_empty_expr(factor) for factor in expr.factors):
+        return ast.Empty()
+    return expr
+
+
+def _simplify_for(expr: ast.For) -> Expr:
+    if is_empty_expr(expr.source) or is_empty_expr(expr.body):
+        return ast.Empty()
+    # Monad left unit: for x in sng(y) union body  ≡  body[x := y]
+    if isinstance(expr.source, ast.SngVar):
+        return rename_elem_var(expr.body, expr.var, expr.source.var)
+    # Dead binder over the unit predicate bag: for _ in sng(⟨⟩) union body ≡ body
+    if isinstance(expr.source, ast.SngUnit) and expr.var not in free_elem_vars(expr.body):
+        return expr.body
+    return expr
+
+
+def _simplify_flatten(expr: ast.Flatten) -> Expr:
+    if is_empty_expr(expr.body):
+        return ast.Empty()
+    if isinstance(expr.body, ast.Sng):
+        return expr.body.body
+    return expr
+
+
+def _simplify_negate(expr: ast.Negate) -> Expr:
+    if is_empty_expr(expr.body):
+        return ast.Empty()
+    if isinstance(expr.body, ast.Negate):
+        return expr.body.body
+    return expr
+
+
+def _simplify_let(expr: ast.Let) -> Expr:
+    used: FrozenSet[str] = free_bag_vars(expr.body)
+    if expr.name not in used:
+        return expr.body
+    if isinstance(expr.bound, (ast.BagVar, ast.Relation, ast.DeltaRelation, ast.Empty)):
+        return substitute_bag_var(expr.body, expr.name, expr.bound)
+    return expr
+
+
+def _simplify_dict_combine(expr, constructor):
+    terms = []
+    for term in expr.terms:
+        if isinstance(term, ast.DictEmpty):
+            continue
+        if isinstance(term, constructor):
+            terms.extend(term.terms)
+        else:
+            terms.append(term)
+    if not terms:
+        return ast.DictEmpty()
+    if len(terms) == 1:
+        return terms[0]
+    return constructor(tuple(terms))

@@ -1,0 +1,81 @@
+"""Generic traversal and structural rewriting over NRC+ ASTs.
+
+Every AST node is a frozen dataclass whose expression-valued fields are either
+single :class:`~repro.nrc.ast.Expr` instances or tuples of them.  The helpers
+here exploit that regularity so analyses and transformations do not need a
+case per node type unless they change the semantics of a construct.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, Tuple
+
+from repro.nrc.ast import Expr
+
+__all__ = ["iter_subexpressions", "map_expr", "count_nodes", "replace_subexpressions"]
+
+
+def iter_subexpressions(expr: Expr, include_self: bool = True) -> Iterator[Expr]:
+    """Yield ``expr`` and every nested sub-expression in pre-order."""
+    if include_self:
+        yield expr
+    for child in expr.children():
+        yield from iter_subexpressions(child, include_self=True)
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of AST nodes in ``expr`` (a simple size metric used in reports)."""
+    return sum(1 for _ in iter_subexpressions(expr))
+
+
+def map_expr(expr: Expr, transform: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild ``expr`` bottom-up, applying ``transform`` to every node.
+
+    Children are transformed first; then ``transform`` is applied to the node
+    rebuilt with the new children.  Nodes are only copied when a child
+    actually changed, so identity transforms are cheap.
+    """
+    rebuilt = _rebuild_with_children(expr, tuple(map_expr(child, transform) for child in expr.children()))
+    return transform(rebuilt)
+
+
+def replace_subexpressions(expr: Expr, replacements: dict) -> Expr:
+    """Replace occurrences of given sub-expressions (compared by equality).
+
+    ``replacements`` maps old expressions to new expressions.  Replacement is
+    applied top-down: once a node matches, its subtree is not descended into.
+    """
+
+    def _go(node: Expr) -> Expr:
+        if node in replacements:
+            return replacements[node]
+        return _rebuild_with_children(node, tuple(_go(child) for child in node.children()))
+
+    return _go(expr)
+
+
+def _rebuild_with_children(expr: Expr, new_children: Tuple[Expr, ...]) -> Expr:
+    """Return a copy of ``expr`` with its expression children replaced in order."""
+    old_children = expr.children()
+    if len(old_children) != len(new_children):
+        raise ValueError("child count mismatch while rebuilding expression")
+    if all(old is new for old, new in zip(old_children, new_children)):
+        return expr
+    if not dataclasses.is_dataclass(expr):
+        raise TypeError(f"cannot rebuild non-dataclass expression {expr!r}")
+
+    updates = {}
+    cursor = 0
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, Expr):
+            updates[field.name] = new_children[cursor]
+            cursor += 1
+        elif isinstance(value, tuple) and value and all(isinstance(item, Expr) for item in value):
+            width = len(value)
+            updates[field.name] = tuple(new_children[cursor : cursor + width])
+            cursor += width
+    if cursor != len(new_children):
+        raise ValueError("failed to map new children onto dataclass fields")
+    return dataclasses.replace(expr, **updates)

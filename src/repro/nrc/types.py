@@ -1,0 +1,201 @@
+"""Type system of NRC+ and of its label extension IncNRC+_l.
+
+The paper's types (Section 3) are::
+
+    A, B, C ::= 1 | Base | A × B | Bag(C)
+
+We generalize products to n-ary tuples (the binary product of the paper is
+the ``n == 2`` case) and add the two types required by the shredding
+transformation of Section 5:
+
+* :class:`LabelType` — the type ``L`` of labels that stand for inner bags,
+* :class:`DictType`  — the type ``L ↦ Bag(B)`` of label dictionaries.
+
+Types are immutable, hashable and compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "Type",
+    "BaseType",
+    "UnitType",
+    "ProductType",
+    "BagType",
+    "LabelType",
+    "DictType",
+    "BASE",
+    "UNIT",
+    "LABEL",
+    "is_flat_type",
+    "contains_bag",
+    "type_depth",
+    "shred_flat_type",
+    "tuple_of",
+    "bag_of",
+]
+
+
+class Type:
+    """Abstract base class of all NRC+ types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - overridden by subclasses
+        return self.render()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BaseType(Type):
+    """The type of atomic database values (``Base``).
+
+    The paper has a single base type; we keep an optional ``name`` purely for
+    documentation (e.g. ``BaseType("String")``).  Equality and hashing ignore
+    the name so that differently-labelled base types remain interchangeable,
+    exactly as in the calculus.
+    """
+
+    name: str = field(default="Base", compare=False)
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnitType(Type):
+    """The unit type ``1`` — the type of the 0-ary tuple ``⟨⟩``."""
+
+    def render(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True)
+class ProductType(Type):
+    """An n-ary product type ``A1 × … × An`` (n ≥ 1)."""
+
+    components: Tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("ProductType requires at least one component; use UnitType for ⟨⟩")
+        for component in self.components:
+            if not isinstance(component, Type):
+                raise TypeError(f"product component is not a Type: {component!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    def component(self, index: int) -> Type:
+        """Return the type of the ``index``-th (0-based) component."""
+        return self.components[index]
+
+    def render(self) -> str:
+        return "(" + " × ".join(c.render() for c in self.components) + ")"
+
+
+@dataclass(frozen=True)
+class BagType(Type):
+    """The bag type ``Bag(C)`` with integer multiplicities."""
+
+    element: Type
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.element, Type):
+            raise TypeError(f"bag element is not a Type: {self.element!r}")
+
+    def render(self) -> str:
+        return f"Bag({self.element.render()})"
+
+
+@dataclass(frozen=True)
+class LabelType(Type):
+    """The type ``L`` of labels introduced by shredding (Section 5.1)."""
+
+    def render(self) -> str:
+        return "L"
+
+
+@dataclass(frozen=True)
+class DictType(Type):
+    """The dictionary type ``L ↦ Bag(B)`` of Section 5.2."""
+
+    value: BagType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, BagType):
+            raise TypeError("DictType values must be bag types")
+
+    def render(self) -> str:
+        return f"(L ↦ {self.value.render()})"
+
+
+#: Shared instances for the three nullary types.
+BASE = BaseType()
+UNIT = UnitType()
+LABEL = LabelType()
+
+
+def tuple_of(*components: Type) -> ProductType:
+    """Convenience constructor for :class:`ProductType`."""
+    return ProductType(tuple(components))
+
+
+def bag_of(element: Type) -> BagType:
+    """Convenience constructor for :class:`BagType`."""
+    return BagType(element)
+
+
+def is_flat_type(type_: Type) -> bool:
+    """True iff ``type_`` is a tuple/base/unit/label type with no nested bag.
+
+    ``Bag(A)`` is *flat* (in the sense of the paper's ``TBase`` plus labels)
+    when ``A`` itself contains no bag type.
+    """
+    if isinstance(type_, (BaseType, UnitType, LabelType)):
+        return True
+    if isinstance(type_, ProductType):
+        return all(is_flat_type(component) for component in type_.components)
+    return False
+
+
+def contains_bag(type_: Type) -> bool:
+    """True iff a bag type occurs anywhere inside ``type_``."""
+    if isinstance(type_, BagType):
+        return True
+    if isinstance(type_, ProductType):
+        return any(contains_bag(component) for component in type_.components)
+    if isinstance(type_, DictType):
+        return True
+    return False
+
+
+def type_depth(type_: Type) -> int:
+    """Maximum bag-nesting depth of a type (``Bag(Bag(Base))`` has depth 2)."""
+    if isinstance(type_, BagType):
+        return 1 + type_depth(type_.element)
+    if isinstance(type_, ProductType):
+        return max(type_depth(component) for component in type_.components)
+    if isinstance(type_, DictType):
+        return 1 + type_depth(type_.value.element)
+    return 0
+
+
+def shred_flat_type(type_: Type) -> Type:
+    """Compute ``A^F``, the flat (label-based) representation of a type.
+
+    Following Section 5.1::
+
+        Base^F = Base      (A1 × A2)^F = A1^F × A2^F      Bag(C)^F = L
+    """
+    if isinstance(type_, (BaseType, UnitType, LabelType)):
+        return type_
+    if isinstance(type_, ProductType):
+        return ProductType(tuple(shred_flat_type(component) for component in type_.components))
+    if isinstance(type_, BagType):
+        return LABEL
+    raise TypeError(f"cannot shred type {type_!r}")

@@ -1,0 +1,36 @@
+"""Flat relational algebra on bags (RA+), its delta rules and flat IVM views."""
+
+from repro.relational.algebra import (
+    BaseRel,
+    CrossProduct,
+    DeltaRel,
+    NegateRel,
+    Project,
+    RAExpr,
+    RelSchema,
+    Rename,
+    Select,
+    ThetaJoin,
+    UnionAll,
+)
+from repro.relational.delta import relational_delta, relational_sources
+from repro.relational.ivm import RelationalDatabase, RelationalIVMView, RelationalNaiveView
+
+__all__ = [
+    "BaseRel",
+    "CrossProduct",
+    "DeltaRel",
+    "NegateRel",
+    "Project",
+    "RAExpr",
+    "RelSchema",
+    "Rename",
+    "Select",
+    "ThetaJoin",
+    "UnionAll",
+    "relational_delta",
+    "relational_sources",
+    "RelationalDatabase",
+    "RelationalIVMView",
+    "RelationalNaiveView",
+]

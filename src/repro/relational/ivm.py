@@ -1,0 +1,118 @@
+"""First-order IVM for flat relational-algebra views (the Appendix A.1 baseline)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.bag.bag import Bag
+from repro.ivm.views import MaintenanceStats
+from repro.instrument import OpCounter
+from repro.relational import algebra as ra
+from repro.relational.delta import relational_delta, relational_sources
+
+__all__ = ["RelationalDatabase", "RelationalIVMView", "RelationalNaiveView"]
+
+
+class RelationalDatabase:
+    """A flat database: named bags of positional tuples with column schemas."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, ra.RelSchema] = {}
+        self._relations: Dict[str, Bag] = {}
+        self._views = []
+
+    def register(self, name: str, schema: ra.RelSchema, instance: Optional[Bag] = None) -> ra.BaseRel:
+        self._schemas[name] = schema
+        self._relations[name] = instance or Bag()
+        return ra.BaseRel(name, schema)
+
+    def relation(self, name: str) -> Bag:
+        return self._relations[name]
+
+    def relations(self) -> Mapping[str, Bag]:
+        return dict(self._relations)
+
+    def register_view(self, view) -> None:
+        self._views.append(view)
+
+    def apply_update(self, deltas: Mapping[str, Bag]) -> None:
+        """Notify views (pre-mutation) and apply the deltas through bag union."""
+        for view in list(self._views):
+            view.on_update(deltas)
+        for name, bag in deltas.items():
+            self._relations[name] = self._relations[name].union(bag)
+
+
+class RelationalNaiveView:
+    """Flat baseline: recompute the RA expression after every update."""
+
+    def __init__(self, expr: ra.RAExpr, database: RelationalDatabase, register: bool = True) -> None:
+        self._expr = expr
+        self._database = database
+        self.stats = MaintenanceStats()
+        counter = OpCounter()
+        started = time.perf_counter()
+        self._result = expr.evaluate(database.relations())
+        counter.increment("tuples_scanned", self._result.cardinality())
+        self.stats.record_init(time.perf_counter() - started, counter)
+        if register:
+            database.register_view(self)
+
+    def result(self) -> Bag:
+        return self._result
+
+    def on_update(self, deltas: Mapping[str, Bag]) -> None:
+        counter = OpCounter()
+        started = time.perf_counter()
+        post = dict(self._database.relations())
+        for name, bag in deltas.items():
+            post[name] = post[name].union(bag)
+        self._result = self._expr.evaluate(post)
+        counter.increment("tuples_scanned", sum(bag.cardinality() for bag in post.values()))
+        self.stats.record_update(time.perf_counter() - started, counter)
+
+
+class RelationalIVMView:
+    """Flat first-order IVM: maintain the view with the Appendix A.1 delta rules."""
+
+    def __init__(
+        self,
+        expr: ra.RAExpr,
+        database: RelationalDatabase,
+        targets: Optional[Iterable[str]] = None,
+        register: bool = True,
+    ) -> None:
+        self._expr = expr
+        self._database = database
+        self._targets = tuple(sorted(targets)) if targets is not None else tuple(
+            sorted(relational_sources(expr))
+        )
+        self._delta_expr = relational_delta(expr, self._targets)
+        self.stats = MaintenanceStats()
+        counter = OpCounter()
+        started = time.perf_counter()
+        self._result = expr.evaluate(database.relations())
+        counter.increment("tuples_scanned", self._result.cardinality())
+        self.stats.record_init(time.perf_counter() - started, counter)
+        if register:
+            database.register_view(self)
+
+    @property
+    def delta_expr(self) -> ra.RAExpr:
+        return self._delta_expr
+
+    def result(self) -> Bag:
+        return self._result
+
+    def on_update(self, deltas: Mapping[str, Bag]) -> None:
+        counter = OpCounter()
+        started = time.perf_counter()
+        delta_symbols: Dict[Tuple[str, int], Bag] = {
+            (name, 1): bag for name, bag in deltas.items() if not bag.is_empty()
+        }
+        if delta_symbols:
+            change = self._delta_expr.evaluate(self._database.relations(), delta_symbols)
+            counter.increment("tuples_scanned", change.cardinality())
+            self._result = self._result.union(change)
+        self.stats.record_update(time.perf_counter() - started, counter)

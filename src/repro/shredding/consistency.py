@@ -1,0 +1,114 @@
+"""Consistency of shredded values (Appendix C.3, Definitions 1 and 2).
+
+A shredded bag ``(R^F, R^Γ)`` is *consistent* when every label occurring in
+the flat part (and, recursively, in dictionary definitions) has a definition
+in the dictionary of the corresponding bag position.  An *update* is
+consistent with respect to an existing shredded value when, additionally,
+fresh labels introduced by the update do not collide with existing labels.
+
+The checks here are used by the test-suite (Lemmas 11–13: shredding produces
+consistent values, shredded queries preserve consistency, deltas of shredded
+queries preserve update consistency) and defensively by the nested IVM engine
+when applying deep updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Set
+
+from repro.bag.bag import Bag
+from repro.errors import ConsistencyError
+from repro.nrc.types import BagType, BaseType, LabelType, ProductType, Type, UnitType
+from repro.shredding.context import BagContext, Context, EmptyContext, TupleContext, UnitContext
+from repro.dictionaries import DictValue
+from repro.labels import Label
+
+__all__ = ["check_consistency", "is_consistent", "collect_labels", "check_update_consistency"]
+
+
+def collect_labels(flat: Any) -> FrozenSet[Label]:
+    """All labels occurring in a flat value / flat bag."""
+    found: Set[Label] = set()
+
+    def _walk(value: Any) -> None:
+        if isinstance(value, Label):
+            found.add(value)
+        elif isinstance(value, tuple):
+            for component in value:
+                _walk(component)
+        elif isinstance(value, Bag):
+            for element in value.elements():
+                _walk(element)
+
+    _walk(flat)
+    return frozenset(found)
+
+
+def check_consistency(flat_bag: Bag, element_type: Type, context: Context) -> None:
+    """Raise :class:`ConsistencyError` unless ``(flat_bag, context)`` is consistent."""
+    for element in flat_bag.elements():
+        _check_value(element, element_type, context)
+
+
+def is_consistent(flat_bag: Bag, element_type: Type, context: Context) -> bool:
+    """Boolean form of :func:`check_consistency`."""
+    try:
+        check_consistency(flat_bag, element_type, context)
+    except ConsistencyError:
+        return False
+    return True
+
+
+def _check_value(value: Any, type_: Type, context: Context) -> None:
+    if isinstance(type_, (BaseType, UnitType, LabelType)):
+        return
+    if isinstance(type_, ProductType):
+        if not isinstance(value, tuple) or len(value) != type_.arity:
+            raise ConsistencyError(f"value {value!r} does not match type {type_.render()}")
+        for index, (component, component_type) in enumerate(zip(value, type_.components)):
+            _check_value(component, component_type, _component_context(context, index))
+        return
+    if isinstance(type_, BagType):
+        if not isinstance(value, Label):
+            raise ConsistencyError(
+                f"flat value {value!r} should be a label at type {type_.render()}"
+            )
+        if isinstance(context, EmptyContext):
+            raise ConsistencyError(f"label {value.render()} has no dictionary (empty context)")
+        if not isinstance(context, BagContext):
+            raise ConsistencyError(f"expected a bag context at type {type_.render()}")
+        dictionary = context.dictionary
+        if not isinstance(dictionary, DictValue):
+            raise ConsistencyError("consistency checks require value contexts")
+        if not dictionary.defines(value):
+            raise ConsistencyError(f"label {value.render()} is undefined in its dictionary")
+        for inner in dictionary.lookup(value).elements():
+            _check_value(inner, type_.element, context.element)
+        return
+    raise ConsistencyError(f"cannot check values of type {type_.render()}")
+
+
+def _component_context(context: Context, index: int) -> Context:
+    if isinstance(context, (UnitContext, EmptyContext)):
+        return context
+    if isinstance(context, TupleContext):
+        return context.project(index)
+    raise ConsistencyError("tuple value paired with a non-tuple context")
+
+
+def check_update_consistency(
+    base_labels: FrozenSet[Label], update_labels: FrozenSet[Label], redefined: FrozenSet[Label]
+) -> None:
+    """Definition 2's requirements on a shredded update.
+
+    ``base_labels`` are the labels defined by the existing shredded value,
+    ``update_labels`` the labels defined by the update and ``redefined`` those
+    update labels intended as modifications of existing definitions.  Fresh
+    labels (``update_labels - redefined``) must not collide with existing
+    ones.
+    """
+    fresh = update_labels - redefined
+    collisions = fresh & base_labels
+    if collisions:
+        rendered = ", ".join(sorted(label.render() for label in collisions))
+        raise ConsistencyError(f"update introduces non-fresh labels: {rendered}")

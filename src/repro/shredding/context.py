@@ -1,0 +1,206 @@
+"""Shredding contexts: the ``A^Γ`` component of shredded values and queries.
+
+Section 5.1 maps every type ``A`` to a flat representation ``A^F`` and a
+*context* ``A^Γ`` holding the label dictionaries for the inner bags::
+
+    Base^Γ = 1      (A1 × A2)^Γ = A1^Γ × A2^Γ
+    Bag(C)^Γ = (L ↦ Bag(C^F)) × C^Γ
+
+A context is therefore a tree shaped like the type, with one dictionary per
+bag position.  The same tree shape is used in two flavours:
+
+* **symbolic contexts** — the dictionary slots hold IncNRC+_l *expressions*
+  (``DictSingleton``, ``DictUnion``, ``DictVar``, …).  This is what the query
+  shredder produces as ``h^Γ``.
+* **value contexts** — the dictionary slots hold evaluated
+  :class:`~repro.dictionaries.DictValue` objects.  This is what
+  value shredding produces and what unshredding consumes.
+
+:class:`EmptyContext` is the neutral element produced by shredding ``∅``
+(whose inner-bag structure is unknown); it merges transparently with any
+other context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from repro.errors import ShreddingError
+from repro.nrc import ast
+from repro.nrc.ast import Expr
+from repro.nrc.types import BagType, BaseType, DictType, LabelType, ProductType, Type, UnitType
+from repro.dictionaries import DictValue
+
+__all__ = [
+    "Context",
+    "UnitContext",
+    "TupleContext",
+    "BagContext",
+    "EmptyContext",
+    "UNIT_CONTEXT",
+    "EMPTY_CONTEXT",
+    "empty_context_for_type",
+    "merge_contexts",
+    "map_context_dicts",
+    "iter_context_dicts",
+]
+
+
+class Context:
+    """Abstract base class of shredding contexts (symbolic or value-level)."""
+
+    def project(self, index: int) -> "Context":
+        """Component of a tuple context (contexts of other shapes reject this)."""
+        raise ShreddingError(f"context {self!r} has no component {index}")
+
+    def project_path(self, path: Tuple[int, ...]) -> "Context":
+        current: Context = self
+        for index in path:
+            current = current.project(index)
+        return current
+
+
+@dataclass(frozen=True)
+class UnitContext(Context):
+    """Context of base, unit and label types — there is nothing to record."""
+
+    def project(self, index: int) -> "Context":
+        # Projections of base-typed tuples reach unit contexts; stay unit.
+        return self
+
+    def __repr__(self) -> str:
+        return "⟨⟩Γ"
+
+
+@dataclass(frozen=True)
+class TupleContext(Context):
+    """Component-wise context of a product type."""
+
+    components: Tuple[Context, ...]
+
+    def project(self, index: int) -> Context:
+        if index >= len(self.components):
+            raise ShreddingError(f"tuple context has no component {index}")
+        return self.components[index]
+
+    def __repr__(self) -> str:
+        return "⟨" + ", ".join(repr(component) for component in self.components) + "⟩Γ"
+
+
+@dataclass(frozen=True)
+class BagContext(Context):
+    """Context of a bag type: a dictionary plus the context of the elements.
+
+    ``dictionary`` is either an IncNRC+_l expression of dictionary type
+    (symbolic contexts) or a :class:`DictValue` (value contexts).
+    """
+
+    dictionary: Any
+    element: Context
+
+    def __repr__(self) -> str:
+        return f"(dict={self.dictionary!r}, {self.element!r})"
+
+
+@dataclass(frozen=True)
+class EmptyContext(Context):
+    """Neutral context: merges with anything, projects to itself."""
+
+    def project(self, index: int) -> "Context":
+        return self
+
+    def __repr__(self) -> str:
+        return "∅Γ"
+
+
+UNIT_CONTEXT = UnitContext()
+EMPTY_CONTEXT = EmptyContext()
+
+
+def empty_context_for_type(type_: Type, symbolic: bool = True) -> Context:
+    """The context of the right shape for ``type_`` with empty dictionaries."""
+    if isinstance(type_, (BaseType, UnitType, LabelType)):
+        return UNIT_CONTEXT
+    if isinstance(type_, ProductType):
+        return TupleContext(
+            tuple(empty_context_for_type(component, symbolic) for component in type_.components)
+        )
+    if isinstance(type_, BagType):
+        from repro.nrc.types import shred_flat_type
+        from repro.dictionaries import EMPTY_DICT
+
+        dictionary: Any
+        if symbolic:
+            dictionary = ast.DictEmpty(BagType(shred_flat_type(type_.element)))
+        else:
+            dictionary = EMPTY_DICT
+        return BagContext(dictionary, empty_context_for_type(type_.element, symbolic))
+    raise ShreddingError(f"cannot build a context for type {type_!r}")
+
+
+def merge_contexts(
+    left: Context,
+    right: Context,
+    combine_dicts: Callable[[Any, Any], Any],
+) -> Context:
+    """Merge two contexts of the same shape, combining dictionary slots.
+
+    ``combine_dicts`` receives the two dictionary slots of matching bag
+    positions — label union for the shredding of ``⊎``, pointwise addition
+    when applying updates.
+    """
+    if isinstance(left, EmptyContext):
+        return right
+    if isinstance(right, EmptyContext):
+        return left
+    if isinstance(left, UnitContext) and isinstance(right, UnitContext):
+        return UNIT_CONTEXT
+    if isinstance(left, TupleContext) and isinstance(right, TupleContext):
+        if len(left.components) != len(right.components):
+            raise ShreddingError("cannot merge tuple contexts of different arities")
+        return TupleContext(
+            tuple(
+                merge_contexts(l, r, combine_dicts)
+                for l, r in zip(left.components, right.components)
+            )
+        )
+    if isinstance(left, BagContext) and isinstance(right, BagContext):
+        return BagContext(
+            combine_dicts(left.dictionary, right.dictionary),
+            merge_contexts(left.element, right.element, combine_dicts),
+        )
+    raise ShreddingError(f"cannot merge contexts {left!r} and {right!r}")
+
+
+def map_context_dicts(context: Context, transform: Callable[[Any], Any]) -> Context:
+    """Apply ``transform`` to every dictionary slot, keeping the shape."""
+    if isinstance(context, (UnitContext, EmptyContext)):
+        return context
+    if isinstance(context, TupleContext):
+        return TupleContext(
+            tuple(map_context_dicts(component, transform) for component in context.components)
+        )
+    if isinstance(context, BagContext):
+        return BagContext(
+            transform(context.dictionary), map_context_dicts(context.element, transform)
+        )
+    raise ShreddingError(f"unknown context {context!r}")
+
+
+def iter_context_dicts(context: Context):
+    """Yield ``(path, dictionary)`` pairs for every bag position, pre-order.
+
+    The path records how the position is reached: integers are tuple
+    components and the string ``"e"`` descends into a bag's element type.
+    """
+
+    def _walk(node: Context, path: Tuple[Any, ...]):
+        if isinstance(node, TupleContext):
+            for index, component in enumerate(node.components):
+                yield from _walk(component, path + (index,))
+        elif isinstance(node, BagContext):
+            yield path, node.dictionary
+            yield from _walk(node.element, path + ("e",))
+
+    yield from _walk(context, ())

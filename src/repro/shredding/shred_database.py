@@ -1,0 +1,149 @@
+"""Shredded representation of database inputs.
+
+Section 5.1 assumes the input bags are themselves available in shredded form
+(``R^F``, ``R^Γ``); queries produced by the query shredder therefore refer to
+
+* a *flat relation* holding ``R^F`` (every inner bag replaced by a label), and
+* one *input dictionary* per bag position inside ``R``'s element type,
+  holding the label definitions of that position.
+
+This module fixes the naming convention connecting the two worlds, builds the
+symbolic input contexts used by the query shredder, and shreds concrete
+relation instances into an :class:`~repro.nrc.evaluator.Environment` that can
+evaluate shredded queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.bag.bag import Bag
+from repro.nrc import ast
+from repro.nrc.evaluator import Environment
+from repro.nrc.types import BagType, ProductType, Type, shred_flat_type
+from repro.shredding.context import (
+    BagContext,
+    Context,
+    TupleContext,
+    UNIT_CONTEXT,
+    iter_context_dicts,
+)
+from repro.dictionaries import DictValue, MaterializedDict
+from repro.labels import LabelFactory
+from repro.shredding.shred_values import ValueShredder
+
+__all__ = [
+    "flat_relation_name",
+    "input_dict_name",
+    "input_context_for",
+    "ShreddedInput",
+    "shred_relation",
+    "build_shredded_environment",
+]
+
+
+def flat_relation_name(relation: str) -> str:
+    """Name of the flat relation carrying ``R^F``."""
+    return f"{relation}__F"
+
+
+def _path_token(part) -> str:
+    return str(part)
+
+
+def input_dict_name(relation: str, path: Tuple = ()) -> str:
+    """Name of the input dictionary at a bag position of ``R``'s element type.
+
+    ``path`` navigates the element type: integers select tuple components and
+    the token ``"e"`` descends into a bag's element type (the same convention
+    as :func:`repro.shredding.context.iter_context_dicts`).
+    """
+    if not path:
+        return f"{relation}__D"
+    return f"{relation}__D__" + "_".join(_path_token(part) for part in path)
+
+
+def input_context_for(relation: str, element_type: Type) -> Context:
+    """Symbolic context of ``R`` referencing its input dictionaries by name."""
+
+    def _build(type_: Type, path: Tuple) -> Context:
+        if isinstance(type_, ProductType):
+            return TupleContext(
+                tuple(
+                    _build(component, path + (index,))
+                    for index, component in enumerate(type_.components)
+                )
+            )
+        if isinstance(type_, BagType):
+            value_type = BagType(shred_flat_type(type_.element))
+            dictionary = ast.DictVar(input_dict_name(relation, path), value_type)
+            return BagContext(dictionary, _build(type_.element, path + ("e",)))
+        return UNIT_CONTEXT
+
+    return _build(element_type, ())
+
+
+class ShreddedInput:
+    """The shredded form of one relation instance: flat bag plus dictionaries."""
+
+    def __init__(
+        self,
+        relation: str,
+        element_type: Type,
+        flat: Bag,
+        dictionaries: Dict[str, DictValue],
+    ) -> None:
+        self.relation = relation
+        self.element_type = element_type
+        self.flat = flat
+        self.dictionaries = dictionaries
+
+    def __repr__(self) -> str:
+        return (
+            f"ShreddedInput({self.relation!r}, |flat|={self.flat.cardinality()}, "
+            f"dicts={sorted(self.dictionaries)})"
+        )
+
+
+def shred_relation(
+    relation: str,
+    bag: Bag,
+    element_type: Type,
+    shredder: Optional[ValueShredder] = None,
+) -> ShreddedInput:
+    """Shred one relation instance into its flat bag and named dictionaries.
+
+    Every bag position of the element type gets an entry in ``dictionaries``
+    even when no inner bag of that position is present (an empty dictionary),
+    so delta environments can always resolve the dictionary names.
+    """
+    shredder = shredder or ValueShredder(LabelFactory(prefix=relation))
+    flat, context = shredder.shred_bag(bag, element_type, hint=relation)
+
+    dictionaries: Dict[str, DictValue] = {
+        input_dict_name(relation, path): MaterializedDict({})
+        for path, _ in iter_context_dicts(input_context_for(relation, element_type))
+    }
+    for path, dictionary in iter_context_dicts(context):
+        name = input_dict_name(relation, path)
+        if not isinstance(dictionary, DictValue):
+            raise TypeError("value shredding must produce dictionary values")
+        existing = dictionaries.get(name)
+        dictionaries[name] = dictionary if existing is None else existing.label_union(dictionary)
+    return ShreddedInput(relation, element_type, flat, dictionaries)
+
+
+def build_shredded_environment(
+    relations: Mapping[str, Bag],
+    schemas: Mapping[str, BagType],
+    shredder: Optional[ValueShredder] = None,
+) -> Environment:
+    """Shred every relation and build an evaluation environment for flat queries."""
+    shredder = shredder or ValueShredder()
+    env = Environment()
+    for name, bag in relations.items():
+        schema = schemas[name]
+        shredded = shred_relation(name, bag, schema.element, shredder)
+        env.relations[flat_relation_name(name)] = shredded.flat
+        env.dictionaries.update(shredded.dictionaries)
+    return env

@@ -1,0 +1,282 @@
+"""The query shredding transformation (Figure 6): NRC+ → IncNRC+_l.
+
+``shred_query`` takes any NRC+ query ``h[R] : Bag(B)`` to
+
+* ``h^F`` — an IncNRC+_l expression over the *shredded inputs* (flat
+  relations and input dictionaries, see
+  :mod:`repro.shredding.shred_database`) computing the flat representation of
+  the output, and
+* ``h^Γ`` — a symbolic context (a tree of dictionary expressions, shaped like
+  the output element type ``B``) defining every label that ``h^F`` can emit.
+
+The resulting expressions contain no unrestricted singleton: every
+``sng_ι(e)`` is replaced by the label constructor ``inL_ι`` and a dictionary
+``[(ι, Π) ↦ e^F]``, exactly as in Section 5.1.  They are therefore
+efficiently incrementalizable (Theorem 5), which is how the full NRC+ is
+maintained.
+
+Two presentational deviations from Figure 6, both semantics-preserving:
+
+* the paper binds contexts with ``let x^Γ := e1^Γ in …``; we substitute the
+  context tree of ``e1`` directly for ``x^Γ`` (contexts are pure
+  expressions), and
+* products and projections are n-ary, matching the rest of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.bag.bag import Bag
+from repro.errors import ShreddingError
+from repro.nrc import ast
+from repro.nrc.analysis import annotate_sng_indices, free_elem_vars
+from repro.nrc.ast import Expr
+from repro.nrc.builders import fresh_var
+from repro.nrc.evaluator import Environment, evaluate, evaluate_bag
+from repro.nrc.rewrite import simplify
+from repro.nrc.typecheck import project_type
+from repro.nrc.types import (
+    BagType,
+    ProductType,
+    Type,
+    UNIT,
+    shred_flat_type,
+)
+from repro.shredding.context import (
+    BagContext,
+    Context,
+    EMPTY_CONTEXT,
+    EmptyContext,
+    TupleContext,
+    UNIT_CONTEXT,
+    map_context_dicts,
+    merge_contexts,
+)
+from repro.dictionaries import DictValue
+from repro.shredding.shred_database import flat_relation_name, input_context_for
+from repro.shredding.shred_values import unshred_bag
+
+__all__ = ["ShreddedQuery", "shred_query"]
+
+
+@dataclass(frozen=True)
+class ShreddedQuery:
+    """The result of shredding a query: flat part, context and output type."""
+
+    flat: Expr
+    context: Context
+    output_type: Optional[BagType]
+
+    @property
+    def flat_output_type(self) -> Optional[BagType]:
+        if self.output_type is None:
+            return None
+        return BagType(shred_flat_type(self.output_type.element))
+
+    # ------------------------------------------------------------------ #
+    # Evaluation helpers (used by tests, examples and the naive baselines;
+    # the incremental engine lives in repro.ivm.nested).
+    # ------------------------------------------------------------------ #
+    def evaluate_flat(self, env: Environment) -> Bag:
+        """Evaluate ``h^F`` over a shredded environment."""
+        return evaluate_bag(self.flat, env)
+
+    def evaluate_context(self, env: Environment) -> Context:
+        """Evaluate every dictionary of ``h^Γ`` to a dictionary value."""
+
+        def _to_value(dictionary) -> DictValue:
+            value = evaluate(dictionary, env)
+            if not isinstance(value, DictValue):
+                raise ShreddingError("context expressions must evaluate to dictionaries")
+            return value
+
+        return map_context_dicts(self.context, _to_value)
+
+    def evaluate_nested(self, env: Environment) -> Bag:
+        """Evaluate the shredded query and nest the result back (Theorem 8)."""
+        if self.output_type is None:
+            raise ShreddingError("cannot nest a result of unknown output type")
+        flat_result = self.evaluate_flat(env)
+        value_context = self.evaluate_context(env)
+        return unshred_bag(flat_result, self.output_type.element, value_context)
+
+
+def shred_query(expr: Expr, iota_prefix: str = "ι") -> ShreddedQuery:
+    """Shred an NRC+ query into its flat part and symbolic context."""
+    annotated = annotate_sng_indices(expr, prefix=iota_prefix)
+    shredder = _QueryShredder()
+    flat, context, output_type = shredder.shred(annotated, _Scope())
+    flat = simplify(flat)
+    context = map_context_dicts(context, simplify)
+    if output_type is not None and not isinstance(output_type, BagType):
+        raise ShreddingError("shredded queries must have bag type")
+    return ShreddedQuery(flat, context, output_type)
+
+
+class _Scope:
+    """Variable information tracked while descending the query."""
+
+    def __init__(self) -> None:
+        self.elem_types: Dict[str, Type] = {}
+        self.elem_contexts: Dict[str, Context] = {}
+        self.bag_vars: Dict[str, Tuple[str, Context, Optional[BagType]]] = {}
+
+    def copy(self) -> "_Scope":
+        scope = _Scope()
+        scope.elem_types = dict(self.elem_types)
+        scope.elem_contexts = dict(self.elem_contexts)
+        scope.bag_vars = dict(self.bag_vars)
+        return scope
+
+
+class _QueryShredder:
+    """Implementation of the Figure 6 rules."""
+
+    # ------------------------------------------------------------------ #
+    def shred(
+        self, expr: Expr, scope: _Scope
+    ) -> Tuple[Expr, Context, Optional[BagType]]:
+        method = getattr(self, f"_shred_{type(expr).__name__}", None)
+        if method is None:
+            raise ShreddingError(f"no shredding rule for node {type(expr).__name__}")
+        return method(expr, scope)
+
+    # Sources -------------------------------------------------------------
+    def _shred_Relation(self, expr: ast.Relation, scope: _Scope):
+        element_type = expr.schema.element
+        flat = ast.Relation(flat_relation_name(expr.name), BagType(shred_flat_type(element_type)))
+        context = input_context_for(expr.name, element_type)
+        return flat, context, expr.schema
+
+    def _shred_BagVar(self, expr: ast.BagVar, scope: _Scope):
+        if expr.name not in scope.bag_vars:
+            raise ShreddingError(f"unbound bag variable {expr.name!r} during shredding")
+        flat_name, context, bag_type = scope.bag_vars[expr.name]
+        return ast.BagVar(flat_name), context, bag_type
+
+    def _shred_Let(self, expr: ast.Let, scope: _Scope):
+        bound_flat, bound_context, bound_type = self.shred(expr.bound, scope)
+        flat_name = f"{expr.name}__F"
+        inner = scope.copy()
+        inner.bag_vars[expr.name] = (flat_name, bound_context, bound_type)
+        body_flat, body_context, body_type = self.shred(expr.body, inner)
+        return ast.Let(flat_name, bound_flat, body_flat), body_context, body_type
+
+    # Singletons ------------------------------------------------------------
+    def _shred_SngVar(self, expr: ast.SngVar, scope: _Scope):
+        element_type = scope.elem_types.get(expr.var)
+        context = scope.elem_contexts.get(expr.var, UNIT_CONTEXT)
+        bag_type = BagType(element_type) if element_type is not None else None
+        return ast.SngVar(expr.var), context, bag_type
+
+    def _shred_SngProj(self, expr: ast.SngProj, scope: _Scope):
+        element_type = scope.elem_types.get(expr.var)
+        projected: Optional[Type] = None
+        if element_type is not None:
+            projected = project_type(element_type, expr.path, "shredding sng(π)")
+        context = scope.elem_contexts.get(expr.var, UNIT_CONTEXT).project_path(expr.path)
+        bag_type = BagType(projected) if projected is not None else None
+        return ast.SngProj(expr.var, expr.path), context, bag_type
+
+    def _shred_SngUnit(self, expr: ast.SngUnit, scope: _Scope):
+        return ast.SngUnit(), UNIT_CONTEXT, BagType(UNIT)
+
+    def _shred_Sng(self, expr: ast.Sng, scope: _Scope):
+        if expr.iota is None:
+            raise ShreddingError("sng occurrence without a static index; annotate first")
+        body_flat, body_context, body_type = self.shred(expr.body, scope)
+        params = tuple(sorted(free_elem_vars(body_flat)))
+        param_types = tuple(
+            shred_flat_type(scope.elem_types[param])
+            if param in scope.elem_types
+            else UNIT
+            for param in params
+        )
+        value_type = None
+        if body_type is not None:
+            value_type = BagType(shred_flat_type(body_type.element))
+        dictionary = ast.DictSingleton(
+            expr.iota, params, body_flat, value_type, param_types
+        )
+        flat = ast.InLabel(expr.iota, params)
+        context = BagContext(dictionary, body_context)
+        output_type = BagType(body_type) if body_type is not None else None
+        return flat, context, output_type
+
+    # Constants ---------------------------------------------------------------
+    def _shred_Empty(self, expr: ast.Empty, scope: _Scope):
+        if expr.element_type is None:
+            return ast.Empty(), EMPTY_CONTEXT, None
+        flat = ast.Empty(shred_flat_type(expr.element_type))
+        return flat, EMPTY_CONTEXT, BagType(expr.element_type)
+
+    def _shred_Pred(self, expr: ast.Pred, scope: _Scope):
+        return expr, UNIT_CONTEXT, BagType(UNIT)
+
+    # Structural constructs -----------------------------------------------------
+    def _shred_For(self, expr: ast.For, scope: _Scope):
+        source_flat, source_context, source_type = self.shred(expr.source, scope)
+        inner = scope.copy()
+        if source_type is not None:
+            inner.elem_types[expr.var] = source_type.element
+        inner.elem_contexts[expr.var] = source_context
+        body_flat, body_context, body_type = self.shred(expr.body, inner)
+        return ast.For(expr.var, source_flat, body_flat), body_context, body_type
+
+    def _shred_Flatten(self, expr: ast.Flatten, scope: _Scope):
+        body_flat, body_context, body_type = self.shred(expr.body, scope)
+        output_type: Optional[BagType] = None
+        if body_type is not None:
+            inner = body_type.element
+            if not isinstance(inner, BagType):
+                raise ShreddingError("flatten applied to a bag whose elements are not bags")
+            output_type = inner
+        if isinstance(body_context, EmptyContext):
+            return ast.Empty(), EMPTY_CONTEXT, output_type
+        if not isinstance(body_context, BagContext):
+            raise ShreddingError("flatten requires a bag context for its body")
+        label_var = fresh_var("_l")
+        flat = ast.For(label_var, body_flat, ast.DictLookup(body_context.dictionary, label_var))
+        return flat, body_context.element, output_type
+
+    def _shred_Product(self, expr: ast.Product, scope: _Scope):
+        flats = []
+        contexts = []
+        element_types = []
+        known_types = True
+        for factor in expr.factors:
+            factor_flat, factor_context, factor_type = self.shred(factor, scope)
+            flats.append(factor_flat)
+            contexts.append(factor_context)
+            if factor_type is None:
+                known_types = False
+            else:
+                element_types.append(factor_type.element)
+        output_type = (
+            BagType(ProductType(tuple(element_types))) if known_types else None
+        )
+        return ast.Product(tuple(flats)), TupleContext(tuple(contexts)), output_type
+
+    def _shred_Union(self, expr: ast.Union, scope: _Scope):
+        flats = []
+        context: Context = EMPTY_CONTEXT
+        output_type: Optional[BagType] = None
+        for term in expr.terms:
+            term_flat, term_context, term_type = self.shred(term, scope)
+            flats.append(term_flat)
+            context = merge_contexts(context, term_context, self._union_dict_exprs)
+            if output_type is None:
+                output_type = term_type
+        return ast.Union(tuple(flats)), context, output_type
+
+    def _shred_Negate(self, expr: ast.Negate, scope: _Scope):
+        body_flat, body_context, body_type = self.shred(expr.body, scope)
+        return ast.Negate(body_flat), body_context, body_type
+
+    @staticmethod
+    def _union_dict_exprs(left, right):
+        if left == right:
+            return left
+        return ast.DictUnion((left, right))

@@ -1,0 +1,162 @@
+"""Shredding and nesting of *values* (Figure 9: ``s^F``, ``s^Γ`` and ``u``).
+
+Shredding a nested bag ``R : Bag(A)`` produces
+
+* a flat bag ``R^F : Bag(A^F)`` in which every inner bag is replaced by a
+  label, and
+* a value context ``R^Γ : A^Γ`` whose dictionaries map each label to the flat
+  representation of the bag it stands for.
+
+Unshredding (:func:`unshred_bag`) is the nesting function ``u``; Lemma 6
+states it is a left inverse of shredding, which the test-suite checks both on
+hand-written values and property-based random nested data.
+
+Labels are memoized per distinct inner-bag value, so equal inner bags share a
+label (the ``D_C`` mapping of the paper assigns one label per bag value).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.bag.values import is_base_value
+from repro.errors import ShreddingError
+from repro.nrc.types import BagType, BaseType, LabelType, ProductType, Type, UnitType
+from repro.shredding.context import (
+    BagContext,
+    Context,
+    EMPTY_CONTEXT,
+    TupleContext,
+    UNIT_CONTEXT,
+    merge_contexts,
+)
+from repro.dictionaries import DictValue, MaterializedDict
+from repro.labels import Label, LabelFactory
+
+__all__ = ["ValueShredder", "shred_bag", "unshred_bag", "unshred_value"]
+
+
+class ValueShredder:
+    """Stateful shredder for input values.
+
+    A single shredder instance should be used per database so that labels stay
+    unique across relations and across successive updates (the consistency
+    requirements of Definition 2).  Inner bags are memoized by value: the same
+    bag value always receives the same label, and once a label's definition has
+    been emitted it is not emitted again (so shredding an update never
+    re-defines existing labels).
+    """
+
+    def __init__(self, factory: Optional[LabelFactory] = None) -> None:
+        self._factory = factory or LabelFactory()
+        self._labels_by_value: Dict[Bag, Label] = {}
+        self._emitted: set = set()
+
+    # ------------------------------------------------------------------ #
+    def shred_bag(self, bag: Bag, element_type: Type, hint: str = "") -> Tuple[Bag, Context]:
+        """Shred a top-level bag: flat bag of shredded elements + merged context."""
+        flat_pairs = []
+        context: Context = EMPTY_CONTEXT
+        for element, multiplicity in bag.items():
+            flat_element, element_context = self.shred_value(element, element_type, hint)
+            flat_pairs.append((flat_element, multiplicity))
+            context = merge_contexts(context, element_context, self._union_dicts)
+        if isinstance(context, type(EMPTY_CONTEXT)):
+            from repro.shredding.context import empty_context_for_type
+
+            context = empty_context_for_type(element_type, symbolic=False)
+        return Bag.from_pairs(flat_pairs), context
+
+    def shred_value(self, value: Any, type_: Type, hint: str = "") -> Tuple[Any, Context]:
+        """Shred a single value of the given type."""
+        if isinstance(type_, (BaseType, LabelType)):
+            return value, UNIT_CONTEXT
+        if isinstance(type_, UnitType):
+            return (), UNIT_CONTEXT
+        if isinstance(type_, ProductType):
+            if not isinstance(value, tuple) or len(value) != type_.arity:
+                raise ShreddingError(f"value {value!r} does not match type {type_.render()}")
+            flats = []
+            contexts = []
+            for component, component_type in zip(value, type_.components):
+                flat, context = self.shred_value(component, component_type, hint)
+                flats.append(flat)
+                contexts.append(context)
+            return tuple(flats), TupleContext(tuple(contexts))
+        if isinstance(type_, BagType):
+            if not isinstance(value, Bag):
+                raise ShreddingError(f"value {value!r} is not a bag (type {type_.render()})")
+            return self._shred_inner_bag(value, type_, hint)
+        raise ShreddingError(f"cannot shred values of type {type_.render()}")
+
+    # ------------------------------------------------------------------ #
+    def _shred_inner_bag(self, value: Bag, type_: BagType, hint: str) -> Tuple[Label, Context]:
+        label = self._labels_by_value.get(value)
+        fresh = label is None
+        if fresh:
+            label = self._factory.fresh(hint)
+            self._labels_by_value[value] = label
+
+        contents, element_context = self.shred_bag(value, type_.element, hint)
+        if fresh or label not in self._emitted:
+            dictionary = MaterializedDict({label: contents})
+            self._emitted.add(label)
+        else:
+            # The definition already exists in a previous shredding pass (for
+            # example when shredding an update that deletes an existing tuple);
+            # do not re-emit it — label union would otherwise see a duplicate.
+            dictionary = MaterializedDict({})
+        return label, BagContext(dictionary, element_context)
+
+    @staticmethod
+    def _union_dicts(left: Any, right: Any) -> DictValue:
+        if not isinstance(left, DictValue) or not isinstance(right, DictValue):
+            raise ShreddingError("value contexts must contain dictionary values")
+        return left.label_union(right)
+
+
+def shred_bag(
+    bag: Bag, element_type: Type, factory: Optional[LabelFactory] = None
+) -> Tuple[Bag, Context]:
+    """One-shot convenience wrapper around :class:`ValueShredder`."""
+    return ValueShredder(factory).shred_bag(bag, element_type)
+
+
+# --------------------------------------------------------------------------- #
+# Nesting (the function ``u`` of Figure 9)
+# --------------------------------------------------------------------------- #
+def unshred_value(flat: Any, type_: Type, context: Context) -> Any:
+    """Rebuild the nested value represented by ``flat`` under ``context``."""
+    if isinstance(type_, (BaseType, LabelType)):
+        return flat
+    if isinstance(type_, UnitType):
+        return ()
+    if isinstance(type_, ProductType):
+        if not isinstance(flat, tuple) or len(flat) != type_.arity:
+            raise ShreddingError(f"flat value {flat!r} does not match type {type_.render()}")
+        return tuple(
+            unshred_value(component, component_type, context.project(index))
+            for index, (component, component_type) in enumerate(zip(flat, type_.components))
+        )
+    if isinstance(type_, BagType):
+        if not isinstance(flat, Label):
+            raise ShreddingError(f"flat value {flat!r} should be a label for type {type_.render()}")
+        if not isinstance(context, BagContext):
+            raise ShreddingError(f"expected a bag context for type {type_.render()}")
+        dictionary = context.dictionary
+        if not isinstance(dictionary, DictValue):
+            raise ShreddingError("unshredding requires a value context (evaluated dictionaries)")
+        contents = dictionary.lookup(flat)
+        return unshred_bag(contents, type_.element, context.element)
+    raise ShreddingError(f"cannot unshred values of type {type_.render()}")
+
+
+def unshred_bag(flat_bag: Bag, element_type: Type, context: Context) -> Bag:
+    """Rebuild a nested bag from its flat representation and value context."""
+    if flat_bag.is_empty():
+        return EMPTY_BAG
+    pairs = []
+    for element, multiplicity in flat_bag.items():
+        pairs.append((unshred_value(element, element_type, context), multiplicity))
+    return Bag.from_pairs(pairs)

@@ -1,0 +1,18 @@
+"""Comprehension DSL (Spark/LINQ-style) compiling to NRC+ expressions."""
+
+from repro.surface.dsl import Condition, Dataset, FieldRef, Query, RowVar, lit, nest
+from repro.surface.schema import NUMBER, Record, STRING, field_types
+
+__all__ = [
+    "Condition",
+    "Dataset",
+    "FieldRef",
+    "Query",
+    "RowVar",
+    "lit",
+    "nest",
+    "NUMBER",
+    "Record",
+    "STRING",
+    "field_types",
+]

@@ -1,0 +1,290 @@
+"""A Spark/LINQ-flavoured comprehension DSL that compiles to NRC+.
+
+Section 1 motivates incremental maintenance for collection frameworks whose
+programs are for-comprehensions over (possibly nested) datasets.  This module
+provides that front-end: datasets, row variables with named-field access,
+``where`` filters, ``select`` projections and ``nest(...)`` for building
+nested collections — all compiling down to the calculus of Figure 3 so the
+delta/shredding machinery applies unchanged.
+
+The running example of the paper reads almost like its Spark original::
+
+    movies = Dataset("M", MOVIE)
+    m, m2 = movies.row("m"), movies.row("m2")
+    rel_b = (movies.iterate(m2)
+                   .where((m.field("name") != m2.field("name"))
+                          & ((m.field("gen") == m2.field("gen"))
+                             | (m.field("dir") == m2.field("dir"))))
+                   .select(m2.field("name")))
+    related = movies.iterate(m).select(m.field("name"), nest(rel_b))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TypeCheckError
+from repro.nrc import ast
+from repro.nrc import predicates as preds
+from repro.nrc.ast import Expr
+from repro.nrc.builders import for_in, tuple_bag
+from repro.nrc.types import BagType, ProductType, Type
+from repro.surface.schema import Record
+
+__all__ = ["Dataset", "RowVar", "FieldRef", "Condition", "nest", "lit", "Query"]
+
+
+# --------------------------------------------------------------------------- #
+# Field references and conditions
+# --------------------------------------------------------------------------- #
+class FieldRef:
+    """A reference to a (base-typed) field of a row variable.
+
+    Comparison operators produce :class:`Condition` objects that later become
+    the calculus' predicate sub-language.
+    """
+
+    def __init__(self, var: str, path: Tuple[int, ...], type_: Type, label: str) -> None:
+        self.var = var
+        self.path = path
+        self.type = type_
+        self.label = label
+
+    def _operand(self) -> preds.VarPath:
+        return preds.VarPath(self.var, self.path)
+
+    # Comparisons --------------------------------------------------------
+    def __eq__(self, other: Any) -> "Condition":  # type: ignore[override]
+        return Condition(preds.eq(self._operand(), _to_operand(other)))
+
+    def __ne__(self, other: Any) -> "Condition":  # type: ignore[override]
+        return Condition(preds.ne(self._operand(), _to_operand(other)))
+
+    def __lt__(self, other: Any) -> "Condition":
+        return Condition(preds.lt(self._operand(), _to_operand(other)))
+
+    def __le__(self, other: Any) -> "Condition":
+        return Condition(preds.le(self._operand(), _to_operand(other)))
+
+    def __gt__(self, other: Any) -> "Condition":
+        return Condition(preds.gt(self._operand(), _to_operand(other)))
+
+    def __ge__(self, other: Any) -> "Condition":
+        return Condition(preds.ge(self._operand(), _to_operand(other)))
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"{self.var}.{self.label}"
+
+
+def _to_operand(value: Any) -> preds.Operand:
+    if isinstance(value, FieldRef):
+        return value._operand()
+    return preds.Const(value)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A boolean condition over base-typed fields (wraps a calculus predicate)."""
+
+    predicate: preds.Predicate
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return Condition(preds.And((self.predicate, other.predicate)))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Condition(preds.Or((self.predicate, other.predicate)))
+
+    def __invert__(self) -> "Condition":
+        return Condition(preds.Not(self.predicate))
+
+
+class RowVar:
+    """A row variable bound by ``iterate``; gives named access to fields."""
+
+    def __init__(self, name: str, record: Record) -> None:
+        self.name = name
+        self.record = record
+
+    def field(self, field_name: str) -> FieldRef:
+        position = self.record.position(field_name)
+        path = () if len(self.record.fields) == 1 else (position,)
+        return FieldRef(self.name, path, self.record.field_type(field_name), field_name)
+
+    def __getitem__(self, field_name: str) -> FieldRef:
+        return self.field(field_name)
+
+    def whole(self) -> "RowRef":
+        """Select the entire row (used by identity-style selects)."""
+        return RowRef(self)
+
+    def __repr__(self) -> str:
+        return f"RowVar({self.name}: {self.record.name})"
+
+
+@dataclass(frozen=True)
+class RowRef:
+    """Marks 'the whole row' as a select item."""
+
+    row: RowVar
+
+
+@dataclass(frozen=True)
+class NestedItem:
+    """Marks a sub-query whose result becomes an inner collection."""
+
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class LiteralItem:
+    """A constant base value used as a select item."""
+
+    value: Any
+
+
+def nest(query: "Query") -> NestedItem:
+    """Use a sub-query's result as a nested collection inside ``select``."""
+    return NestedItem(query)
+
+
+def lit(value: Any) -> LiteralItem:
+    """A constant select item (must be a base value)."""
+    return LiteralItem(value)
+
+
+# --------------------------------------------------------------------------- #
+# Datasets and queries
+# --------------------------------------------------------------------------- #
+class Dataset:
+    """A named top-level collection of records (a database relation)."""
+
+    def __init__(self, name: str, record: Record) -> None:
+        self.name = name
+        self.record = record
+
+    def row(self, var_name: str) -> RowVar:
+        """Declare a row variable ranging over this dataset."""
+        return RowVar(var_name, self.record)
+
+    def iterate(self, row: RowVar) -> "Query":
+        """Start a comprehension ``for row in dataset``."""
+        return Query(source=self, row=row)
+
+    def to_expr(self) -> ast.Relation:
+        return ast.Relation(self.name, self.record.bag_type())
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.name}: {self.record.name})"
+
+
+SelectItem = Union[FieldRef, RowRef, NestedItem, LiteralItem, RowVar]
+
+
+class Query:
+    """A comprehension under construction: source, filters and projection."""
+
+    def __init__(
+        self,
+        source: Union[Dataset, "Query"],
+        row: RowVar,
+        conditions: Optional[List[Condition]] = None,
+        items: Optional[List[SelectItem]] = None,
+    ) -> None:
+        self._source = source
+        self._row = row
+        self._conditions: List[Condition] = list(conditions or [])
+        self._items: List[SelectItem] = list(items or [])
+
+    # Builder steps -------------------------------------------------------
+    def where(self, condition: Condition) -> "Query":
+        """Add a filter condition (chainable; conditions are conjoined)."""
+        return Query(self._source, self._row, self._conditions + [condition], self._items)
+
+    def select(self, *items: SelectItem) -> "Query":
+        """Choose the output: field refs, whole rows, constants or nested queries."""
+        if not items:
+            raise TypeCheckError("select needs at least one item")
+        return Query(self._source, self._row, self._conditions, list(items))
+
+    def iterate(self, row: RowVar) -> "Query":
+        """Nest another comprehension over this query's output."""
+        return Query(source=self, row=row)
+
+    # Compilation ----------------------------------------------------------
+    def output_record(self) -> Record:
+        """Schema of the rows this query produces."""
+        if not self._items:
+            return self._row.record
+        fields = []
+        for index, item in enumerate(self._items):
+            fields.append((self._item_name(item, index), self._item_type(item)))
+        return Record(f"{self._row.record.name}_out", tuple(fields))
+
+    def to_expr(self) -> Expr:
+        """Compile to an NRC+ expression."""
+        source_expr = self._source.to_expr()
+        body = self._select_body()
+        condition = None
+        if self._conditions:
+            predicate: preds.Predicate = self._conditions[0].predicate
+            for extra in self._conditions[1:]:
+                predicate = preds.And((predicate, extra.predicate))
+            condition = predicate
+        return for_in(self._row.name, source_expr, body, condition=condition)
+
+    def bag_type(self) -> BagType:
+        return self.output_record().bag_type()
+
+    # Internal helpers -----------------------------------------------------
+    def _select_body(self) -> Expr:
+        if not self._items:
+            return ast.SngVar(self._row.name)
+        factors = [self._item_expr(item) for item in self._items]
+        return tuple_bag(*factors)
+
+    def _item_expr(self, item: SelectItem) -> Expr:
+        if isinstance(item, FieldRef):
+            if not item.path:
+                return ast.SngVar(item.var)
+            return ast.SngProj(item.var, item.path)
+        if isinstance(item, RowVar):
+            return ast.SngVar(item.name)
+        if isinstance(item, RowRef):
+            return ast.SngVar(item.row.name)
+        if isinstance(item, NestedItem):
+            return ast.Sng(item.query.to_expr())
+        if isinstance(item, LiteralItem):
+            raise TypeCheckError(
+                "constant select items are not expressible in the positive calculus; "
+                "add the constant to the data instead"
+            )
+        raise TypeCheckError(f"unsupported select item {item!r}")
+
+    def _item_type(self, item: SelectItem) -> Type:
+        if isinstance(item, FieldRef):
+            return item.type
+        if isinstance(item, RowVar):
+            return item.record.product_type()
+        if isinstance(item, RowRef):
+            return item.row.record.product_type()
+        if isinstance(item, NestedItem):
+            return item.query.bag_type()
+        raise TypeCheckError(f"unsupported select item {item!r}")
+
+    @staticmethod
+    def _item_name(item: SelectItem, index: int) -> str:
+        if isinstance(item, FieldRef):
+            return item.label
+        if isinstance(item, RowVar):
+            return item.name
+        if isinstance(item, RowRef):
+            return item.row.name
+        if isinstance(item, NestedItem):
+            return f"nested_{index}"
+        return f"item_{index}"
+
+    def __repr__(self) -> str:
+        return f"Query(for {self._row.name} in {self._source!r})"

@@ -1,0 +1,78 @@
+"""Named-record schemas for the comprehension DSL.
+
+The calculus works with positional tuples; collection APIs (Spark, LINQ —
+the motivation of Section 1) work with named fields.  A :class:`Record`
+declares an ordered list of field names and their types and handles the
+translation between the two views: field name → tuple position → projection
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from repro.errors import TypeCheckError
+from repro.nrc.types import BASE, BagType, ProductType, Type
+
+__all__ = ["Record", "STRING", "NUMBER", "field_types"]
+
+#: Convenience aliases: all base values share the calculus' single Base type,
+#: the distinct names exist purely for schema readability.
+STRING = BASE
+NUMBER = BASE
+
+
+@dataclass(frozen=True)
+class Record:
+    """An ordered record schema: field names mapped to types."""
+
+    name: str
+    fields: Tuple[Tuple[str, Type], ...]
+
+    def __post_init__(self) -> None:
+        names = [field_name for field_name, _ in self.fields]
+        if len(set(names)) != len(names):
+            raise TypeCheckError(f"duplicate field names in record {self.name!r}")
+        if not names:
+            raise TypeCheckError(f"record {self.name!r} needs at least one field")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(field_name for field_name, _ in self.fields)
+
+    def position(self, field_name: str) -> int:
+        """Tuple position of a field."""
+        for index, (name, _) in enumerate(self.fields):
+            if name == field_name:
+                return index
+        raise TypeCheckError(f"record {self.name!r} has no field {field_name!r}")
+
+    def field_type(self, field_name: str) -> Type:
+        return self.fields[self.position(field_name)][1]
+
+    def product_type(self) -> Union[ProductType, Type]:
+        """The positional tuple type of this record (a single field stays bare)."""
+        if len(self.fields) == 1:
+            return self.fields[0][1]
+        return ProductType(tuple(field_type for _, field_type in self.fields))
+
+    def bag_type(self) -> BagType:
+        """The bag-of-records type used for datasets of this record."""
+        return BagType(self.product_type())
+
+    def as_dict(self, row: Tuple) -> Dict[str, object]:
+        """Render a positional tuple as a field-name dictionary (for display)."""
+        if len(self.fields) == 1:
+            return {self.fields[0][0]: row}
+        return dict(zip(self.field_names, row))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}: {type_.render()}" for name, type_ in self.fields)
+        return f"Record {self.name}({inner})"
+
+
+def field_types(**fields: Type) -> Tuple[Tuple[str, Type], ...]:
+    """Build the ``fields`` tuple of a :class:`Record` from keyword arguments."""
+    return tuple(fields.items())

@@ -1,0 +1,54 @@
+"""Shared fixtures: the paper's running example and helper builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bag import Bag
+from repro.ivm import Database
+from repro.nrc import ast
+from repro.nrc.evaluator import Environment
+from repro.nrc.types import BASE, bag_of, tuple_of
+from repro.workloads import MOVIE_SCHEMA, PAPER_MOVIES, PAPER_UPDATE, related_query
+
+
+@pytest.fixture
+def paper_movies() -> Bag:
+    """The three-movie instance of Example 1."""
+    return PAPER_MOVIES
+
+
+@pytest.fixture
+def paper_update() -> Bag:
+    """The single-tuple ⟨Jarhead, Drama, Mendes⟩ update of Example 1."""
+    return PAPER_UPDATE
+
+
+@pytest.fixture
+def movie_env(paper_movies) -> Environment:
+    return Environment(relations={"M": paper_movies})
+
+
+@pytest.fixture
+def related():
+    """The nested ``related`` query of the motivating example."""
+    return related_query()
+
+
+@pytest.fixture
+def movie_db(paper_movies) -> Database:
+    database = Database()
+    database.register("M", MOVIE_SCHEMA, paper_movies)
+    return database
+
+
+@pytest.fixture
+def bag_of_bags_schema():
+    return bag_of(bag_of(BASE))
+
+
+@pytest.fixture
+def selfjoin_query(bag_of_bags_schema):
+    """Example 4's ``flatten(R) × flatten(R)``."""
+    relation = ast.Relation("R", bag_of_bags_schema)
+    return ast.Product((ast.Flatten(relation), ast.Flatten(relation)))

@@ -1,0 +1,139 @@
+"""Unit tests for static analyses (free variables, input dependence, IncNRC+)."""
+
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.analysis import (
+    annotate_sng_indices,
+    free_bag_vars,
+    free_elem_vars,
+    is_incremental_fragment,
+    is_input_independent,
+    max_delta_order,
+    referenced_deltas,
+    referenced_relations,
+    referenced_sources,
+    sng_occurrences,
+    unrestricted_sng_occurrences,
+)
+from repro.nrc.types import BASE, bag_of, tuple_of
+
+MOVIE = tuple_of(BASE, BASE, BASE)
+M = ast.Relation("M", bag_of(MOVIE))
+
+
+class TestFreeVariables:
+    def test_for_binds_its_variable(self):
+        expr = ast.For("m", M, ast.SngProj("m", (0,)))
+        assert free_elem_vars(expr) == frozenset()
+
+    def test_free_var_in_body_of_for(self):
+        expr = ast.For("m2", M, ast.Pred(preds.eq(preds.var_path("m", 0), preds.var_path("m2", 0))))
+        assert free_elem_vars(expr) == {"m"}
+
+    def test_inner_query_of_related_depends_on_outer_var(self, related):
+        inner = sng_occurrences(related)[0].body
+        assert free_elem_vars(inner) == {"m"}
+        assert free_elem_vars(related) == frozenset()
+
+    def test_in_label_and_dict_lookup_vars(self):
+        assert free_elem_vars(ast.InLabel("ι", ("a", "b"))) == {"a", "b"}
+        lookup = ast.DictLookup(ast.DictVar("D", bag_of(BASE)), "l", (1,))
+        assert free_elem_vars(lookup) == {"l"}
+
+    def test_dict_singleton_binds_params(self):
+        body = ast.SngProj("m", (0,))
+        expr = ast.DictSingleton("ι", ("m",), body)
+        assert free_elem_vars(expr) == frozenset()
+
+    def test_let_binds_bag_var(self):
+        expr = ast.Let("X", M, ast.BagVar("X"))
+        assert free_bag_vars(expr) == frozenset()
+        assert free_bag_vars(ast.BagVar("Y")) == {"Y"}
+
+    def test_let_bound_in_definition_is_free(self):
+        expr = ast.Let("X", ast.BagVar("X"), ast.BagVar("X"))
+        assert free_bag_vars(expr) == {"X"}
+
+
+class TestInputDependence:
+    def test_referenced_relations(self, related):
+        assert referenced_relations(related) == {"M"}
+
+    def test_referenced_dictionaries(self):
+        lookup = ast.DictLookup(ast.DictVar("D", bag_of(BASE)), "l")
+        assert referenced_sources(lookup) == {"D"}
+
+    def test_referenced_deltas_and_order(self):
+        expr = ast.Union(
+            (
+                ast.DeltaRelation("M", bag_of(MOVIE), 1),
+                ast.DeltaRelation("M", bag_of(MOVIE), 2),
+            )
+        )
+        assert referenced_deltas(expr) == {("M", 1), ("M", 2)}
+        assert max_delta_order(expr) == 2
+        assert max_delta_order(M) == 0
+
+    def test_input_independent_expressions(self):
+        assert is_input_independent(ast.SngUnit())
+        assert is_input_independent(ast.Empty())
+        assert is_input_independent(ast.DeltaRelation("M", bag_of(MOVIE)))
+        assert not is_input_independent(M)
+
+    def test_let_propagates_dependence(self):
+        dependent = ast.Let("X", M, ast.BagVar("X"))
+        assert not is_input_independent(dependent)
+        independent = ast.Let("X", ast.SngUnit(), ast.BagVar("X"))
+        assert is_input_independent(independent)
+
+    def test_shadowing_let_removes_dependence(self):
+        expr = ast.Let("X", ast.SngUnit(), ast.BagVar("X"))
+        assert is_input_independent(expr, dependent_vars=frozenset({"X"}))
+
+
+class TestIncNRCMembership:
+    def test_related_is_outside_the_fragment(self, related):
+        assert not is_incremental_fragment(related)
+        assert len(unrestricted_sng_occurrences(related)) == 1
+
+    def test_filter_is_inside_the_fragment(self):
+        query = build.filter_query(M, preds.eq(preds.var_path("x", 1), preds.const("Drama")), "x")
+        assert is_incremental_fragment(query)
+
+    def test_sng_star_is_inside_the_fragment(self):
+        query = ast.For("m", M, ast.Sng(ast.SngProj("m", (0,))))
+        assert is_incremental_fragment(query)
+
+    def test_let_bound_dependence_is_tracked(self):
+        query = ast.Let("X", M, ast.Sng(ast.BagVar("X")))
+        assert not is_incremental_fragment(query)
+
+    def test_selfjoin_is_inside_the_fragment(self, selfjoin_query):
+        assert is_incremental_fragment(selfjoin_query)
+
+
+class TestSngIndexing:
+    def test_annotation_assigns_indices_in_preorder(self, related):
+        annotated = annotate_sng_indices(related)
+        indices = [node.iota for node in sng_occurrences(annotated)]
+        assert indices == ["ι0"]
+
+    def test_annotation_is_stable(self, related):
+        once = annotate_sng_indices(related)
+        twice = annotate_sng_indices(once)
+        assert once == twice
+
+    def test_existing_indices_are_preserved(self):
+        query = ast.For("m", M, ast.Sng(ast.SngProj("m", (0,)), iota="custom"))
+        annotated = annotate_sng_indices(query)
+        assert sng_occurrences(annotated)[0].iota == "custom"
+
+    def test_multiple_sngs_get_distinct_indices(self):
+        query = ast.Union(
+            (
+                ast.For("m", M, ast.Sng(ast.SngProj("m", (0,)))),
+                ast.For("m", M, ast.Sng(ast.SngProj("m", (1,)))),
+            )
+        )
+        annotated = annotate_sng_indices(query)
+        indices = [node.iota for node in sng_occurrences(annotated)]
+        assert len(set(indices)) == 2

@@ -1,0 +1,87 @@
+"""Unit tests for AST node construction and invariants."""
+
+import pytest
+
+from repro.nrc import ast
+from repro.nrc.types import BASE, bag_of, tuple_of
+
+
+class TestNodeValidation:
+    def test_relation_requires_bag_schema(self):
+        with pytest.raises(TypeError):
+            ast.Relation("R", BASE)  # type: ignore[arg-type]
+
+    def test_delta_relation_order_positive(self):
+        with pytest.raises(ValueError):
+            ast.DeltaRelation("R", bag_of(BASE), order=0)
+
+    def test_product_requires_two_factors(self):
+        with pytest.raises(ValueError):
+            ast.Product((ast.Relation("R", bag_of(BASE)),))
+
+    def test_union_requires_a_term(self):
+        with pytest.raises(ValueError):
+            ast.Union(())
+
+    def test_sng_proj_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            ast.SngProj("x", (-1,))
+
+    def test_dict_union_requires_a_term(self):
+        with pytest.raises(ValueError):
+            ast.DictUnion(())
+
+    def test_dict_singleton_param_types_length_checked(self):
+        with pytest.raises(ValueError):
+            ast.DictSingleton("ι", ("x",), ast.Empty(), None, (BASE, BASE))
+
+    def test_dict_var_requires_bag_value_type(self):
+        with pytest.raises(TypeError):
+            ast.DictVar("D", BASE)  # type: ignore[arg-type]
+
+
+class TestChildren:
+    def test_leaf_nodes_have_no_children(self):
+        relation = ast.Relation("R", bag_of(BASE))
+        assert relation.children() == ()
+        assert ast.SngVar("x").children() == ()
+        assert ast.Empty().children() == ()
+        assert ast.InLabel("ι", ("x",)).children() == ()
+
+    def test_for_children_order(self):
+        relation = ast.Relation("R", bag_of(BASE))
+        node = ast.For("x", relation, ast.SngVar("x"))
+        assert node.children() == (relation, ast.SngVar("x"))
+
+    def test_let_children_order(self):
+        relation = ast.Relation("R", bag_of(BASE))
+        node = ast.Let("X", relation, ast.BagVar("X"))
+        assert node.children() == (relation, ast.BagVar("X"))
+
+    def test_nary_children(self):
+        relation = ast.Relation("R", bag_of(BASE))
+        product = ast.Product((relation, relation, relation))
+        assert len(product.children()) == 3
+        union = ast.Union((relation, relation))
+        assert len(union.children()) == 2
+
+
+class TestOperatorSugar:
+    def test_add_builds_union(self):
+        relation = ast.Relation("R", bag_of(BASE))
+        assert isinstance(relation + relation, ast.Union)
+
+    def test_mul_builds_product(self):
+        relation = ast.Relation("R", bag_of(BASE))
+        assert isinstance(relation * relation, ast.Product)
+
+    def test_neg_builds_negate(self):
+        relation = ast.Relation("R", bag_of(BASE))
+        assert isinstance(-relation, ast.Negate)
+
+    def test_nodes_are_hashable_and_comparable(self):
+        a = ast.Relation("R", bag_of(tuple_of(BASE, BASE)))
+        b = ast.Relation("R", bag_of(tuple_of(BASE, BASE)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,196 @@
+"""Unit tests for the generalized bag (Z-multiplicities, group structure)."""
+
+import pytest
+
+from repro.bag import Bag, EMPTY_BAG
+
+
+class TestConstruction:
+    def test_from_iterable_counts_occurrences(self):
+        bag = Bag(["a", "b", "a"])
+        assert bag.multiplicity("a") == 2
+        assert bag.multiplicity("b") == 1
+
+    def test_from_pairs_sums_multiplicities(self):
+        bag = Bag.from_pairs([("a", 2), ("a", 3), ("b", 1)])
+        assert bag.multiplicity("a") == 5
+        assert bag.multiplicity("b") == 1
+
+    def test_from_pairs_drops_zero_entries(self):
+        bag = Bag.from_pairs([("a", 2), ("a", -2)])
+        assert bag.is_empty()
+
+    def test_from_pairs_rejects_non_integer_multiplicities(self):
+        with pytest.raises(TypeError):
+            Bag.from_pairs([("a", 1.5)])
+
+    def test_from_mapping(self):
+        bag = Bag.from_mapping({"x": 3, "y": -1})
+        assert bag.multiplicity("x") == 3
+        assert bag.multiplicity("y") == -1
+
+    def test_singleton(self):
+        assert Bag.singleton("a").multiplicity("a") == 1
+        assert Bag.singleton("a", 4).multiplicity("a") == 4
+        assert Bag.singleton("a", 0) is EMPTY_BAG
+
+    def test_empty_is_shared(self):
+        assert Bag.empty() is EMPTY_BAG
+        assert EMPTY_BAG.is_empty()
+
+
+class TestGroupStructure:
+    def test_union_sums_multiplicities(self):
+        left = Bag.from_pairs([("a", 1), ("b", 2)])
+        right = Bag.from_pairs([("b", 3), ("c", 1)])
+        combined = left.union(right)
+        assert combined.multiplicity("a") == 1
+        assert combined.multiplicity("b") == 5
+        assert combined.multiplicity("c") == 1
+
+    def test_union_cancels_to_empty(self):
+        left = Bag.from_pairs([("a", 2)])
+        right = Bag.from_pairs([("a", -2)])
+        assert left.union(right).is_empty()
+
+    def test_union_with_empty_is_identity(self):
+        bag = Bag(["a", "b"])
+        assert bag.union(EMPTY_BAG) is bag
+        assert EMPTY_BAG.union(bag) is bag
+
+    def test_union_rejects_non_bags(self):
+        with pytest.raises(TypeError):
+            Bag(["a"]).union(["b"])  # type: ignore[arg-type]
+
+    def test_negate(self):
+        bag = Bag.from_pairs([("a", 2), ("b", -1)])
+        negated = bag.negate()
+        assert negated.multiplicity("a") == -2
+        assert negated.multiplicity("b") == 1
+
+    def test_negate_is_inverse_for_union(self):
+        bag = Bag.from_pairs([("a", 2), ("b", -3)])
+        assert bag.union(bag.negate()).is_empty()
+
+    def test_difference(self):
+        left = Bag.from_pairs([("a", 3)])
+        right = Bag.from_pairs([("a", 1), ("b", 1)])
+        result = left.difference(right)
+        assert result.multiplicity("a") == 2
+        assert result.multiplicity("b") == -1
+
+    def test_operator_sugar(self):
+        a = Bag(["x"])
+        b = Bag(["y"])
+        assert (a + b).multiplicity("y") == 1
+        assert (-a).multiplicity("x") == -1
+        assert (a - a).is_empty()
+
+    def test_scale(self):
+        bag = Bag.from_pairs([("a", 2)])
+        assert bag.scale(3).multiplicity("a") == 6
+        assert bag.scale(0).is_empty()
+        assert bag.scale(-1) == bag.negate()
+
+    def test_scale_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            Bag(["a"]).scale(0.5)  # type: ignore[arg-type]
+
+
+class TestQueries:
+    def test_contains_and_len(self):
+        bag = Bag(["a", "a", "b"])
+        assert "a" in bag
+        assert "z" not in bag
+        assert len(bag) == 2
+
+    def test_cardinality_counts_repetitions_and_abs(self):
+        bag = Bag.from_pairs([("a", 3), ("b", -2)])
+        assert bag.cardinality() == 5
+        assert bag.total_multiplicity() == 1
+        assert bag.distinct_size() == 2
+
+    def test_expand_skips_negative(self):
+        bag = Bag.from_pairs([("a", 2), ("b", -1)])
+        assert sorted(bag.expand()) == ["a", "a"]
+
+    def test_max_multiplicity(self):
+        assert EMPTY_BAG.max_multiplicity() == 0
+        assert Bag.from_pairs([("a", -5), ("b", 2)]).max_multiplicity() == 5
+
+    def test_has_negative(self):
+        assert Bag.from_pairs([("a", -1)]).has_negative()
+        assert not Bag(["a"]).has_negative()
+
+    def test_as_dict_returns_copy(self):
+        bag = Bag(["a"])
+        copy = bag.as_dict()
+        copy["a"] = 99
+        assert bag.multiplicity("a") == 1
+
+
+class TestStructuralOperations:
+    def test_map_merges_images(self):
+        bag = Bag(["aa", "ab", "ba"])
+        mapped = bag.map(lambda s: s[0])
+        assert mapped.multiplicity("a") == 2
+        assert mapped.multiplicity("b") == 1
+
+    def test_filter(self):
+        bag = Bag([1, 2, 3, 4])
+        assert sorted(bag.filter(lambda x: x % 2 == 0).elements()) == [2, 4]
+
+    def test_flat_map_scales_by_source_multiplicity(self):
+        bag = Bag.from_pairs([("a", 2)])
+        result = bag.flat_map(lambda x: Bag([x + "1", x + "2"]))
+        assert result.multiplicity("a1") == 2
+        assert result.multiplicity("a2") == 2
+
+    def test_flat_map_requires_bag_results(self):
+        with pytest.raises(TypeError):
+            Bag(["a"]).flat_map(lambda x: [x])
+
+    def test_product_multiplies_multiplicities(self):
+        left = Bag.from_pairs([("a", 2)])
+        right = Bag.from_pairs([("x", 3)])
+        assert left.product(right).multiplicity(("a", "x")) == 6
+
+    def test_flatten(self):
+        nested = Bag([Bag(["a"]), Bag(["a", "b"])])
+        flat = nested.flatten()
+        assert flat.multiplicity("a") == 2
+        assert flat.multiplicity("b") == 1
+
+    def test_flatten_respects_outer_multiplicity(self):
+        nested = Bag.from_pairs([(Bag(["a"]), 3)])
+        assert nested.flatten().multiplicity("a") == 3
+
+    def test_flatten_requires_bag_elements(self):
+        with pytest.raises(TypeError):
+            Bag(["a"]).flatten()
+
+    def test_group_by(self):
+        bag = Bag([("a", 1), ("a", 2), ("b", 3)])
+        groups = bag.group_by(lambda row: row[0])
+        assert set(groups) == {"a", "b"}
+        assert groups["a"].cardinality() == 2
+
+
+class TestEqualityAndHashing:
+    def test_equality_ignores_insertion_order(self):
+        assert Bag(["a", "b"]) == Bag(["b", "a"])
+
+    def test_equality_respects_multiplicities(self):
+        assert Bag(["a", "a"]) != Bag(["a"])
+
+    def test_bags_are_hashable_and_nestable(self):
+        inner = Bag(["x"])
+        outer = Bag([inner, inner])
+        assert outer.multiplicity(inner) == 2
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Bag(["a", "b"])) == hash(Bag(["b", "a"]))
+
+    def test_repr_is_deterministic(self):
+        assert repr(Bag(["b", "a"])) == repr(Bag(["a", "b"]))
+        assert repr(EMPTY_BAG) == "Bag{}"

@@ -1,0 +1,80 @@
+"""Property-based tests: bags form a commutative group and a monad.
+
+The commutative-group structure of ``(Bag, ⊎, ⊖, ∅)`` is exactly what makes
+delta queries exist (Section 3), so these invariants are checked on random
+bags with positive and negative multiplicities.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bag import Bag, EMPTY_BAG
+
+elements = st.one_of(st.integers(-5, 5), st.text(alphabet="abc", max_size=2))
+multiplicities = st.integers(min_value=-4, max_value=4)
+bags = st.dictionaries(elements, multiplicities, max_size=6).map(Bag.from_mapping)
+
+
+@given(bags, bags)
+def test_union_is_commutative(left, right):
+    assert left.union(right) == right.union(left)
+
+
+@given(bags, bags, bags)
+def test_union_is_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(bags)
+def test_empty_is_neutral(bag):
+    assert bag.union(EMPTY_BAG) == bag
+    assert EMPTY_BAG.union(bag) == bag
+
+
+@given(bags)
+def test_negation_is_an_inverse(bag):
+    assert bag.union(bag.negate()) == EMPTY_BAG
+
+
+@given(bags)
+def test_double_negation_is_identity(bag):
+    assert bag.negate().negate() == bag
+
+
+@given(bags, bags)
+def test_any_two_bags_differ_by_a_delta(old, new):
+    """Semantics of the group: ΔQ = Qnew ⊖ Qold always reconciles the two."""
+    delta = new.difference(old)
+    assert old.union(delta) == new
+
+
+@given(bags, st.integers(min_value=-3, max_value=3))
+def test_scaling_distributes_over_union(bag, factor):
+    assert bag.union(bag).scale(factor) == bag.scale(factor).union(bag.scale(factor))
+
+
+@given(bags)
+def test_cardinality_is_non_negative(bag):
+    assert bag.cardinality() >= 0
+    assert bag.cardinality() >= abs(bag.total_multiplicity())
+
+
+@given(bags, bags)
+def test_flat_map_distributes_over_union(left, right):
+    """for x in (e1 ⊎ e2) union f(x)  ==  (for x in e1 …) ⊎ (for x in e2 …)."""
+    func = lambda x: Bag([("wrapped", x)])
+    assert left.union(right).flat_map(func) == left.flat_map(func).union(right.flat_map(func))
+
+
+@given(bags, bags)
+def test_product_cardinality_multiplies(left, right):
+    product = left.product(right)
+    # Cancellation may only reduce the count, never increase it.
+    assert product.cardinality() <= left.cardinality() * right.cardinality()
+
+
+@given(bags)
+def test_hash_equal_bags_have_equal_hash(bag):
+    rebuilt = Bag.from_mapping(bag.as_dict())
+    assert bag == rebuilt
+    assert hash(bag) == hash(rebuilt)

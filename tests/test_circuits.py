@@ -1,0 +1,180 @@
+"""Tests for the circuit substrate: gates, FBag/NStr encodings, NC0 maintenance."""
+
+import pytest
+
+from repro.bag import Bag
+from repro.circuits import (
+    ActiveDomain,
+    Circuit,
+    apply_update_circuit,
+    build_recompute_circuit,
+    build_update_circuit,
+    decode_fbag,
+    encode_fbag,
+    nested_to_symbols,
+    symbols_to_position_relation,
+)
+from repro.errors import CircuitError
+
+
+class TestGates:
+    def test_basic_gate_evaluation(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        circuit.mark_output("and", circuit.and_(a, b))
+        circuit.mark_output("or", circuit.or_(a, b))
+        circuit.mark_output("xor", circuit.xor(a, b))
+        circuit.mark_output("not_a", circuit.not_(a))
+        outputs = circuit.evaluate({"a": True, "b": False})
+        assert outputs == {"and": False, "or": True, "xor": True, "not_a": False}
+
+    def test_majority_gate(self):
+        circuit = Circuit()
+        bits = [circuit.add_input(f"b{i}") for i in range(3)]
+        circuit.mark_output("maj", circuit.add_gate("MAJ", bits))
+        assert circuit.evaluate({"b0": True, "b1": True, "b2": False})["maj"] is True
+        assert circuit.evaluate({"b0": True, "b1": False, "b2": False})["maj"] is False
+        assert circuit.uses_majority()
+
+    def test_bounded_fanin_enforced(self):
+        circuit = Circuit()
+        bits = [circuit.add_input(f"b{i}") for i in range(3)]
+        with pytest.raises(CircuitError):
+            circuit.add_gate("AND", bits)
+
+    def test_duplicate_input_rejected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            circuit.add_input("a")
+
+    def test_missing_input_value_rejected(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        circuit.mark_output("out", a)
+        with pytest.raises(CircuitError):
+            circuit.evaluate({})
+
+    def test_full_adder(self):
+        circuit = Circuit()
+        a, b, c = (circuit.add_input(name) for name in "abc")
+        total, carry = circuit.full_adder(a, b, c)
+        circuit.mark_output("sum", total)
+        circuit.mark_output("carry", carry)
+        for av in (0, 1):
+            for bv in (0, 1):
+                for cv in (0, 1):
+                    out = circuit.evaluate({"a": av, "b": bv, "c": cv})
+                    assert int(out["sum"]) + 2 * int(out["carry"]) == av + bv + cv
+
+    def test_adder_mod(self):
+        circuit = Circuit()
+        a_bits = [circuit.add_input(f"a{i}") for i in range(3)]
+        b_bits = [circuit.add_input(f"b{i}") for i in range(3)]
+        for index, gate in enumerate(circuit.adder_mod(a_bits, b_bits)):
+            circuit.mark_output(f"s{index}", gate)
+        inputs = {"a0": 1, "a1": 1, "a2": 0, "b0": 1, "b1": 0, "b2": 1}  # 3 + 5 = 8 ≡ 0 (mod 8)
+        outputs = circuit.evaluate(inputs)
+        value = sum((1 << i) for i in range(3) if outputs[f"s{i}"])
+        assert value == 0
+
+    def test_metrics(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        circuit.mark_output("out", circuit.and_(a, b))
+        assert circuit.depth() == 1
+        assert circuit.gate_count() == 3
+        assert circuit.max_cone_size() == 2
+        assert circuit.max_fanin() == 2
+
+
+class TestFBagEncoding:
+    domain = ActiveDomain(("a", "b", "c"))
+
+    def test_roundtrip(self):
+        bag = Bag.from_pairs([(("a", "b"), 2), (("c", "c"), 1)])
+        encoding = encode_fbag(bag, self.domain, arity=2, k=4)
+        assert decode_fbag(encoding) == bag
+        assert len(encoding.bits) == 9 * 4
+
+    def test_multiplicities_wrap_modulo_2k(self):
+        bag = Bag.from_pairs([(("a",), 17)])
+        encoding = encode_fbag(bag, self.domain, arity=1, k=4)
+        assert decode_fbag(encoding).multiplicity(("a",)) == 1
+
+    def test_domain_from_bag(self):
+        bag = Bag([("b", "a"), ("c", "a")])
+        domain = ActiveDomain.from_bag(bag)
+        assert domain.symbols == ("'a'", "'b'", "'c'") or set(domain.symbols) == {"a", "b", "c"}
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(CircuitError):
+            encode_fbag(Bag([("z",)]), self.domain, arity=1, k=2)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(CircuitError):
+            encode_fbag(Bag([("a", "b")]), self.domain, arity=1, k=2)
+
+    def test_duplicate_domain_symbols_rejected(self):
+        with pytest.raises(CircuitError):
+            ActiveDomain(("a", "a"))
+
+
+class TestNStrEncoding:
+    def test_example_9_shape(self):
+        value = Bag([("a", Bag(["b", "c"])), ("d", Bag(["e", "f"]))])
+        symbols = nested_to_symbols(value)
+        assert symbols[0] == "{"
+        assert symbols[-1] == "}"
+        assert symbols.count("⟨") == 2
+        assert symbols.count("{") == 3
+        relation = symbols_to_position_relation(symbols)
+        assert relation.cardinality() == len(symbols)
+        assert (1, "{") in relation
+
+    def test_base_value_serialization(self):
+        assert nested_to_symbols("x") == ["x"]
+        assert nested_to_symbols(("x", "y")) == ["⟨", "x", ",", "y", "⟩"]
+
+
+class TestMaintenanceCircuits:
+    def test_update_circuit_computes_bag_union(self):
+        domain = ActiveDomain(("a", "b"))
+        view = encode_fbag(Bag.from_pairs([(("a",), 2)]), domain, 1, 4)
+        delta = encode_fbag(Bag.from_pairs([(("a",), 1), (("b",), 3)]), domain, 1, 4)
+        circuit = build_update_circuit(view.num_slots, 4)
+        _, updated = apply_update_circuit(circuit, view, delta)
+        assert updated == Bag.from_pairs([(("a",), 3), (("b",), 3)])
+
+    def test_update_circuit_handles_deletions_mod_2k(self):
+        domain = ActiveDomain(("a",))
+        view = encode_fbag(Bag.from_pairs([(("a",), 3)]), domain, 1, 4)
+        # A deletion of 1 is represented as adding 2^k - 1 (mod 2^k arithmetic).
+        delta = encode_fbag(Bag.from_pairs([(("a",), 15)]), domain, 1, 4)
+        circuit = build_update_circuit(1, 4)
+        _, updated = apply_update_circuit(circuit, view, delta)
+        assert updated.multiplicity(("a",)) == 2
+
+    def test_update_cone_is_constant_in_database_size(self):
+        small = build_update_circuit(4, 3)
+        large = build_update_circuit(64, 3)
+        assert small.max_cone_size() == large.max_cone_size() == 6
+        assert small.depth() == large.depth()
+
+    def test_recompute_cone_grows_with_database_size(self):
+        small = build_recompute_circuit(4, 3)
+        large = build_recompute_circuit(32, 3)
+        assert large.max_cone_size() > small.max_cone_size()
+        assert large.max_cone_size() == 32 * 3
+
+    def test_update_circuit_never_uses_majority(self):
+        assert not build_update_circuit(8, 4).uses_majority()
+
+    def test_layout_mismatch_rejected(self):
+        domain = ActiveDomain(("a",))
+        view = encode_fbag(Bag(), domain, 1, 4)
+        delta = encode_fbag(Bag(), domain, 1, 2)
+        with pytest.raises(CircuitError):
+            apply_update_circuit(build_update_circuit(1, 4), view, delta)

@@ -1,0 +1,82 @@
+"""Tests for shredding context trees (the A^Γ structure of Section 5.1)."""
+
+import pytest
+
+from repro.dictionaries import EMPTY_DICT, MaterializedDict
+from repro.errors import ShreddingError
+from repro.nrc import ast
+from repro.nrc.types import BASE, bag_of, tuple_of
+from repro.shredding import (
+    BagContext,
+    EMPTY_CONTEXT,
+    TupleContext,
+    UNIT_CONTEXT,
+    empty_context_for_type,
+    iter_context_dicts,
+    map_context_dicts,
+    merge_contexts,
+)
+
+
+class TestContextShapes:
+    def test_empty_context_for_base_type(self):
+        assert empty_context_for_type(BASE) == UNIT_CONTEXT
+
+    def test_empty_context_for_nested_type_symbolic(self):
+        type_ = tuple_of(BASE, bag_of(BASE))
+        context = empty_context_for_type(type_)
+        assert isinstance(context, TupleContext)
+        assert isinstance(context.components[1], BagContext)
+        assert isinstance(context.components[1].dictionary, ast.DictEmpty)
+
+    def test_empty_context_for_nested_type_values(self):
+        context = empty_context_for_type(bag_of(bag_of(BASE)), symbolic=False)
+        assert isinstance(context, BagContext)
+        assert context.dictionary == EMPTY_DICT
+
+    def test_projection(self):
+        context = TupleContext((UNIT_CONTEXT, BagContext(EMPTY_DICT, UNIT_CONTEXT)))
+        assert isinstance(context.project(1), BagContext)
+        assert context.project_path((0,)) == UNIT_CONTEXT
+        with pytest.raises(ShreddingError):
+            context.project(5)
+
+    def test_unit_context_projects_to_itself(self):
+        assert UNIT_CONTEXT.project(3) == UNIT_CONTEXT
+        assert EMPTY_CONTEXT.project(3) == EMPTY_CONTEXT
+
+
+class TestMergingAndMapping:
+    def test_empty_context_is_neutral(self):
+        other = BagContext(EMPTY_DICT, UNIT_CONTEXT)
+        combine = lambda a, b: a
+        assert merge_contexts(EMPTY_CONTEXT, other, combine) == other
+        assert merge_contexts(other, EMPTY_CONTEXT, combine) == other
+
+    def test_merge_combines_dictionaries(self):
+        from repro.labels import Label
+        from repro.bag import Bag
+
+        left = BagContext(MaterializedDict({Label("a"): Bag(["x"])}), UNIT_CONTEXT)
+        right = BagContext(MaterializedDict({Label("b"): Bag(["y"])}), UNIT_CONTEXT)
+        merged = merge_contexts(left, right, lambda a, b: a.label_union(b))
+        assert merged.dictionary.support() == {Label("a"), Label("b")}
+
+    def test_merge_shape_mismatch_rejected(self):
+        left = TupleContext((UNIT_CONTEXT,))
+        right = TupleContext((UNIT_CONTEXT, UNIT_CONTEXT))
+        with pytest.raises(ShreddingError):
+            merge_contexts(left, right, lambda a, b: a)
+
+    def test_map_context_dicts_keeps_shape(self):
+        context = TupleContext((UNIT_CONTEXT, BagContext("dict-A", BagContext("dict-B", UNIT_CONTEXT))))
+        mapped = map_context_dicts(context, lambda d: d + "!")
+        assert mapped.components[1].dictionary == "dict-A!"
+        assert mapped.components[1].element.dictionary == "dict-B!"
+
+    def test_iter_context_dicts_paths(self):
+        context = TupleContext(
+            (UNIT_CONTEXT, BagContext("outer", TupleContext((UNIT_CONTEXT, BagContext("inner", UNIT_CONTEXT)))))
+        )
+        entries = list(iter_context_dicts(context))
+        assert entries == [((1,), "outer"), ((1, "e", 1), "inner")]

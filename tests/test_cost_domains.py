@@ -1,0 +1,114 @@
+"""Tests for cost domains, partial orders and the size function (Section 4.2)."""
+
+import pytest
+
+from repro.bag import Bag
+from repro.cost import (
+    ATOM_COST,
+    AtomCost,
+    BagCost,
+    TupleCost,
+    bottom_cost,
+    is_incremental_update,
+    less_equal,
+    size_of,
+    strictly_less,
+    sup,
+)
+from repro.errors import CostModelError
+from repro.nrc.types import BASE, LABEL, UNIT, bag_of, tuple_of
+
+
+class TestCostValues:
+    def test_render(self):
+        assert ATOM_COST.render() == "1"
+        assert BagCost(3, BagCost(2, ATOM_COST)).render() == "3{2{1}}"
+        assert BagCost(1, ATOM_COST).render() == "{1}"
+        assert TupleCost((ATOM_COST, ATOM_COST)).render() == "⟨1, 1⟩"
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(CostModelError):
+            BagCost(-1, ATOM_COST)
+
+    def test_bottom_cost_shapes(self):
+        assert bottom_cost(BASE) == ATOM_COST
+        assert bottom_cost(UNIT) == ATOM_COST
+        assert bottom_cost(LABEL) == ATOM_COST
+        assert bottom_cost(bag_of(BASE)) == BagCost(0, ATOM_COST)
+        assert bottom_cost(tuple_of(BASE, bag_of(BASE))) == TupleCost(
+            (ATOM_COST, BagCost(0, ATOM_COST))
+        )
+
+
+class TestOrders:
+    def test_base_costs_never_strictly_comparable(self):
+        assert not strictly_less(ATOM_COST, ATOM_COST)
+        assert less_equal(ATOM_COST, ATOM_COST)
+
+    def test_bag_costs_compare_on_cardinality(self):
+        small = BagCost(1, ATOM_COST)
+        large = BagCost(5, ATOM_COST)
+        assert strictly_less(small, large)
+        assert not strictly_less(large, small)
+        assert less_equal(small, large)
+
+    def test_nested_bag_costs(self):
+        small = BagCost(1, BagCost(2, ATOM_COST))
+        large = BagCost(3, BagCost(2, ATOM_COST))
+        assert strictly_less(small, large)
+        huge_inner = BagCost(2, BagCost(9, ATOM_COST))
+        assert not strictly_less(huge_inner, large)
+
+    def test_tuple_costs_compare_componentwise(self):
+        left = TupleCost((ATOM_COST, BagCost(1, ATOM_COST)))
+        right = TupleCost((ATOM_COST, BagCost(4, ATOM_COST)))
+        assert strictly_less(left, right) is False  # first component is Base: never strict
+        assert less_equal(left, right)
+
+    def test_mismatched_arities_rejected(self):
+        with pytest.raises(CostModelError):
+            less_equal(TupleCost((ATOM_COST,)), TupleCost((ATOM_COST, ATOM_COST)))
+
+    def test_sup(self):
+        left = BagCost(2, BagCost(5, ATOM_COST))
+        right = BagCost(4, BagCost(1, ATOM_COST))
+        assert sup(left, right) == BagCost(4, BagCost(5, ATOM_COST))
+        assert sup(ATOM_COST, ATOM_COST) == ATOM_COST
+
+
+class TestSize:
+    def test_example_5(self):
+        """size of {⟨Comedy,{Carnage}⟩, ⟨Animation,{Up,Shrek,Cars}⟩} is 2{⟨1,3{1}⟩}."""
+        value = Bag(
+            [
+                ("Comedy", Bag(["Carnage"])),
+                ("Animation", Bag(["Up", "Shrek", "Cars"])),
+            ]
+        )
+        cost = size_of(value)
+        assert cost == BagCost(2, TupleCost((ATOM_COST, BagCost(3, ATOM_COST))))
+
+    def test_intro_example(self):
+        """{{a},{b},{c,d}} has size 3{2}."""
+        value = Bag([Bag(["a"]), Bag(["b"]), Bag(["c", "d"])])
+        assert size_of(value) == BagCost(3, BagCost(2, ATOM_COST))
+
+    def test_size_counts_repetitions(self):
+        value = Bag.from_pairs([("a", 3)])
+        assert size_of(value) == BagCost(3, ATOM_COST)
+
+    def test_size_of_empty_bag_uses_type_shape(self):
+        cost = size_of(Bag(), bag_of(bag_of(BASE)))
+        assert cost == BagCost(0, BagCost(0, ATOM_COST))
+
+    def test_size_of_label_is_atomic(self):
+        from repro.labels import Label
+
+        assert size_of(Label("ι", ("x",))) == ATOM_COST
+
+    def test_incremental_update_check(self):
+        base = Bag([f"x{i}" for i in range(10)])
+        small = Bag(["y"])
+        assert is_incremental_update(small, base)
+        assert not is_incremental_update(base, base)
+        assert not is_incremental_update(base, small)

@@ -1,0 +1,141 @@
+"""Tests for the cost interpretation C[[·]] (Figure 5), tcost and Theorem 4."""
+
+import pytest
+
+from repro.bag import Bag
+from repro.cost import (
+    ATOM_COST,
+    BagCost,
+    CostContext,
+    TupleCost,
+    cost_of,
+    delta_is_cheaper,
+    size_of,
+    tcost,
+)
+from repro.delta import delta
+from repro.errors import CostModelError
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.types import BASE, bag_of, tuple_of
+from repro.workloads import MOVIE_SCHEMA, related_query
+
+MOVIE = tuple_of(BASE, BASE, BASE)
+M = ast.Relation("M", bag_of(MOVIE))
+R = ast.Relation("R", bag_of(bag_of(BASE)))
+
+
+def movie_context(n=10, d=2):
+    movies = Bag([(f"m{i}", "g", "d") for i in range(n)])
+    update = Bag([(f"u{i}", "g", "d") for i in range(d)])
+    return CostContext.from_instances(relations={"M": movies}, deltas={("M", 1): update})
+
+
+class TestCostRules:
+    def test_relation_cost_is_its_size(self):
+        context = movie_context(5)
+        assert cost_of(M, context) == context.relations["M"]
+
+    def test_missing_relation_estimate(self):
+        with pytest.raises(CostModelError):
+            cost_of(M, CostContext())
+
+    def test_constants(self):
+        context = CostContext()
+        assert cost_of(ast.SngUnit(), context) == BagCost(1, ATOM_COST)
+        assert cost_of(ast.Empty(), context).cardinality == 1
+        assert cost_of(ast.InLabel("ι", ()), context) == BagCost(1, ATOM_COST)
+
+    def test_for_multiplies_cardinalities(self):
+        context = movie_context(7)
+        query = ast.For("m", M, ast.SngProj("m", (0,)))
+        assert cost_of(query, context).cardinality == 7
+
+    def test_nested_for_is_quadratic(self):
+        context = movie_context(7)
+        query = ast.For("m", M, ast.For("m2", M, ast.SngProj("m2", (0,))))
+        assert cost_of(query, context).cardinality == 49
+
+    def test_product_cost(self):
+        context = movie_context(5)
+        cost = cost_of(ast.Product((M, M)), context)
+        assert cost.cardinality == 25
+        assert isinstance(cost.element, TupleCost)
+
+    def test_union_is_sup(self):
+        context = movie_context(5)
+        query = ast.Union((M, ast.Empty()))
+        assert cost_of(query, context).cardinality == 5
+
+    def test_flatten_multiplies_inner_cardinality(self):
+        nested = Bag([Bag(["a", "b", "c"]), Bag(["d"])])
+        context = CostContext.from_instances(relations={"R": nested})
+        assert cost_of(ast.Flatten(R), context).cardinality == 2 * 3
+
+    def test_let_binds_cost(self):
+        context = movie_context(4)
+        query = ast.Let("X", M, ast.Product((ast.BagVar("X"), ast.BagVar("X"))))
+        assert cost_of(query, context).cardinality == 16
+
+    def test_sng_star_wraps_cost(self):
+        context = movie_context(4)
+        assert cost_of(ast.Sng(M), context) == BagCost(1, cost_of(M, context))
+
+    def test_example_6_related_cost(self):
+        """C[[related[M]]] = |M|{⟨1, |M|{1}⟩} (Example 6)."""
+        n = 6
+        context = movie_context(n)
+        cost = cost_of(related_query(), context)
+        assert cost == BagCost(n, TupleCost((ATOM_COST, BagCost(n, ATOM_COST))))
+
+    def test_dict_lookup_cost_uses_dictionary_estimate(self):
+        lookup = ast.DictLookup(ast.DictVar("D", bag_of(BASE)), "l")
+        context = CostContext(dictionaries={"D": BagCost(9, ATOM_COST)})
+        assert cost_of(lookup, context) == BagCost(9, ATOM_COST)
+
+    def test_dict_singleton_lookup_costs_its_body(self):
+        body = ast.For("m2", M, ast.SngProj("m2", (0,)))
+        lookup = ast.DictLookup(ast.DictSingleton("ι", ("m",), body, param_types=(MOVIE,)), "l")
+        context = movie_context(8)
+        assert cost_of(lookup, context).cardinality == 8
+
+
+class TestTcostAndTheorem4:
+    def test_tcost_of_shapes(self):
+        assert tcost(ATOM_COST) == 1
+        assert tcost(BagCost(5, ATOM_COST)) == 5
+        assert tcost(TupleCost((ATOM_COST, BagCost(3, ATOM_COST)))) == 4
+        assert tcost(BagCost(4, TupleCost((ATOM_COST, BagCost(3, ATOM_COST))))) == 16
+
+    def test_example_6_running_time_bound(self):
+        n = 6
+        context = movie_context(n)
+        assert tcost(cost_of(related_query(), context)) == n * (1 + n)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            build.filter_query(M, preds.eq(preds.var_path("x", 1), preds.const("g")), "x"),
+            ast.For("m", M, ast.SngProj("m", (0,))),
+            ast.Product((M, M)),
+            ast.For("m", M, ast.For("m2", M, ast.SngProj("m2", (0,)))),
+        ],
+    )
+    def test_theorem_4_delta_is_cheaper(self, query):
+        """tcost(C[[δ(h)]]) < tcost(C[[h]]) for incremental updates."""
+        context = movie_context(n=20, d=2)
+        assert delta_is_cheaper(query, context, ["M"])
+
+    def test_theorem_4_explicit_comparison(self):
+        context = movie_context(n=50, d=1)
+        query = ast.Product((M, M))
+        original = tcost(cost_of(query, context))
+        derived = tcost(cost_of(delta(query, ["M"]), context))
+        assert derived < original
+
+    def test_delta_not_cheaper_when_update_is_as_big_as_input(self):
+        movies = Bag([(f"m{i}", "g", "d") for i in range(5)])
+        context = CostContext.from_instances(
+            relations={"M": movies}, deltas={("M", 1): movies}
+        )
+        query = ast.Product((M, M))
+        assert not delta_is_cheaper(query, context, ["M"])

@@ -1,0 +1,89 @@
+"""Property-based checks of Proposition 4.1 on random instances and updates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bag import Bag
+from repro.delta import delta
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.evaluator import Environment, evaluate_bag
+from repro.nrc.types import BASE, bag_of, tuple_of
+
+MOVIE = tuple_of(BASE, BASE)
+M = ast.Relation("M", bag_of(MOVIE))
+R = ast.Relation("R", bag_of(bag_of(BASE)))
+
+rows = st.tuples(st.sampled_from("abcd"), st.sampled_from("xyz"))
+flat_bags = st.dictionaries(rows, st.integers(-3, 3), max_size=6).map(Bag.from_mapping)
+inner_bags = st.lists(st.sampled_from("pqrs"), max_size=3).map(Bag)
+nested_bags = st.dictionaries(inner_bags, st.integers(-2, 2), max_size=4).map(Bag.from_mapping)
+
+
+def assert_prop_41(query, relation_name, instance, update):
+    delta_query = delta(query, [relation_name])
+    direct = evaluate_bag(query, Environment(relations={relation_name: instance.union(update)}))
+    incremental = evaluate_bag(query, Environment(relations={relation_name: instance})).union(
+        evaluate_bag(
+            delta_query,
+            Environment(relations={relation_name: instance}, deltas={(relation_name, 1): update}),
+        )
+    )
+    assert direct == incremental
+
+
+@settings(max_examples=40, deadline=None)
+@given(flat_bags, flat_bags)
+def test_filter_delta_correct_on_random_updates(instance, update):
+    query = build.filter_query(M, preds.eq(preds.var_path("x", 1), preds.const("x")), "x")
+    assert_prop_41(query, "M", instance, update)
+
+
+@settings(max_examples=40, deadline=None)
+@given(flat_bags, flat_bags)
+def test_projection_delta_correct_on_random_updates(instance, update):
+    query = ast.For("m", M, ast.SngProj("m", (0,)))
+    assert_prop_41(query, "M", instance, update)
+
+
+@settings(max_examples=25, deadline=None)
+@given(flat_bags, flat_bags)
+def test_self_product_delta_correct_on_random_updates(instance, update):
+    query = ast.Product((M, M))
+    assert_prop_41(query, "M", instance, update)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nested_bags, nested_bags)
+def test_flatten_delta_correct_on_random_updates(instance, update):
+    query = ast.Flatten(R)
+    assert_prop_41(query, "R", instance, update)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nested_bags, nested_bags)
+def test_selfjoin_delta_correct_on_random_updates(instance, update):
+    query = ast.Product((ast.Flatten(R), ast.Flatten(R)))
+    assert_prop_41(query, "R", instance, update)
+
+
+@settings(max_examples=20, deadline=None)
+@given(flat_bags, flat_bags, flat_bags)
+def test_second_order_delta_correct_on_random_updates(instance, first, second):
+    """δ(h)[R ⊎ Δ'R, ΔR] = δ(h)[R, ΔR] ⊎ δ²(h)[R, ΔR, Δ'R] (Section 4.1)."""
+    query = ast.Product((M, M))
+    first_delta = delta(query, ["M"], order=1)
+    second_delta = delta(first_delta, ["M"], order=2)
+
+    lhs = evaluate_bag(
+        first_delta,
+        Environment(relations={"M": instance.union(second)}, deltas={("M", 1): first}),
+    )
+    rhs = evaluate_bag(
+        first_delta, Environment(relations={"M": instance}, deltas={("M", 1): first})
+    ).union(
+        evaluate_bag(
+            second_delta,
+            Environment(relations={"M": instance}, deltas={("M", 1): first, ("M", 2): second}),
+        )
+    )
+    assert lhs == rhs

@@ -1,0 +1,219 @@
+"""Unit tests for the NRC+ evaluator (the semantics of Figure 3)."""
+
+import pytest
+
+from repro.bag import Bag, EMPTY_BAG
+from repro.dictionaries import IntensionalDict, MaterializedDict
+from repro.errors import EvaluationError, UnboundVariableError
+from repro.instrument import OpCounter
+from repro.labels import Label
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.evaluator import Environment, evaluate, evaluate_bag
+from repro.nrc.types import BASE, bag_of, tuple_of
+
+MOVIE = tuple_of(BASE, BASE, BASE)
+M = ast.Relation("M", bag_of(MOVIE))
+
+
+def movie_env(movies):
+    return Environment(relations={"M": movies})
+
+
+class TestSourcesAndVariables:
+    def test_relation_lookup(self, paper_movies):
+        assert evaluate_bag(M, movie_env(paper_movies)) == paper_movies
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnboundVariableError):
+            evaluate_bag(M, Environment())
+
+    def test_delta_relation_defaults_to_empty(self, paper_movies):
+        expr = ast.DeltaRelation("M", bag_of(MOVIE))
+        assert evaluate_bag(expr, movie_env(paper_movies)) == EMPTY_BAG
+
+    def test_delta_relation_reads_binding(self, paper_movies, paper_update):
+        expr = ast.DeltaRelation("M", bag_of(MOVIE))
+        env = movie_env(paper_movies).with_deltas({("M", 1): paper_update})
+        assert evaluate_bag(expr, env) == paper_update
+
+    def test_let_binds_and_restores(self, paper_movies):
+        expr = ast.Let("X", M, ast.BagVar("X"))
+        assert evaluate_bag(expr, movie_env(paper_movies)) == paper_movies
+
+    def test_unbound_bag_var(self):
+        with pytest.raises(UnboundVariableError):
+            evaluate_bag(ast.BagVar("X"), Environment())
+
+    def test_unbound_elem_var(self):
+        with pytest.raises(UnboundVariableError):
+            evaluate_bag(ast.SngVar("x"), Environment())
+
+
+class TestSingletonsAndConstants:
+    def test_sng_var(self):
+        env = Environment(elem_vars={"x": ("a", "b")})
+        assert evaluate_bag(ast.SngVar("x"), env) == Bag([("a", "b")])
+
+    def test_sng_proj(self):
+        env = Environment(elem_vars={"x": ("a", ("b", "c"))})
+        assert evaluate_bag(ast.SngProj("x", (1, 0)), env) == Bag(["b"])
+
+    def test_sng_proj_failure(self):
+        env = Environment(elem_vars={"x": "flat"})
+        with pytest.raises(EvaluationError):
+            evaluate_bag(ast.SngProj("x", (1,)), env)
+
+    def test_sng_unit(self):
+        assert evaluate_bag(ast.SngUnit(), Environment()) == Bag([()])
+
+    def test_sng_wraps_a_bag_value(self, paper_movies):
+        result = evaluate_bag(ast.Sng(M), movie_env(paper_movies))
+        assert result == Bag([paper_movies])
+
+    def test_empty(self):
+        assert evaluate_bag(ast.Empty(), Environment()) == EMPTY_BAG
+
+    def test_predicate_true_and_false(self):
+        predicate = preds.eq(preds.var_path("x"), preds.const(1))
+        env_true = Environment(elem_vars={"x": 1})
+        env_false = Environment(elem_vars={"x": 2})
+        assert evaluate_bag(ast.Pred(predicate), env_true) == Bag([()])
+        assert evaluate_bag(ast.Pred(predicate), env_false) == EMPTY_BAG
+
+
+class TestForAndStructural:
+    def test_for_iterates_and_unions(self, paper_movies):
+        expr = ast.For("m", M, ast.SngProj("m", (1,)))
+        result = evaluate_bag(expr, movie_env(paper_movies))
+        assert result == Bag(["Drama", "Action", "Action"])
+
+    def test_for_scales_by_source_multiplicity(self):
+        source = Bag.from_pairs([(("a",), 3)])
+        expr = ast.For("x", ast.Relation("R", bag_of(tuple_of(BASE))), ast.SngProj("x", (0,)))
+        result = evaluate_bag(expr, Environment(relations={"R": source}))
+        assert result.multiplicity("a") == 3
+
+    def test_for_with_negative_multiplicities(self):
+        source = Bag.from_pairs([("a", -2)])
+        expr = ast.For("x", ast.Relation("R", bag_of(BASE)), ast.SngVar("x"))
+        result = evaluate_bag(expr, Environment(relations={"R": source}))
+        assert result.multiplicity("a") == -2
+
+    def test_where_clause_desugaring(self, paper_movies):
+        predicate = preds.eq(preds.var_path("m", 1), preds.const("Action"))
+        expr = build.for_in("m", M, build.proj("m", 0), condition=predicate)
+        result = evaluate_bag(expr, movie_env(paper_movies))
+        assert result == Bag(["Skyfall", "Rush"])
+
+    def test_flatten(self):
+        nested = Bag([Bag(["a", "b"]), Bag(["b"])])
+        expr = ast.Flatten(ast.Relation("R", bag_of(bag_of(BASE))))
+        result = evaluate_bag(expr, Environment(relations={"R": nested}))
+        assert result == Bag(["a", "b", "b"])
+
+    def test_flatten_requires_bags(self, paper_movies):
+        expr = ast.Flatten(M)
+        with pytest.raises(EvaluationError):
+            evaluate_bag(expr, movie_env(paper_movies))
+
+    def test_product_builds_flat_tuples(self):
+        left = Bag(["a"])
+        right = Bag(["x", "y"])
+        expr = ast.Product((ast.Relation("L", bag_of(BASE)), ast.Relation("R", bag_of(BASE))))
+        result = evaluate_bag(expr, Environment(relations={"L": left, "R": right}))
+        assert result == Bag([("a", "x"), ("a", "y")])
+
+    def test_nary_product(self):
+        bag = Bag(["a", "b"])
+        rel = ast.Relation("R", bag_of(BASE))
+        expr = ast.Product((rel, rel, rel))
+        result = evaluate_bag(expr, Environment(relations={"R": bag}))
+        assert result.cardinality() == 8
+        assert result.multiplicity(("a", "b", "a")) == 1
+
+    def test_product_multiplicities_multiply(self):
+        bag = Bag.from_pairs([("a", 2)])
+        rel = ast.Relation("R", bag_of(BASE))
+        expr = ast.Product((rel, rel))
+        result = evaluate_bag(expr, Environment(relations={"R": bag}))
+        assert result.multiplicity(("a", "a")) == 4
+
+    def test_union_and_negate(self):
+        left = Bag(["a"])
+        right = Bag(["a", "b"])
+        env = Environment(relations={"L": left, "R": right})
+        l_rel, r_rel = ast.Relation("L", bag_of(BASE)), ast.Relation("R", bag_of(BASE))
+        assert evaluate_bag(ast.Union((l_rel, r_rel)), env).multiplicity("a") == 2
+        assert evaluate_bag(ast.Negate(l_rel), env).multiplicity("a") == -1
+
+    def test_union_with_negation_expresses_deletion(self):
+        env = Environment(relations={"R": Bag(["a", "b"])})
+        rel = ast.Relation("R", bag_of(BASE))
+        deletion = ast.Union((rel, ast.Negate(rel)))
+        assert evaluate_bag(deletion, env) == EMPTY_BAG
+
+
+class TestLabelConstructs:
+    def test_in_label_packs_param_values(self):
+        env = Environment(elem_vars={"m": ("Drive", "Drama", "Refn")})
+        result = evaluate_bag(ast.InLabel("ι0", ("m",)), env)
+        assert result == Bag([Label("ι0", (("Drive", "Drama", "Refn"),))])
+
+    def test_dict_singleton_lookup(self, paper_movies):
+        body = ast.For(
+            "m2",
+            M,
+            ast.For(
+                "_w",
+                ast.Pred(preds.eq(preds.var_path("m2", 1), preds.var_path("g", 0))),
+                ast.SngProj("m2", (0,)),
+            ),
+        )
+        dictionary = evaluate(
+            ast.DictSingleton("ι", ("g",), body), movie_env(paper_movies)
+        )
+        assert isinstance(dictionary, IntensionalDict)
+        assert dictionary.lookup(Label("ι", (("Action",),))) == Bag(["Skyfall", "Rush"])
+        assert dictionary.lookup(Label("other", (("Action",),))) == EMPTY_BAG
+
+    def test_dict_empty_union_add(self):
+        empty = ast.DictEmpty()
+        assert evaluate(ast.DictUnion((empty, empty)), Environment()).support() == frozenset()
+        assert evaluate(ast.DictAdd((empty, empty)), Environment()).support() == frozenset()
+
+    def test_dict_var_and_lookup(self):
+        label = Label("l", ())
+        dictionary = MaterializedDict({label: Bag(["a"])})
+        env = Environment(dictionaries={"D": dictionary}, elem_vars={"l": label})
+        lookup = ast.DictLookup(ast.DictVar("D", bag_of(BASE)), "l")
+        assert evaluate_bag(lookup, env) == Bag(["a"])
+
+    def test_dict_lookup_requires_label(self):
+        env = Environment(
+            dictionaries={"D": MaterializedDict({})}, elem_vars={"l": "not-a-label"}
+        )
+        lookup = ast.DictLookup(ast.DictVar("D", bag_of(BASE)), "l")
+        with pytest.raises(EvaluationError):
+            evaluate_bag(lookup, env)
+
+    def test_delta_dict_var_defaults_to_empty_dict(self):
+        expr = ast.DeltaDictVar("D", bag_of(BASE))
+        value = evaluate(expr, Environment())
+        assert value.support() == frozenset()
+
+
+class TestInstrumentation:
+    def test_counter_counts_for_iterations(self, paper_movies):
+        counter = OpCounter()
+        expr = ast.For("m", M, ast.SngProj("m", (0,)))
+        evaluate_bag(expr, movie_env(paper_movies), counter)
+        assert counter.get("for_iterations") == 3
+        assert counter.total() > 0
+
+    def test_counter_is_optional(self, paper_movies):
+        expr = ast.For("m", M, ast.SngProj("m", (0,)))
+        assert evaluate_bag(expr, movie_env(paper_movies)) is not None
+
+    def test_evaluate_bag_rejects_dictionaries(self):
+        with pytest.raises(EvaluationError):
+            evaluate_bag(ast.DictEmpty(), Environment())

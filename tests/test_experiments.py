@@ -1,0 +1,83 @@
+"""Smoke tests for the experiment suite: every runner produces a sound table.
+
+Each experiment is exercised with tiny parameters; the assertions check the
+qualitative shape that EXPERIMENTS.md reports (who wins, what stays constant,
+what grows), not absolute numbers.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestExperimentRunners:
+    def test_e1_related_ivm_beats_naive(self):
+        table = experiments.run_e1_related_ivm(sizes=(30, 60), batch_size=2, num_updates=1)
+        assert len(table.rows) == 2
+        assert all(row["speedup"] > 1 for row in table.rows)
+        # The advantage grows with n (asymptotic separation).
+        assert table.rows[-1]["speedup"] > table.rows[0]["speedup"]
+
+    def test_e2_filter_delta_is_constant_work(self):
+        table = experiments.run_e2_filter_delta(sizes=(100, 400), batch_size=2, num_updates=1)
+        ops = table.column("classic_ivm_ops")
+        assert max(ops) <= 4 * min(ops)  # essentially independent of n
+        naive = table.column("naive_ops")
+        assert naive[-1] > naive[0] * 2  # naive grows with n
+
+    def test_e3_recursive_beats_classic(self):
+        table = experiments.run_e3_selfjoin_recursive(sizes=(10, 20), inner_cardinality=3, num_updates=1)
+        for row in table.rows:
+            assert row["recursive_ops"] <= row["classic_ops"]
+            assert row["classic_ops"] < row["naive_ops"]
+
+    def test_e4_flat_join_runs(self):
+        table = experiments.run_e4_flat_join(sizes=(100,), batch_size=2, num_updates=1)
+        assert len(table.rows) == 1
+        assert table.rows[0]["naive_seconds"] >= 0
+
+    def test_e5_shredding_roundtrip_is_lossless(self):
+        table = experiments.run_e5_shredding_roundtrip(depths=(1, 2), top_cardinality=10, inner_cardinality=2)
+        assert all(row["roundtrip_ok"] for row in table.rows)
+        assert all(row["query_equivalent"] for row in table.rows)
+
+    def test_e6_cost_model_ratio_is_bounded(self):
+        table = experiments.run_e6_cost_model(sizes=(20, 40))
+        by_query = {}
+        for row in table.rows:
+            by_query.setdefault(row["query"], []).append(row["measured_over_predicted"])
+        for ratios in by_query.values():
+            assert max(ratios) <= 4 * min(ratios)
+
+    def test_e7_degree_towers_match_theorem(self):
+        table = experiments.run_e7_degree_towers(max_degree=3)
+        assert all(row["matches_theorem"] for row in table.rows)
+        assert [row["tower_height"] for row in table.rows] == [1, 2, 3]
+
+    def test_e8_deep_updates_touch_only_their_labels(self):
+        table = experiments.run_e8_deep_updates(sizes=(20, 80), inner_cardinality=3, touched_labels=2)
+        ops = table.column("ivm_ops")
+        assert ops[0] == ops[1]  # independent of database size
+        rebuild = table.column("rebuild_size")
+        assert rebuild[1] > rebuild[0]
+
+    def test_e9_circuit_cones_separate(self):
+        table = experiments.run_e9_circuit_cones(slot_counts=(4, 16), k=3)
+        update_cones = table.column("update_cone")
+        recompute_cones = table.column("recompute_cone")
+        assert update_cones[0] == update_cones[1] == 6
+        assert recompute_cones[1] > recompute_cones[0]
+
+    def test_e10_crossover_shrinks_with_batch_size(self):
+        table = experiments.run_e10_crossover(size=60, batch_fractions=(0.05, 1.0))
+        speedups = table.column("speedup")
+        assert speedups[0] > speedups[-1]
+
+    def test_registry_and_cli(self, capsys):
+        assert set(experiments.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+        exit_code = experiments.main(["E7"])
+        assert exit_code == 0
+        assert "E7" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_experiment(self, capsys):
+        assert experiments.main(["E99"]) == 2

@@ -1,0 +1,89 @@
+"""Tests for the operation counters and the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import ResultTable, ratio, timed
+from repro.instrument import OpCounter, maybe_count
+from repro.ivm.views import MaintenanceStats
+
+
+class TestOpCounter:
+    def test_increment_and_get(self):
+        counter = OpCounter()
+        counter.increment("a")
+        counter.increment("a", 4)
+        assert counter.get("a") == 5
+        assert counter.get("missing") == 0
+        assert counter.total() == 5
+
+    def test_merge_and_reset(self):
+        left, right = OpCounter(), OpCounter()
+        left.increment("x", 2)
+        right.increment("x", 3)
+        right.increment("y")
+        left.merge(right)
+        assert left.as_dict() == {"x": 5, "y": 1}
+        left.reset()
+        assert left.total() == 0
+
+    def test_maybe_count_with_none(self):
+        maybe_count(None, "anything")  # must not raise
+        counter = OpCounter()
+        maybe_count(counter, "x", 2)
+        assert counter.get("x") == 2
+
+    def test_items_sorted(self):
+        counter = OpCounter()
+        counter.increment("b")
+        counter.increment("a")
+        assert [name for name, _ in counter.items()] == ["a", "b"]
+
+
+class TestMaintenanceStats:
+    def test_recording(self):
+        stats = MaintenanceStats()
+        counter = OpCounter()
+        counter.increment("work", 10)
+        stats.record_init(0.5, counter)
+        stats.record_update(0.1, counter)
+        stats.record_update(0.2, counter)
+        assert stats.updates_applied == 2
+        assert stats.total_update_operations == 20
+        assert stats.mean_update_operations == 10
+        summary = stats.summary()
+        assert summary["init_operations"] == 10
+
+    def test_empty_stats(self):
+        stats = MaintenanceStats()
+        assert stats.mean_update_operations == 0.0
+        assert stats.updates_applied == 0
+
+
+class TestResultTable:
+    def test_add_row_and_format(self):
+        table = ResultTable("demo", ("n", "speedup"))
+        table.add_row(n=10, speedup=1.2345)
+        table.add_row(n=100, speedup=None)
+        table.add_note("a note")
+        text = table.format()
+        assert "demo" in text
+        assert "1.23" in text
+        assert "note: a note" in text
+        assert table.column("n") == [10, 100]
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable("demo", ("n",))
+        with pytest.raises(ValueError):
+            table.add_row(bogus=1)
+
+    def test_to_csv(self):
+        table = ResultTable("demo", ("a", "b"))
+        table.add_row(a=1, b=True)
+        assert table.to_csv().splitlines() == ["a,b", "1,yes"]
+
+    def test_timed_and_ratio(self):
+        value, seconds = timed(lambda: 21 * 2)
+        assert value == 42
+        assert seconds >= 0
+        assert ratio(10, 4) == 2.5
+        assert ratio(1, 0) is None

@@ -1,0 +1,139 @@
+"""Tests for the database, update objects and the shredded mirror."""
+
+import pytest
+
+from repro.bag import Bag, EMPTY_BAG
+from repro.errors import WorkloadError
+from repro.ivm import Database, Update, UpdateStream, deletions, insertions
+from repro.labels import Label
+from repro.nrc.types import BASE, bag_of, tuple_of
+from repro.shredding.shred_database import flat_relation_name, input_dict_name
+from repro.workloads import MOVIE_SCHEMA, PAPER_MOVIES
+
+NESTED_SCHEMA = bag_of(bag_of(BASE))
+
+
+class TestUpdateObjects:
+    def test_insertions_and_deletions_helpers(self):
+        insert = insertions("M", [("a", "g", "d")])
+        assert insert.relations["M"].multiplicity(("a", "g", "d")) == 1
+        delete = deletions("M", [("a", "g", "d")])
+        assert delete.relations["M"].multiplicity(("a", "g", "d")) == -1
+
+    def test_is_empty_and_total_size(self):
+        assert Update().is_empty()
+        assert not insertions("M", [("a", "g", "d")]).is_empty()
+        update = Update(relations={"M": Bag([("a", "g", "d")])}, deep={"D": {Label("l"): Bag(["x"])}})
+        assert update.total_size() == 2
+        assert update.touched_relations() == ("M",)
+
+    def test_deep_dict_deltas(self):
+        update = Update(deep={"D": {Label("l"): Bag(["x"])}})
+        deltas = update.deep_dict_deltas()
+        assert deltas["D"].lookup(Label("l")) == Bag(["x"])
+
+    def test_update_stream_merge(self):
+        stream = UpdateStream(
+            [insertions("M", [("a", "g", "d")]), insertions("M", [("b", "g", "d")])]
+        )
+        assert len(stream) == 2
+        assert stream.total_size() == 2
+        merged = stream.merged()
+        assert merged.relations["M"].cardinality() == 2
+
+    def test_update_stream_indexing(self):
+        first = insertions("M", [("a", "g", "d")])
+        stream = UpdateStream([first])
+        assert stream[0] is first
+        stream.append(insertions("M", [("b", "g", "d")]))
+        assert len(list(stream)) == 2
+
+
+class TestDatabase:
+    def test_register_and_read(self, movie_db, paper_movies):
+        assert movie_db.relation("M") == paper_movies
+        assert movie_db.relation_names() == ("M",)
+        assert movie_db.schema("M") == MOVIE_SCHEMA
+
+    def test_double_registration_rejected(self, movie_db):
+        with pytest.raises(WorkloadError):
+            movie_db.register("M", MOVIE_SCHEMA)
+
+    def test_update_to_unknown_relation_rejected(self, movie_db):
+        with pytest.raises(WorkloadError):
+            movie_db.apply_update(insertions("Unknown", [("a",)]))
+
+    def test_apply_update_mutates_nested_relation(self, movie_db, paper_update):
+        movie_db.apply_update(Update(relations={"M": paper_update}))
+        assert movie_db.relation("M").multiplicity(("Jarhead", "Drama", "Mendes")) == 1
+
+    def test_apply_deletion(self, movie_db):
+        movie_db.apply_update(deletions("M", [("Drive", "Drama", "Refn")]))
+        assert ("Drive", "Drama", "Refn") not in movie_db.relation("M")
+
+    def test_shredded_mirror_for_flat_relation(self, movie_db, paper_movies):
+        env = movie_db.shredded_environment()
+        assert env.relations[flat_relation_name("M")] == paper_movies
+
+    def test_shredded_mirror_for_nested_relation(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a", "b"]), Bag(["c"])]))
+        env = database.shredded_environment()
+        flat = env.relations[flat_relation_name("R")]
+        assert flat.cardinality() == 2
+        assert all(isinstance(element, Label) for element in flat.elements())
+        dictionary = env.dictionaries[input_dict_name("R", ())]
+        assert len(dictionary.support()) == 2
+
+    def test_shred_update_creates_delta_symbols(self, movie_db, paper_update):
+        delta = movie_db.shred_update(Update(relations={"M": paper_update}))
+        assert delta.bags[flat_relation_name("M")] == paper_update
+        assert delta.source_names() == (flat_relation_name("M"),)
+        assert (flat_relation_name("M"), 1) in delta.as_delta_symbols()
+
+    def test_shred_update_of_nested_insert_defines_new_labels(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a"])]))
+        delta = database.shred_update(Update(relations={"R": Bag([Bag(["new"])])}))
+        assert input_dict_name("R", ()) in delta.dictionaries
+        assert len(delta.dictionaries[input_dict_name("R", ())]) == 1
+
+    def test_shredded_mirror_is_updated_incrementally(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a"])]))
+        database.apply_update(Update(relations={"R": Bag([Bag(["b", "c"])])}))
+        env = database.shredded_environment()
+        assert env.relations[flat_relation_name("R")].cardinality() == 2
+        assert len(env.dictionaries[input_dict_name("R", ())].support()) == 2
+
+    def test_views_are_notified_before_mutation(self, movie_db, paper_movies, paper_update):
+        observed = {}
+
+        class Probe:
+            def on_update(self, update, shredded_delta):
+                observed["relation_at_notification"] = movie_db.relation("M")
+
+        movie_db.register_view(Probe())
+        movie_db.apply_update(Update(relations={"M": paper_update}))
+        assert observed["relation_at_notification"] == paper_movies
+
+    def test_deep_update_refreshes_nested_relation(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a"]), Bag(["b"])]))
+        dict_name = input_dict_name("R", ())
+        label = sorted(
+            database.shredded_environment().dictionaries[dict_name].support(),
+            key=lambda l: l.render(),
+        )[0]
+        database.apply_update(Update(deep={dict_name: {label: Bag(["z"])}}))
+        updated = database.relation("R")
+        assert any("z" in inner.elements() for inner in updated.elements() if isinstance(inner, Bag))
+
+    def test_shredded_source_names(self, movie_db):
+        assert movie_db.shredded_source_names("M") == (flat_relation_name("M"),)
+        database = Database()
+        database.register("R", NESTED_SCHEMA, EMPTY_BAG)
+        assert database.shredded_source_names("R") == (
+            flat_relation_name("R"),
+            input_dict_name("R", ()),
+        )

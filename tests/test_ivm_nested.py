@@ -1,0 +1,190 @@
+"""Tests for nested IVM through shredding (the engine behind Section 2.2/5)."""
+
+import pytest
+
+from repro.bag import Bag
+from repro.ivm import Database, NaiveView, NestedIVMView, Update, deletions, insertions
+from repro.labels import Label
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.evaluator import evaluate_bag
+from repro.nrc.types import BASE, bag_of, tuple_of
+from repro.shredding.shred_database import input_dict_name
+from repro.workloads import (
+    MOVIE_SCHEMA,
+    PAPER_UPDATE,
+    feed_query,
+    generate_movies,
+    generate_posts,
+    generate_users,
+    movie_update_stream,
+    post_update_stream,
+    related_query,
+    POST_SCHEMA,
+    USER_SCHEMA,
+)
+
+NESTED_SCHEMA = bag_of(bag_of(BASE))
+
+
+class TestRelatedMaintenance:
+    """The motivating example, maintained in shredded form."""
+
+    def test_initial_materialization_matches_direct_evaluation(self, movie_db, related):
+        view = NestedIVMView(related, movie_db)
+        assert view.result() == evaluate_bag(related, movie_db.environment())
+
+    def test_paper_update_produces_the_paper_result(self, movie_db, related):
+        view = NestedIVMView(related, movie_db)
+        movie_db.apply_update(Update(relations={"M": PAPER_UPDATE}))
+        result = view.result()
+        rows = {name: inner for name, inner in result.elements()}
+        assert rows["Drive"] == Bag(["Jarhead"])
+        assert rows["Skyfall"] == Bag(["Rush", "Jarhead"])
+        assert rows["Jarhead"] == Bag(["Drive", "Skyfall"])
+        assert rows["Rush"] == Bag(["Skyfall"])
+
+    def test_matches_naive_over_mixed_stream(self, related):
+        database = Database()
+        database.register("M", MOVIE_SCHEMA, generate_movies(30))
+        naive = NaiveView(related, database)
+        nested = NestedIVMView(related, database)
+        stream = movie_update_stream(
+            5, 3, existing=database.relation("M"), deletion_ratio=0.4, seed=5
+        )
+        for update in stream:
+            database.apply_update(update)
+            assert nested.result() == naive.result()
+
+    def test_flat_view_and_dictionary_shapes(self, movie_db, related):
+        view = NestedIVMView(related, movie_db)
+        assert view.flat_result().cardinality() == 3
+        assert view.dictionary_paths() == ((1,),)
+        dictionary = view.dictionary((1,))
+        assert len(dictionary.support()) == 3
+
+    def test_unknown_dictionary_path_rejected(self, movie_db, related):
+        view = NestedIVMView(related, movie_db)
+        with pytest.raises(KeyError):
+            view.dictionary((9,))
+
+    def test_does_less_work_than_naive_on_larger_instances(self, related):
+        database = Database()
+        database.register("M", MOVIE_SCHEMA, generate_movies(200))
+        naive = NaiveView(related, database)
+        nested = NestedIVMView(related, database)
+        for update in movie_update_stream(2, 2):
+            database.apply_update(update)
+        assert (
+            nested.stats.mean_update_operations
+            < naive.stats.mean_update_operations / 3
+        )
+
+    def test_vacuum_drops_stale_labels(self, movie_db, related):
+        view = NestedIVMView(movie_db and related, movie_db)
+        movie_db.apply_update(deletions("M", [("Drive", "Drama", "Refn")]))
+        assert view.result() == evaluate_bag(related, movie_db.environment())
+        removed = view.vacuum()
+        assert removed >= 1
+        assert view.result() == evaluate_bag(related, movie_db.environment())
+
+
+class TestOtherQueries:
+    def test_identity_over_nested_input(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a", "b"]), Bag(["c"])]))
+        query = build.for_in("x", ast.Relation("R", NESTED_SCHEMA), ast.SngVar("x"))
+        view = NestedIVMView(query, database)
+        database.apply_update(Update(relations={"R": Bag([Bag(["d", "e"])])}))
+        assert view.result() == database.relation("R")
+
+    def test_social_feed_maintenance(self):
+        users = generate_users(15, num_cities=3)
+        posts = generate_posts(users, posts_per_user=2)
+        database = Database()
+        database.register("Users", USER_SCHEMA, users)
+        database.register("Posts", POST_SCHEMA, posts)
+        query = feed_query()
+        naive = NaiveView(query, database)
+        nested = NestedIVMView(query, database)
+        for update in post_update_stream(users, 3, 2):
+            database.apply_update(update)
+        assert nested.result() == naive.result()
+
+    def test_flat_query_through_the_nested_engine(self, movie_db):
+        query = build.filter_query(
+            ast.Relation("M", MOVIE_SCHEMA),
+            preds.eq(preds.var_path("x", 1), preds.const("Drama")),
+            "x",
+        )
+        view = NestedIVMView(query, movie_db)
+        movie_db.apply_update(insertions("M", [("Melancholia", "Drama", "vonTrier")]))
+        assert view.result() == evaluate_bag(query, movie_db.environment())
+
+    def test_updates_to_one_of_two_relations(self):
+        database = Database()
+        database.register("Users", USER_SCHEMA, generate_users(8, num_cities=2))
+        database.register("Posts", POST_SCHEMA, generate_posts(generate_users(8, num_cities=2)))
+        query = feed_query()
+        naive = NaiveView(query, database)
+        nested = NestedIVMView(query, database)
+        database.apply_update(insertions("Users", [("newuser", "City0")]))
+        assert nested.result() == naive.result()
+
+
+class TestDeepUpdates:
+    def test_deep_update_to_input_inner_bag(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a", "b"]), Bag(["c"])]))
+        query = build.for_in("x", ast.Relation("R", NESTED_SCHEMA), ast.SngVar("x"))
+        view = NestedIVMView(query, database)
+
+        dict_name = input_dict_name("R", ())
+        label = sorted(
+            database.shredded_environment().dictionaries[dict_name].support(),
+            key=lambda l: l.render(),
+        )[0]
+        database.apply_update(Update(deep={dict_name: {label: Bag(["z"])}}))
+        assert view.result() == database.relation("R")
+
+    def test_deep_deletion_from_inner_bag(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a", "b"])]))
+        query = build.for_in("x", ast.Relation("R", NESTED_SCHEMA), ast.SngVar("x"))
+        view = NestedIVMView(query, database)
+        dict_name = input_dict_name("R", ())
+        label = next(iter(database.shredded_environment().dictionaries[dict_name].support()))
+        database.apply_update(
+            Update(deep={dict_name: {label: Bag.from_pairs([("a", -1)])}})
+        )
+        assert view.result() == Bag([Bag(["b"])])
+
+    def test_deep_update_work_is_independent_of_database_size(self):
+        sizes = (40, 160)
+        ops = []
+        for size in sizes:
+            database = Database()
+            database.register(
+                "R", NESTED_SCHEMA, Bag([Bag([f"x{i}"]) for i in range(size)])
+            )
+            query = build.for_in("x", ast.Relation("R", NESTED_SCHEMA), ast.SngVar("x"))
+            view = NestedIVMView(query, database)
+            dict_name = input_dict_name("R", ())
+            label = next(iter(database.shredded_environment().dictionaries[dict_name].support()))
+            database.apply_update(Update(deep={dict_name: {label: Bag(["extra"])}}))
+            ops.append(view.stats.mean_update_operations)
+        assert ops[0] == ops[1]
+
+    def test_mixed_shallow_and_deep_update(self):
+        database = Database()
+        database.register("R", NESTED_SCHEMA, Bag([Bag(["a"]), Bag(["b"])]))
+        query = build.for_in("x", ast.Relation("R", NESTED_SCHEMA), ast.SngVar("x"))
+        view = NestedIVMView(query, database)
+        dict_name = input_dict_name("R", ())
+        label = sorted(
+            database.shredded_environment().dictionaries[dict_name].support(),
+            key=lambda l: l.render(),
+        )[0]
+        database.apply_update(
+            Update(relations={"R": Bag([Bag(["c"])])}, deep={dict_name: {label: Bag(["z"])}})
+        )
+        assert view.result() == database.relation("R")

@@ -1,0 +1,153 @@
+"""Tests for labels and label dictionaries (Section 5.2, Appendix C.2)."""
+
+import pytest
+
+from repro.bag import Bag, EMPTY_BAG
+from repro.dictionaries import (
+    CombinedDict,
+    EMPTY_DICT,
+    IntensionalDict,
+    MaterializedDict,
+)
+from repro.errors import DictionaryConflictError
+from repro.labels import Label, LabelFactory
+
+
+class TestLabels:
+    def test_labels_are_hashable_value_objects(self):
+        a = Label("ι", ("Drive",))
+        b = Label("ι", ("Drive",))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_labels_with_different_values_differ(self):
+        assert Label("ι", ("a",)) != Label("ι", ("b",))
+        assert Label("ι", ()) != Label("κ", ())
+
+    def test_render(self):
+        assert Label("ι").render() == "⟨ι⟩"
+        assert Label("ι", ("Drive", "Drama")).render() == "⟨ι, Drive, Drama⟩"
+
+    def test_factory_produces_fresh_labels(self):
+        factory = LabelFactory("db")
+        labels = {factory.fresh("M") for _ in range(100)}
+        assert len(labels) == 100
+        assert all(label.iota.startswith("db.M.") for label in labels)
+
+    def test_factory_fresh_index(self):
+        factory = LabelFactory()
+        assert factory.fresh_index() != factory.fresh_index()
+
+
+LBL1 = Label("l1")
+LBL2 = Label("l2")
+LBL3 = Label("l3")
+
+
+class TestMaterializedDict:
+    def test_lookup_and_support(self):
+        dictionary = MaterializedDict({LBL1: Bag(["b1"])})
+        assert dictionary.lookup(LBL1) == Bag(["b1"])
+        assert dictionary.lookup(LBL2) == EMPTY_BAG
+        assert dictionary.defines(LBL1)
+        assert not dictionary.defines(LBL2)
+        assert dictionary.support() == {LBL1}
+
+    def test_empty_definition_differs_from_missing(self):
+        """supp([]) = ∅ but supp([l ↦ ∅]) = {l} (Section 5.2)."""
+        dictionary = MaterializedDict({LBL1: EMPTY_BAG})
+        assert dictionary.defines(LBL1)
+        assert dictionary.lookup(LBL1) == EMPTY_BAG
+        assert EMPTY_DICT.support() == frozenset()
+
+    def test_with_and_without_entry(self):
+        dictionary = MaterializedDict({LBL1: Bag(["a"])})
+        extended = dictionary.with_entry(LBL2, Bag(["b"]))
+        assert extended.defines(LBL2)
+        assert not dictionary.defines(LBL2)
+        assert not extended.without_entry(LBL1).defines(LBL1)
+
+    def test_equality_and_hash(self):
+        a = MaterializedDict({LBL1: Bag(["x"])})
+        b = MaterializedDict({LBL1: Bag(["x"])})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestLabelUnionVsAddition:
+    """The Appendix C.2 examples contrasting ∪ and ⊎."""
+
+    def test_label_union_merges_disjoint_and_agreeing_definitions(self):
+        left = MaterializedDict({LBL1: Bag(["b1"]), LBL2: Bag(["b2", "b3"])})
+        right = MaterializedDict({LBL2: Bag(["b2", "b3"]), LBL3: Bag(["b4"])})
+        merged = left.label_union(right)
+        assert merged.support() == {LBL1, LBL2, LBL3}
+        assert merged.lookup(LBL2) == Bag(["b2", "b3"])
+
+    def test_bag_addition_doubles_agreeing_definitions(self):
+        left = MaterializedDict({LBL1: Bag(["b1"]), LBL2: Bag(["b2", "b3"])})
+        right = MaterializedDict({LBL2: Bag(["b2", "b3"]), LBL3: Bag(["b4"])})
+        added = left.add(right)
+        assert added.lookup(LBL2) == Bag(["b2", "b2", "b3", "b3"])
+
+    def test_label_union_conflict_is_an_error(self):
+        left = MaterializedDict({LBL2: Bag(["b2", "b3"])})
+        right = MaterializedDict({LBL2: Bag(["b5"])})
+        with pytest.raises(DictionaryConflictError):
+            left.label_union(right)
+
+    def test_bag_addition_merges_conflicting_definitions(self):
+        left = MaterializedDict({LBL2: Bag(["b2", "b3"])})
+        right = MaterializedDict({LBL2: Bag(["b5"])})
+        assert left.add(right).lookup(LBL2) == Bag(["b2", "b3", "b5"])
+
+    def test_addition_can_delete_elements(self):
+        """Deep deletions: adding a negative-multiplicity delta."""
+        base = MaterializedDict({LBL1: Bag(["x", "y"])})
+        delta = MaterializedDict({LBL1: Bag.from_pairs([("x", -1)])})
+        assert base.add(delta).lookup(LBL1) == Bag(["y"])
+
+
+class TestIntensionalDict:
+    def test_lookup_dispatches_on_iota(self):
+        dictionary = IntensionalDict("ι", lambda values: Bag([values[0] + "!"]))
+        assert dictionary.lookup(Label("ι", ("hi",))) == Bag(["hi!"])
+        assert dictionary.lookup(Label("other", ("hi",))) == EMPTY_BAG
+        assert dictionary.support() is None
+        assert dictionary.defines(Label("ι", ("anything",)))
+
+    def test_materialize_restricts_to_given_labels(self):
+        dictionary = IntensionalDict("ι", lambda values: Bag([values[0]]))
+        labels = [Label("ι", ("a",)), Label("ι", ("b",))]
+        materialized = dictionary.materialize(labels)
+        assert materialized.support() == set(labels)
+        assert materialized.lookup(labels[0]) == Bag(["a"])
+
+
+class TestCombinedDict:
+    def test_union_with_intensional_part(self):
+        left = MaterializedDict({LBL1: Bag(["a"])})
+        right = IntensionalDict("ι", lambda values: Bag(["body"]))
+        combined = left.label_union(right)
+        assert isinstance(combined, CombinedDict)
+        assert combined.lookup(LBL1) == Bag(["a"])
+        assert combined.lookup(Label("ι", ())) == Bag(["body"])
+        assert combined.support() is None
+
+    def test_union_conflict_detected_at_lookup(self):
+        left = MaterializedDict({Label("ι", ()): Bag(["a"])})
+        right = IntensionalDict("ι", lambda values: Bag(["b"]))
+        combined = left.label_union(right)
+        with pytest.raises(DictionaryConflictError):
+            combined.lookup(Label("ι", ()))
+
+    def test_add_with_intensional_part(self):
+        left = MaterializedDict({Label("ι", ()): Bag(["a"])})
+        right = IntensionalDict("ι", lambda values: Bag(["b"]))
+        combined = left.add(right)
+        assert combined.lookup(Label("ι", ())) == Bag(["a", "b"])
+
+    def test_combined_mode_validation(self):
+        with pytest.raises(ValueError):
+            CombinedDict((EMPTY_DICT,), mode="bogus")

@@ -1,0 +1,73 @@
+"""Tests for the lazy evaluation strategy of Lemma 3."""
+
+from repro.bag import Bag
+from repro.instrument import OpCounter
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.evaluator import Environment, evaluate_bag
+from repro.nrc.lazy import (
+    LazyBag,
+    evaluate_lazy,
+    evaluate_lazy_expanded,
+    expand_bag,
+)
+from repro.nrc.types import BASE, bag_of, tuple_of
+from repro.workloads import MOVIE_SCHEMA, PAPER_MOVIES, related_query
+
+M = ast.Relation("M", MOVIE_SCHEMA)
+
+
+class TestLazyEquivalence:
+    def test_related_query_matches_strict_evaluation(self, paper_movies, related):
+        env = Environment(relations={"M": paper_movies})
+        assert evaluate_lazy_expanded(related, env) == evaluate_bag(related, env)
+
+    def test_flat_query_is_unaffected(self, paper_movies):
+        query = build.filter_query(M, preds.eq(preds.var_path("x", 1), preds.const("Drama")), "x")
+        env = Environment(relations={"M": paper_movies})
+        assert evaluate_lazy_expanded(query, env) == evaluate_bag(query, env)
+
+    def test_doubly_nested_query(self, paper_movies):
+        inner = build.for_in("m2", M, build.sng(build.for_in("m3", M, build.proj("m3", 0))))
+        query = build.for_in("m", M, build.sng(inner))
+        env = Environment(relations={"M": paper_movies})
+        assert evaluate_lazy_expanded(query, env) == evaluate_bag(query, env)
+
+
+class TestLaziness:
+    def test_inner_bags_are_suspended(self, paper_movies, related):
+        env = Environment(relations={"M": paper_movies})
+        lazy_result = evaluate_lazy(related, env)
+        suspended = [
+            component
+            for element in lazy_result.elements()
+            for component in element
+            if isinstance(component, LazyBag)
+        ]
+        assert len(suspended) == 3
+        assert not any(lazy.is_forced for lazy in suspended)
+
+    def test_forcing_is_memoized(self, paper_movies):
+        env = Environment(relations={"M": paper_movies})
+        lazy = LazyBag(ast.For("m", M, ast.SngProj("m", (0,))), env, None)
+        first = lazy.force()
+        assert lazy.is_forced
+        assert lazy.force() is first
+
+    def test_projected_away_inner_bags_are_never_computed(self, paper_movies, related):
+        """The lazy pass pays only for the top-level bag (Lemma 3's point)."""
+        env = Environment(relations={"M": paper_movies})
+        lazy_counter = OpCounter()
+        # Keep only the movie names: the nested relB bags are projected away.
+        names_only = ast.For("r", related, ast.SngProj("r", (0,)))
+        result = expand_bag(evaluate_lazy(names_only, env, lazy_counter))
+        assert result == Bag(["Drive", "Skyfall", "Rush"])
+
+        strict_counter = OpCounter()
+        evaluate_bag(names_only, env, strict_counter)
+        # Strict evaluation iterates M once per movie to build the inner bags
+        # (quadratic); lazy evaluation never does.
+        assert lazy_counter.get("for_iterations") < strict_counter.get("for_iterations")
+        assert lazy_counter.get("suspensions") == 3
+
+    def test_expand_handles_plain_values(self):
+        assert expand_bag(Bag([("a", 1)])) == Bag([("a", 1)])

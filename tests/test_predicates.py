@@ -1,0 +1,102 @@
+"""Unit tests for the predicate sub-language."""
+
+import pytest
+
+from repro.bag import Bag
+from repro.errors import EvaluationError
+from repro.nrc import predicates as preds
+
+
+class TestOperands:
+    def test_var_path_projects(self):
+        operand = preds.var_path("m", 1)
+        assert operand.evaluate({"m": ("Drive", "Drama")}) == "Drama"
+
+    def test_var_path_without_path_returns_value(self):
+        assert preds.var_path("x").evaluate({"x": 7}) == 7
+
+    def test_var_path_unbound_variable(self):
+        with pytest.raises(EvaluationError):
+            preds.var_path("x").evaluate({})
+
+    def test_var_path_bad_projection(self):
+        with pytest.raises(EvaluationError):
+            preds.var_path("x", 3).evaluate({"x": ("a", "b")})
+
+    def test_const_must_be_base_value(self):
+        with pytest.raises(TypeError):
+            preds.const(("a", "b"))
+
+    def test_render(self):
+        assert preds.var_path("m", 0, 1).render() == "m.0.1"
+        assert preds.const("Oz").render() == "'Oz'"
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        env = {"x": 3, "y": 5}
+        assert preds.eq(preds.var_path("x"), preds.const(3)).evaluate(env)
+        assert preds.ne(preds.var_path("x"), preds.var_path("y")).evaluate(env)
+        assert preds.lt(preds.var_path("x"), preds.var_path("y")).evaluate(env)
+        assert preds.le(preds.var_path("x"), preds.const(3)).evaluate(env)
+        assert preds.gt(preds.var_path("y"), preds.var_path("x")).evaluate(env)
+        assert preds.ge(preds.var_path("y"), preds.const(5)).evaluate(env)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            preds.Comparison("<>", preds.const(1), preds.const(2))
+
+    def test_comparing_bags_is_an_error(self):
+        """Appendix A.2: predicates over bags would smuggle in negation."""
+        predicate = preds.eq(preds.var_path("x"), preds.const(1))
+        with pytest.raises(EvaluationError):
+            predicate.evaluate({"x": Bag(["a"])})
+
+    def test_free_vars(self):
+        predicate = preds.eq(preds.var_path("m", 1), preds.var_path("m2", 1))
+        assert predicate.free_vars() == {"m", "m2"}
+
+
+class TestBooleanCombinators:
+    def test_and_or_not(self):
+        env = {"x": 1}
+        true = preds.eq(preds.var_path("x"), preds.const(1))
+        false = preds.eq(preds.var_path("x"), preds.const(2))
+        assert preds.And((true, true)).evaluate(env)
+        assert not preds.And((true, false)).evaluate(env)
+        assert preds.Or((false, true)).evaluate(env)
+        assert not preds.Or((false, false)).evaluate(env)
+        assert preds.Not(false).evaluate(env)
+
+    def test_operator_sugar(self):
+        env = {"x": 1}
+        true = preds.eq(preds.var_path("x"), preds.const(1))
+        false = preds.eq(preds.var_path("x"), preds.const(2))
+        assert (true & true).evaluate(env)
+        assert (true | false).evaluate(env)
+        assert (~false).evaluate(env)
+
+    def test_true_predicate(self):
+        assert preds.TruePredicate().evaluate({})
+        assert preds.TruePredicate().free_vars() == frozenset()
+
+    def test_nested_free_vars(self):
+        predicate = preds.And(
+            (
+                preds.eq(preds.var_path("a"), preds.const(1)),
+                preds.Or(
+                    (
+                        preds.eq(preds.var_path("b"), preds.const(2)),
+                        preds.Not(preds.eq(preds.var_path("c"), preds.const(3))),
+                    )
+                ),
+            )
+        )
+        assert predicate.free_vars() == {"a", "b", "c"}
+
+    def test_render_combinators(self):
+        predicate = preds.And(
+            (preds.eq(preds.var_path("x"), preds.const(1)), preds.TruePredicate())
+        )
+        assert "∧" in predicate.render()
+        assert "true" in predicate.render()

@@ -1,0 +1,79 @@
+"""Unit tests for pretty printing and generic traversal utilities."""
+
+import pytest
+
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.pretty import render
+from repro.nrc.traverse import count_nodes, iter_subexpressions, map_expr, replace_subexpressions
+from repro.nrc.types import BASE, bag_of, tuple_of
+
+MOVIE = tuple_of(BASE, BASE, BASE)
+M = ast.Relation("M", bag_of(MOVIE))
+
+
+class TestPrettyPrinter:
+    def test_renders_paper_notation(self, related):
+        text = render(related)
+        assert "for m in M" in text
+        assert "sng(" in text
+        assert "where" in text
+
+    def test_renders_where_sugar(self):
+        query = build.filter_query(M, preds.eq(preds.var_path("x", 1), preds.const("Drama")), "x")
+        assert "where x.1 == 'Drama'" in render(query)
+
+    def test_renders_delta_symbols(self):
+        assert render(ast.DeltaRelation("M", bag_of(MOVIE), 1)) == "ΔM"
+        assert render(ast.DeltaRelation("M", bag_of(MOVIE), 2)) == "Δ'M"
+
+    def test_renders_operators(self):
+        assert render(ast.Union((M, M))) == "(M ⊎ M)"
+        assert render(ast.Product((M, M))) == "(M × M)"
+        assert render(ast.Negate(M)) == "⊖(M)"
+        assert render(ast.Empty()) == "∅"
+        assert render(ast.Flatten(M)) == "flatten(M)"
+
+    def test_renders_label_constructs(self):
+        assert render(ast.InLabel("ι0", ("m",))) == "inL_ι0(m)"
+        dictionary = ast.DictSingleton("ι0", ("m",), ast.SngProj("m", (0,)))
+        assert render(dictionary) == "[(ι0, ⟨m⟩) ↦ sng(π_0(m))]"
+        lookup = ast.DictLookup(ast.DictVar("D", bag_of(BASE)), "r", (1,))
+        assert render(lookup) == "D(r.1)"
+
+    def test_renders_let(self):
+        assert render(ast.Let("X", M, ast.BagVar("X"))) == "let X := M in X"
+
+    def test_rendering_is_deterministic(self, related):
+        assert render(related) == render(related)
+
+
+class TestTraversal:
+    def test_iter_subexpressions_preorder(self):
+        expr = ast.Union((M, ast.Negate(M)))
+        nodes = list(iter_subexpressions(expr))
+        assert nodes[0] is expr
+        assert M in nodes
+        assert any(isinstance(node, ast.Negate) for node in nodes)
+
+    def test_count_nodes(self, related):
+        assert count_nodes(related) > 5
+        assert count_nodes(M) == 1
+
+    def test_map_expr_identity_returns_same_structure(self, related):
+        assert map_expr(related, lambda node: node) == related
+
+    def test_map_expr_rewrites_leaves(self):
+        other = ast.Relation("N", bag_of(MOVIE))
+        expr = ast.Union((M, M))
+
+        def swap(node):
+            if node == M:
+                return other
+            return node
+
+        assert map_expr(expr, swap) == ast.Union((other, other))
+
+    def test_replace_subexpressions(self):
+        expr = ast.Union((M, ast.Negate(M)))
+        replaced = replace_subexpressions(expr, {M: ast.Empty()})
+        assert replaced == ast.Union((ast.Empty(), ast.Negate(ast.Empty())))

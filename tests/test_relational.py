@@ -1,0 +1,159 @@
+"""Tests for the flat relational algebra, its delta rules and flat IVM (Appendix A.1)."""
+
+import pytest
+
+from repro.bag import Bag, EMPTY_BAG
+from repro.errors import TypeCheckError
+from repro.relational import (
+    BaseRel,
+    CrossProduct,
+    DeltaRel,
+    NegateRel,
+    Project,
+    RelSchema,
+    Rename,
+    RelationalDatabase,
+    RelationalIVMView,
+    RelationalNaiveView,
+    Select,
+    ThetaJoin,
+    UnionAll,
+    relational_delta,
+    relational_sources,
+)
+from repro.workloads import doz_query
+
+MOVIES = RelSchema(("movie", "genre"))
+SHOWS = RelSchema(("movie", "loc", "time"))
+
+movies_instance = Bag([("Drive", "Drama"), ("Skyfall", "Action"), ("Melancholia", "Drama")])
+shows_instance = Bag(
+    [
+        ("Drive", "Oz", "20:00"),
+        ("Skyfall", "Oz", "21:00"),
+        ("Melancholia", "Kansas", "19:00"),
+    ]
+)
+DB = {"Mflat": movies_instance, "Sh": shows_instance}
+
+
+class TestSchemas:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TypeCheckError):
+            RelSchema(("a", "a"))
+
+    def test_index_of_unknown_column(self):
+        with pytest.raises(TypeCheckError):
+            MOVIES.index_of("nope")
+
+    def test_concat_disambiguates(self):
+        merged = MOVIES.concat(RelSchema(("movie", "rating")))
+        assert merged.columns == ("movie", "genre", "movie_r", "rating")
+
+
+class TestOperators:
+    def test_base_and_select(self):
+        dramas = Select(BaseRel("Mflat", MOVIES), lambda row: row["genre"] == "Drama")
+        assert dramas.evaluate(DB) == Bag([("Drive", "Drama"), ("Melancholia", "Drama")])
+
+    def test_project_keeps_duplicates_as_multiplicities(self):
+        genres = Project(BaseRel("Mflat", MOVIES), ("genre",))
+        assert genres.evaluate(DB).multiplicity(("Drama",)) == 2
+
+    def test_cross_product(self):
+        product = CrossProduct(BaseRel("Mflat", MOVIES), BaseRel("Sh", SHOWS))
+        assert product.evaluate(DB).cardinality() == 9
+        assert len(product.schema()) == 5
+
+    def test_theta_join(self):
+        joined = ThetaJoin(BaseRel("Sh", SHOWS), BaseRel("Mflat", MOVIES), (("movie", "movie"),))
+        result = joined.evaluate(DB)
+        assert result.cardinality() == 3
+        assert ("Drive", "Oz", "20:00", "Drive", "Drama") in result
+
+    def test_union_and_negate(self):
+        rel = BaseRel("Mflat", MOVIES)
+        assert UnionAll(rel, NegateRel(rel)).evaluate(DB) == EMPTY_BAG
+
+    def test_union_arity_mismatch_rejected(self):
+        with pytest.raises(TypeCheckError):
+            UnionAll(BaseRel("Mflat", MOVIES), BaseRel("Sh", SHOWS)).schema()
+
+    def test_rename(self):
+        renamed = Rename(BaseRel("Mflat", MOVIES), (("genre", "g"),))
+        assert renamed.schema().columns == ("movie", "g")
+        assert renamed.evaluate(DB) == movies_instance
+
+    def test_delta_rel_reads_update_symbols(self):
+        delta = DeltaRel("Mflat", MOVIES)
+        assert delta.evaluate(DB) == EMPTY_BAG
+        assert delta.evaluate(DB, {("Mflat", 1): Bag([("New", "Drama")])}) == Bag([("New", "Drama")])
+
+    def test_doz_query_of_example_8(self):
+        assert doz_query().evaluate(DB) == Bag([("Drive",)])
+
+    def test_builder_sugar(self):
+        query = (
+            BaseRel("Sh", SHOWS)
+            .select(lambda row: row["loc"] == "Oz")
+            .join(BaseRel("Mflat", MOVIES), on=(("movie", "movie"),))
+            .project(("movie", "genre"))
+        )
+        assert query.evaluate(DB).cardinality() == 2
+
+
+class TestFlatDeltaRules:
+    def test_sources(self):
+        assert relational_sources(doz_query()) == {"Mflat", "Sh"}
+
+    def test_delta_satisfies_equation_5(self):
+        query = doz_query()
+        delta_query = relational_delta(query)
+        updates = {
+            "Sh": Bag([("Melancholia", "Oz", "22:00")]),
+            "Mflat": Bag([("Jarhead", "Drama")]),
+        }
+        post = {name: DB[name].union(updates.get(name, EMPTY_BAG)) for name in DB}
+        direct = query.evaluate(post)
+        incremental = query.evaluate(DB).union(
+            delta_query.evaluate(DB, {(name, 1): bag for name, bag in updates.items()})
+        )
+        assert direct == incremental
+
+    def test_delta_with_deletions(self):
+        query = doz_query()
+        delta_query = relational_delta(query)
+        updates = {"Sh": Bag.from_pairs([(("Drive", "Oz", "20:00"), -1)])}
+        post = {"Mflat": DB["Mflat"], "Sh": DB["Sh"].union(updates["Sh"])}
+        direct = query.evaluate(post)
+        incremental = query.evaluate(DB).union(
+            delta_query.evaluate(DB, {("Sh", 1): updates["Sh"]})
+        )
+        assert direct == incremental
+
+    def test_delta_of_untargeted_expression_is_empty(self):
+        query = doz_query()
+        delta_query = relational_delta(query, targets=["Other"])
+        assert delta_query.evaluate(DB, {("Other", 1): Bag([("x",)])}) == EMPTY_BAG
+
+
+class TestFlatIVMViews:
+    def test_ivm_matches_naive(self):
+        database = RelationalDatabase()
+        database.register("Mflat", MOVIES, movies_instance)
+        database.register("Sh", SHOWS, shows_instance)
+        query = doz_query()
+        naive = RelationalNaiveView(query, database)
+        ivm = RelationalIVMView(query, database)
+        database.apply_update({"Sh": Bag([("Melancholia", "Oz", "23:00")])})
+        database.apply_update({"Mflat": Bag([("Jarhead", "Drama")])})
+        database.apply_update({"Sh": Bag.from_pairs([(("Drive", "Oz", "20:00"), -1)])})
+        assert ivm.result() == naive.result()
+
+    def test_ivm_exposes_delta_expression(self):
+        database = RelationalDatabase()
+        database.register("Mflat", MOVIES, movies_instance)
+        database.register("Sh", SHOWS, shows_instance)
+        ivm = RelationalIVMView(doz_query(), database)
+        assert ivm.delta_expr is not None
+        assert ivm.stats.init_operations >= 0

@@ -1,0 +1,126 @@
+"""Unit tests for the algebraic simplifier and variable substitution."""
+
+from repro.bag import Bag
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.evaluator import Environment, evaluate_bag
+from repro.nrc.rewrite import rename_elem_var, simplify, substitute_bag_var
+from repro.nrc.types import BASE, bag_of, tuple_of
+
+MOVIE = tuple_of(BASE, BASE, BASE)
+M = ast.Relation("M", bag_of(MOVIE))
+
+
+class TestUnionSimplification:
+    def test_empty_terms_are_dropped(self):
+        assert simplify(ast.Union((M, ast.Empty()))) == M
+
+    def test_all_empty_collapses_to_empty(self):
+        assert simplify(ast.Union((ast.Empty(), ast.Empty()))) == ast.Empty()
+
+    def test_nested_unions_are_flattened(self):
+        expr = ast.Union((ast.Union((M, M)), M))
+        assert simplify(expr) == ast.Union((M, M, M))
+
+
+class TestProductAndForSimplification:
+    def test_product_with_empty_factor(self):
+        assert simplify(ast.Product((M, ast.Empty()))) == ast.Empty()
+
+    def test_for_over_empty_source(self):
+        assert simplify(ast.For("x", ast.Empty(), ast.SngVar("x"))) == ast.Empty()
+
+    def test_for_with_empty_body(self):
+        assert simplify(ast.For("x", M, ast.Empty())) == ast.Empty()
+
+    def test_monad_left_unit(self):
+        expr = ast.For("x", ast.SngVar("y"), ast.SngProj("x", (0,)))
+        assert simplify(expr) == ast.SngProj("y", (0,))
+
+    def test_dead_unit_binder(self):
+        expr = ast.For("w", ast.SngUnit(), M)
+        assert simplify(expr) == M
+
+
+class TestFlattenNegateLet:
+    def test_flatten_of_empty(self):
+        assert simplify(ast.Flatten(ast.Empty())) == ast.Empty()
+
+    def test_flatten_of_singleton(self):
+        assert simplify(ast.Flatten(ast.Sng(M))) == M
+
+    def test_double_negation(self):
+        assert simplify(ast.Negate(ast.Negate(M))) == M
+
+    def test_negate_empty(self):
+        assert simplify(ast.Negate(ast.Empty())) == ast.Empty()
+
+    def test_unused_let_is_dropped(self):
+        expr = ast.Let("X", M, ast.SngUnit())
+        assert simplify(expr) == ast.SngUnit()
+
+    def test_cheap_let_is_inlined(self):
+        expr = ast.Let("X", M, ast.BagVar("X"))
+        assert simplify(expr) == M
+
+    def test_expensive_let_is_kept(self):
+        bound = ast.Union((M, M))
+        expr = ast.Let("X", bound, ast.Union((ast.BagVar("X"), ast.BagVar("X"))))
+        assert isinstance(simplify(expr), ast.Let)
+
+
+class TestDictionarySimplification:
+    def test_dict_union_drops_empties(self):
+        d = ast.DictVar("D", bag_of(BASE))
+        assert simplify(ast.DictUnion((d, ast.DictEmpty()))) == d
+
+    def test_dict_add_collapses_to_empty(self):
+        assert simplify(ast.DictAdd((ast.DictEmpty(), ast.DictEmpty()))) == ast.DictEmpty()
+
+
+class TestSubstitution:
+    def test_rename_elem_var_in_predicate_and_projection(self):
+        predicate = preds.eq(preds.var_path("x", 0), preds.const("a"))
+        expr = ast.For("w", ast.Pred(predicate), ast.SngProj("x", (0,)))
+        renamed = rename_elem_var(expr, "x", "y")
+        assert "y" in str(renamed)
+        assert "VarPath(var='y'" in repr(renamed)
+
+    def test_rename_respects_shadowing(self):
+        inner = ast.For("x", M, ast.SngVar("x"))
+        renamed = rename_elem_var(inner, "x", "z")
+        assert renamed == inner
+
+    def test_substitute_bag_var(self):
+        expr = ast.Union((ast.BagVar("X"), ast.BagVar("Y")))
+        substituted = substitute_bag_var(expr, "X", M)
+        assert substituted == ast.Union((M, ast.BagVar("Y")))
+
+    def test_substitute_respects_let_shadowing(self):
+        expr = ast.Let("X", ast.BagVar("X"), ast.BagVar("X"))
+        substituted = substitute_bag_var(expr, "X", M)
+        assert substituted == ast.Let("X", M, ast.BagVar("X"))
+
+
+class TestSemanticsPreservation:
+    def test_simplification_preserves_evaluation(self, paper_movies, related):
+        from repro.delta import delta
+
+        delta_query = delta(related_to_flat(related), ["M"], auto_simplify=False)
+        simplified = simplify(delta_query)
+        env = Environment(
+            relations={"M": paper_movies},
+            deltas={("M", 1): Bag([("Jarhead", "Drama", "Mendes")])},
+        )
+        assert evaluate_bag(delta_query, env) == evaluate_bag(simplified, env)
+
+
+def related_to_flat(related_query):
+    """A flat IncNRC+ companion of `related` (names of related pairs)."""
+    predicate = preds.And(
+        (
+            preds.ne(preds.var_path("m", 0), preds.var_path("m2", 0)),
+            preds.eq(preds.var_path("m", 1), preds.var_path("m2", 1)),
+        )
+    )
+    inner = build.for_in("m2", M, build.proj("m2", 0), condition=predicate)
+    return ast.For("m", M, inner)

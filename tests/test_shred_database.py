@@ -1,0 +1,87 @@
+"""Tests for the shredded-input naming convention and environment construction."""
+
+from repro.bag import Bag
+from repro.dictionaries import MaterializedDict
+from repro.labels import Label
+from repro.nrc import ast
+from repro.nrc.types import BASE, LABEL, bag_of, tuple_of
+from repro.shredding import (
+    BagContext,
+    TupleContext,
+    build_shredded_environment,
+    flat_relation_name,
+    input_context_for,
+    input_dict_name,
+    shred_relation,
+)
+
+NESTED_PAIR = tuple_of(BASE, bag_of(BASE))
+
+
+class TestNaming:
+    def test_flat_relation_name(self):
+        assert flat_relation_name("M") == "M__F"
+
+    def test_input_dict_names(self):
+        assert input_dict_name("R", ()) == "R__D"
+        assert input_dict_name("R", (1,)) == "R__D__1"
+        assert input_dict_name("R", (1, "e", 0)) == "R__D__1_e_0"
+
+
+class TestInputContexts:
+    def test_flat_relation_has_unit_contexts_only(self):
+        context = input_context_for("M", tuple_of(BASE, BASE))
+        assert isinstance(context, TupleContext)
+        assert all(not isinstance(c, BagContext) for c in context.components)
+
+    def test_nested_relation_gets_dict_vars(self):
+        context = input_context_for("R", NESTED_PAIR)
+        dictionary = context.components[1].dictionary
+        assert dictionary == ast.DictVar("R__D__1", bag_of(BASE))
+
+    def test_doubly_nested_relation(self):
+        element = bag_of(tuple_of(BASE, bag_of(BASE)))
+        context = input_context_for("R", element)
+        assert isinstance(context, BagContext)
+        assert context.dictionary == ast.DictVar("R__D", bag_of(tuple_of(BASE, LABEL)))
+        inner = context.element.components[1].dictionary
+        assert inner == ast.DictVar("R__D__e_1", bag_of(BASE))
+
+
+class TestShreddingRelations:
+    def test_shred_relation_produces_flat_bag_and_dicts(self):
+        bag = Bag([("a", Bag(["x", "y"])), ("b", Bag(["z"]))])
+        shredded = shred_relation("R", bag, NESTED_PAIR)
+        assert shredded.flat.cardinality() == 2
+        assert set(shredded.dictionaries) == {"R__D__1"}
+        dictionary = shredded.dictionaries["R__D__1"]
+        assert len(dictionary.support()) == 2
+
+    def test_flat_relation_has_empty_dict_entries_registered(self):
+        bag = Bag([])
+        shredded = shred_relation("R", bag, NESTED_PAIR)
+        assert set(shredded.dictionaries) == {"R__D__1"}
+        assert isinstance(shredded.dictionaries["R__D__1"], MaterializedDict)
+
+    def test_build_shredded_environment(self):
+        relations = {
+            "M": Bag([("a", "g", "d")]),
+            "R": Bag([("k", Bag(["x"]))]),
+        }
+        schemas = {"M": bag_of(tuple_of(BASE, BASE, BASE)), "R": bag_of(NESTED_PAIR)}
+        env = build_shredded_environment(relations, schemas)
+        assert "M__F" in env.relations
+        assert "R__F" in env.relations
+        assert "R__D__1" in env.dictionaries
+        label = next(iter(env.dictionaries["R__D__1"].support()))
+        assert isinstance(label, Label)
+
+    def test_shared_shredder_keeps_labels_unique_across_relations(self):
+        from repro.shredding import ValueShredder
+
+        shredder = ValueShredder()
+        first = shred_relation("A", Bag([("k", Bag(["x"]))]), NESTED_PAIR, shredder)
+        second = shred_relation("B", Bag([("k", Bag(["y"]))]), NESTED_PAIR, shredder)
+        labels_a = first.dictionaries["A__D__1"].support()
+        labels_b = second.dictionaries["B__D__1"].support()
+        assert labels_a.isdisjoint(labels_b)

@@ -1,0 +1,174 @@
+"""Tests for the query shredding transformation (Figure 6) and Theorem 8."""
+
+import pytest
+
+from repro.bag import Bag
+from repro.errors import ShreddingError
+from repro.nrc import ast, builders as build, predicates as preds
+from repro.nrc.analysis import is_incremental_fragment, sng_occurrences
+from repro.nrc.evaluator import Environment, evaluate_bag
+from repro.nrc.pretty import render
+from repro.nrc.types import BASE, LABEL, BagType, bag_of, tuple_of
+from repro.shredding import (
+    BagContext,
+    TupleContext,
+    UnitContext,
+    build_shredded_environment,
+    flat_relation_name,
+    input_dict_name,
+    shred_query,
+)
+from repro.workloads import MOVIE_SCHEMA, PAPER_MOVIES, related_query
+
+MOVIE = tuple_of(BASE, BASE, BASE)
+M = ast.Relation("M", MOVIE_SCHEMA)
+NESTED_SCHEMA = bag_of(bag_of(BASE))
+R = ast.Relation("R", NESTED_SCHEMA)
+
+
+def theorem_8_check(query, relations, schemas):
+    """Shred → evaluate flat+context → nest equals direct evaluation."""
+    direct = evaluate_bag(query, Environment(relations=relations))
+    shredded = shred_query(query)
+    environment = build_shredded_environment(relations, schemas)
+    assert shredded.evaluate_nested(environment) == direct
+    return shredded
+
+
+class TestStructuralRules:
+    def test_shredding_related_matches_section_2(self, related):
+        shredded = shred_query(related)
+        assert render(shredded.flat) == "for m in M__F union (sng(π_0(m)) × inL_ι0(m))"
+        assert isinstance(shredded.context, TupleContext)
+        assert isinstance(shredded.context.components[0], UnitContext)
+        dictionary = shredded.context.components[1].dictionary
+        assert isinstance(dictionary, ast.DictSingleton)
+        assert dictionary.params == ("m",)
+        assert "M__F" in render(dictionary.body)
+
+    def test_shredded_queries_are_in_the_incremental_fragment(self, related):
+        shredded = shred_query(related)
+        assert is_incremental_fragment(shredded.flat)
+        assert not sng_occurrences(shredded.flat)
+
+    def test_relation_rule_renames_and_builds_input_context(self):
+        shredded = shred_query(R)
+        assert shredded.flat == ast.Relation(flat_relation_name("R"), bag_of(LABEL))
+        assert isinstance(shredded.context, BagContext)
+        assert shredded.context.dictionary == ast.DictVar(input_dict_name("R", ()), bag_of(BASE))
+
+    def test_flatten_rule_introduces_lookup(self):
+        shredded = shred_query(ast.Flatten(R))
+        text = render(shredded.flat)
+        assert "R__D(" in text
+        assert shredded.output_type == bag_of(BASE)
+
+    def test_flat_query_is_essentially_unchanged(self):
+        query = build.filter_query(M, preds.eq(preds.var_path("x", 1), preds.const("Drama")), "x")
+        shredded = shred_query(query)
+        assert render(shredded.flat) == "for x in M__F where x.1 == 'Drama' union sng(x)"
+        assert shredded.output_type == MOVIE_SCHEMA
+
+    def test_product_rule_pairs_contexts(self):
+        shredded = shred_query(ast.Product((R, R)))
+        assert isinstance(shredded.context, TupleContext)
+        assert len(shredded.context.components) == 2
+
+    def test_union_rule_unions_contexts(self):
+        shredded = shred_query(ast.Union((R, R)))
+        # Identical contexts are collapsed rather than wrapped in DictUnion.
+        assert isinstance(shredded.context, BagContext)
+
+    def test_let_rule(self):
+        query = ast.Let("X", ast.Union((R, R)), ast.Flatten(ast.BagVar("X")))
+        shredded = shred_query(query)
+        assert isinstance(shredded.flat, ast.Let)
+        assert shredded.flat.name == "X__F"
+
+    def test_let_rule_with_trivial_binding_is_inlined(self):
+        query = ast.Let("X", R, ast.Flatten(ast.BagVar("X")))
+        shredded = shred_query(query)
+        assert flat_relation_name("R") in render(shredded.flat)
+
+    def test_empty_and_negate(self):
+        shredded = shred_query(ast.Negate(ast.Empty(MOVIE)))
+        assert shredded.output_type == MOVIE_SCHEMA
+
+    def test_unbound_bag_var_rejected(self):
+        with pytest.raises(ShreddingError):
+            shred_query(ast.BagVar("X"))
+
+    def test_flat_output_type(self, related):
+        shredded = shred_query(related)
+        assert shredded.flat_output_type == bag_of(tuple_of(BASE, LABEL))
+
+
+class TestTheorem8Equivalence:
+    def test_related_on_paper_instance(self, related, paper_movies):
+        theorem_8_check(related, {"M": paper_movies}, {"M": MOVIE_SCHEMA})
+
+    def test_related_after_update(self, related, paper_movies, paper_update):
+        theorem_8_check(related, {"M": paper_movies.union(paper_update)}, {"M": MOVIE_SCHEMA})
+
+    def test_flatten_of_nested_input(self):
+        nested = Bag([Bag(["a", "b"]), Bag(["b"])])
+        theorem_8_check(ast.Flatten(R), {"R": nested}, {"R": NESTED_SCHEMA})
+
+    def test_identity_over_nested_input(self):
+        nested = Bag([Bag(["a", "b"]), Bag(["c"])])
+        query = build.for_in("x", R, ast.SngVar("x"))
+        theorem_8_check(query, {"R": nested}, {"R": NESTED_SCHEMA})
+
+    def test_selfjoin_of_flattened_input(self, selfjoin_query):
+        nested = Bag([Bag(["a"]), Bag(["b", "c"])])
+        theorem_8_check(selfjoin_query, {"R": nested}, {"R": NESTED_SCHEMA})
+
+    def test_query_with_two_sng_occurrences(self, paper_movies):
+        by_genre = build.for_in(
+            "m2",
+            M,
+            build.proj("m2", 0),
+            condition=preds.eq(preds.var_path("m", 1), preds.var_path("m2", 1)),
+        )
+        by_director = build.for_in(
+            "m2",
+            M,
+            build.proj("m2", 0),
+            condition=preds.eq(preds.var_path("m", 2), preds.var_path("m2", 2)),
+        )
+        query = build.for_in(
+            "m", M, build.tuple_bag(build.proj("m", 0), build.sng(by_genre), build.sng(by_director))
+        )
+        shredded = theorem_8_check(query, {"M": paper_movies}, {"M": MOVIE_SCHEMA})
+        dictionaries = [d for _, d in __import__("repro.shredding", fromlist=["iter_context_dicts"]).iter_context_dicts(shredded.context)]
+        assert len(dictionaries) == 2
+
+    def test_doubly_nested_output(self, paper_movies):
+        """sng of a query that itself contains sng: two context levels."""
+        inner = build.for_in(
+            "m2",
+            M,
+            build.tuple_bag(
+                build.proj("m2", 0),
+                build.sng(
+                    build.for_in(
+                        "m3",
+                        M,
+                        build.proj("m3", 0),
+                        condition=preds.eq(preds.var_path("m2", 1), preds.var_path("m3", 1)),
+                    )
+                ),
+            ),
+            condition=preds.eq(preds.var_path("m", 2), preds.var_path("m2", 2)),
+        )
+        query = build.for_in("m", M, build.tuple_bag(build.proj("m", 0), build.sng(inner)))
+        theorem_8_check(query, {"M": paper_movies}, {"M": MOVIE_SCHEMA})
+
+    def test_nested_input_passed_through_sng(self):
+        """Combine input shredding and query shredding across two levels."""
+        nested = Bag([Bag(["a", "b"]), Bag(["c"])])
+        query = build.for_in("x", R, build.tuple_bag(ast.SngVar("x"), ast.Sng(ast.Flatten(R))))
+        theorem_8_check(query, {"R": nested}, {"R": NESTED_SCHEMA})
+
+    def test_empty_input(self, related):
+        theorem_8_check(related, {"M": Bag()}, {"M": MOVIE_SCHEMA})

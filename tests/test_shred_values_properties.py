@@ -1,0 +1,48 @@
+"""Property-based tests: Lemma 6 (shred/unshred round trip) on random nested bags."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bag import Bag
+from repro.nrc.types import BASE, bag_of, tuple_of
+from repro.shredding import shred_bag, unshred_bag, is_consistent
+
+PAIR_WITH_BAG = tuple_of(BASE, bag_of(BASE))
+DOUBLE_NESTED = tuple_of(BASE, bag_of(tuple_of(BASE, bag_of(BASE))))
+
+base_values = st.text(alphabet="abcxyz", min_size=1, max_size=3)
+inner_bags = st.lists(base_values, max_size=4).map(Bag)
+level1_rows = st.tuples(base_values, inner_bags)
+level1_bags = st.dictionaries(level1_rows, st.integers(-2, 3), max_size=5).map(Bag.from_mapping)
+
+level2_rows = st.tuples(base_values, st.lists(level1_rows, max_size=3).map(Bag))
+level2_bags = st.dictionaries(level2_rows, st.integers(-2, 3), max_size=4).map(Bag.from_mapping)
+
+
+@settings(max_examples=50, deadline=None)
+@given(level1_bags)
+def test_roundtrip_depth_one_nesting(value):
+    flat, context = shred_bag(value, PAIR_WITH_BAG)
+    assert unshred_bag(flat, PAIR_WITH_BAG, context) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(level2_bags)
+def test_roundtrip_depth_two_nesting(value):
+    flat, context = shred_bag(value, DOUBLE_NESTED)
+    assert unshred_bag(flat, DOUBLE_NESTED, context) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(level1_bags)
+def test_shredding_is_always_consistent(value):
+    flat, context = shred_bag(value, PAIR_WITH_BAG)
+    assert is_consistent(flat, PAIR_WITH_BAG, context)
+
+
+@settings(max_examples=30, deadline=None)
+@given(level1_bags)
+def test_flat_part_has_no_nested_bags(value):
+    flat, _ = shred_bag(value, PAIR_WITH_BAG)
+    for element in flat.elements():
+        assert not isinstance(element[1], Bag)

@@ -1,0 +1,132 @@
+"""Tests for the comprehension DSL and record schemas."""
+
+import pytest
+
+from repro.bag import Bag
+from repro.errors import TypeCheckError
+from repro.ivm import Database, NaiveView, NestedIVMView, insertions
+from repro.nrc.evaluator import Environment, evaluate_bag
+from repro.nrc.types import BagType, ProductType
+from repro.surface import Dataset, Record, STRING, field_types, nest
+from repro.workloads import MOVIE_RECORD, MOVIE_SCHEMA, PAPER_MOVIES, related_query, related_query_dsl
+
+
+class TestRecords:
+    def test_field_positions_and_types(self):
+        assert MOVIE_RECORD.position("gen") == 1
+        assert MOVIE_RECORD.field_names == ("name", "gen", "dir")
+        assert MOVIE_RECORD.field_type("dir") == STRING
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeCheckError):
+            MOVIE_RECORD.position("missing")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Record("Bad", (("a", STRING), ("a", STRING)))
+
+    def test_bag_type(self):
+        assert MOVIE_RECORD.bag_type() == MOVIE_SCHEMA
+        assert isinstance(MOVIE_RECORD.product_type(), ProductType)
+
+    def test_single_field_record_is_bare(self):
+        record = Record("Name", field_types(name=STRING))
+        assert record.product_type() == STRING
+        assert record.as_dict("Drive") == {"name": "Drive"}
+
+    def test_as_dict(self):
+        assert MOVIE_RECORD.as_dict(("Drive", "Drama", "Refn")) == {
+            "name": "Drive",
+            "gen": "Drama",
+            "dir": "Refn",
+        }
+
+
+class TestQueryBuilding:
+    def test_dsl_related_equals_ast_related(self, paper_movies):
+        env = Environment(relations={"M": paper_movies})
+        assert evaluate_bag(related_query_dsl(), env) == evaluate_bag(related_query(), env)
+
+    def test_filter_and_project(self, paper_movies):
+        movies = Dataset("M", MOVIE_RECORD)
+        m = movies.row("m")
+        query = movies.iterate(m).where(m.field("gen") == "Action").select(m.field("name"))
+        result = evaluate_bag(query.to_expr(), Environment(relations={"M": paper_movies}))
+        assert result == Bag(["Skyfall", "Rush"])
+
+    def test_condition_combinators(self, paper_movies):
+        movies = Dataset("M", MOVIE_RECORD)
+        m = movies.row("m")
+        condition = (m.field("gen") == "Action") & ~(m.field("name") == "Rush")
+        query = movies.iterate(m).where(condition).select(m.field("name"))
+        result = evaluate_bag(query.to_expr(), Environment(relations={"M": paper_movies}))
+        assert result == Bag(["Skyfall"])
+
+    def test_comparisons_against_other_fields(self, paper_movies):
+        movies = Dataset("M", MOVIE_RECORD)
+        m, m2 = movies.row("m"), movies.row("m2")
+        inner = movies.iterate(m2).where(m.field("gen") == m2.field("gen")).select(m2.field("name"))
+        query = movies.iterate(m).select(m.field("name"), nest(inner))
+        result = evaluate_bag(query.to_expr(), Environment(relations={"M": paper_movies}))
+        rows = dict(result.elements())
+        assert rows["Skyfall"] == Bag(["Skyfall", "Rush"])
+
+    def test_select_whole_row(self, paper_movies):
+        movies = Dataset("M", MOVIE_RECORD)
+        m = movies.row("m")
+        query = movies.iterate(m).select(m)
+        result = evaluate_bag(query.to_expr(), Environment(relations={"M": paper_movies}))
+        assert result == paper_movies
+
+    def test_identity_without_select(self, paper_movies):
+        movies = Dataset("M", MOVIE_RECORD)
+        m = movies.row("m")
+        result = evaluate_bag(movies.iterate(m).to_expr(), Environment(relations={"M": paper_movies}))
+        assert result == paper_movies
+
+    def test_output_record_names(self):
+        movies = Dataset("M", MOVIE_RECORD)
+        m, m2 = movies.row("m"), movies.row("m2")
+        inner = movies.iterate(m2).select(m2.field("name"))
+        query = movies.iterate(m).select(m.field("name"), nest(inner))
+        record = query.output_record()
+        assert record.field_names == ("name", "nested_1")
+        assert isinstance(record.field_type("nested_1"), BagType)
+
+    def test_iterate_over_query_output(self, paper_movies):
+        movies = Dataset("M", MOVIE_RECORD)
+        m = movies.row("m")
+        dramas = movies.iterate(m).where(m.field("gen") == "Drama")
+        d = dramas.row("d") if hasattr(dramas, "row") else None
+        # Nested iteration uses the output record of the inner query.
+        from repro.surface.dsl import RowVar
+
+        d = RowVar("d", dramas.output_record())
+        names = dramas.iterate(d).select(d.field("name"))
+        result = evaluate_bag(names.to_expr(), Environment(relations={"M": paper_movies}))
+        assert result == Bag(["Drive"])
+
+    def test_empty_select_rejected(self):
+        movies = Dataset("M", MOVIE_RECORD)
+        m = movies.row("m")
+        with pytest.raises(TypeCheckError):
+            movies.iterate(m).select()
+
+    def test_literal_select_items_rejected(self):
+        from repro.surface import lit
+
+        movies = Dataset("M", MOVIE_RECORD)
+        m = movies.row("m")
+        with pytest.raises(TypeCheckError):
+            movies.iterate(m).select(lit("constant")).to_expr()
+
+
+class TestDSLWithIVM:
+    def test_dsl_query_is_maintainable(self, paper_movies):
+        database = Database()
+        database.register("M", MOVIE_SCHEMA, paper_movies)
+        query = related_query_dsl()
+        naive = NaiveView(query, database)
+        nested = NestedIVMView(query, database)
+        database.apply_update(insertions("M", [("Jarhead", "Drama", "Mendes")]))
+        assert nested.result() == naive.result()

@@ -1,0 +1,89 @@
+"""Unit tests for the NRC+ type system."""
+
+import pytest
+
+from repro.nrc.types import (
+    BASE,
+    BagType,
+    BaseType,
+    DictType,
+    LABEL,
+    ProductType,
+    UNIT,
+    bag_of,
+    contains_bag,
+    is_flat_type,
+    shred_flat_type,
+    tuple_of,
+    type_depth,
+)
+
+
+class TestConstruction:
+    def test_base_types_compare_equal_regardless_of_name(self):
+        assert BaseType("String") == BaseType("Int") == BASE
+        assert hash(BaseType("String")) == hash(BASE)
+
+    def test_product_requires_components(self):
+        with pytest.raises(ValueError):
+            ProductType(())
+
+    def test_product_requires_types(self):
+        with pytest.raises(TypeError):
+            ProductType(("not a type",))  # type: ignore[arg-type]
+
+    def test_bag_requires_type(self):
+        with pytest.raises(TypeError):
+            BagType("nope")  # type: ignore[arg-type]
+
+    def test_dict_requires_bag_values(self):
+        with pytest.raises(TypeError):
+            DictType(BASE)  # type: ignore[arg-type]
+
+    def test_render(self):
+        type_ = bag_of(tuple_of(BASE, bag_of(BASE)))
+        assert type_.render() == "Bag((Base × Bag(Base)))"
+        assert UNIT.render() == "1"
+        assert LABEL.render() == "L"
+
+    def test_component_access(self):
+        product = tuple_of(BASE, UNIT)
+        assert product.arity == 2
+        assert product.component(1) == UNIT
+
+
+class TestStructuralPredicates:
+    def test_is_flat_type(self):
+        assert is_flat_type(BASE)
+        assert is_flat_type(tuple_of(BASE, LABEL))
+        assert not is_flat_type(bag_of(BASE))
+        assert not is_flat_type(tuple_of(BASE, bag_of(BASE)))
+
+    def test_contains_bag(self):
+        assert contains_bag(bag_of(BASE))
+        assert contains_bag(tuple_of(BASE, bag_of(BASE)))
+        assert not contains_bag(tuple_of(BASE, BASE))
+        assert contains_bag(DictType(bag_of(BASE)))
+
+    def test_type_depth(self):
+        assert type_depth(BASE) == 0
+        assert type_depth(bag_of(BASE)) == 1
+        assert type_depth(bag_of(bag_of(BASE))) == 2
+        assert type_depth(tuple_of(BASE, bag_of(bag_of(BASE)))) == 2
+
+
+class TestShredTypes:
+    def test_base_is_unchanged(self):
+        assert shred_flat_type(BASE) == BASE
+        assert shred_flat_type(UNIT) == UNIT
+
+    def test_bags_become_labels(self):
+        assert shred_flat_type(bag_of(BASE)) == LABEL
+
+    def test_products_shred_componentwise(self):
+        nested = tuple_of(BASE, bag_of(tuple_of(BASE, BASE)))
+        assert shred_flat_type(nested) == tuple_of(BASE, LABEL)
+
+    def test_dict_types_are_rejected(self):
+        with pytest.raises(TypeError):
+            shred_flat_type(DictType(bag_of(BASE)))

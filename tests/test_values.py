@@ -1,0 +1,100 @@
+"""Unit tests for nested-value helpers."""
+
+import pytest
+
+from repro.bag import (
+    Bag,
+    is_base_value,
+    is_nested_value,
+    iter_inner_bags,
+    nested_cardinalities,
+    render_value,
+    value_depth,
+    value_size,
+)
+
+
+class TestPredicatesOnValues:
+    def test_base_values(self):
+        for value in ("a", 1, 1.5, True):
+            assert is_base_value(value)
+        assert not is_base_value(("a",))
+        assert not is_base_value(Bag(["a"]))
+
+    def test_nested_value_recognition(self):
+        assert is_nested_value(("a", Bag([("b", Bag(["c"]))])))
+        assert not is_nested_value({"a": 1})
+        assert not is_nested_value(("a", ["list"]))
+
+
+class TestDepthAndSize:
+    def test_depth_of_base_and_tuple(self):
+        assert value_depth("a") == 0
+        assert value_depth(("a", "b")) == 0
+        assert value_depth(()) == 0
+
+    def test_depth_of_nested_bags(self):
+        assert value_depth(Bag(["a"])) == 1
+        assert value_depth(Bag([Bag(["a"])])) == 2
+        assert value_depth(("x", Bag([("y", Bag(["z"]))]))) == 2
+
+    def test_depth_of_empty_bag(self):
+        assert value_depth(Bag()) == 1
+
+    def test_size_counts_multiplicities(self):
+        assert value_size("a") == 1
+        assert value_size(("a", "b")) == 2
+        assert value_size(Bag.from_pairs([("a", 3)])) == 4  # bag itself + 3 copies
+
+    def test_size_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            value_size({"not": "a value"})
+
+
+class TestNestedCardinalities:
+    def test_paper_example(self):
+        """The introduction's {{a},{b},{c,d}} has cost shape 3{2}."""
+        value = Bag([Bag(["a"]), Bag(["b"]), Bag(["c", "d"])])
+        assert nested_cardinalities(value) == (3, 2)
+
+    def test_flat_bag(self):
+        assert nested_cardinalities(Bag(["a", "b"])) == (2,)
+
+    def test_tuple_merges_levels(self):
+        value = (Bag(["a"]), Bag(["b", "c", "d"]))
+        assert nested_cardinalities(value) == (3,)
+
+    def test_base_value_has_no_levels(self):
+        assert nested_cardinalities("a") == ()
+
+
+class TestInnerBags:
+    def test_iter_inner_bags_of_tuple(self):
+        inner = Bag(["x"])
+        value = ("a", inner)
+        assert list(iter_inner_bags(value)) == [inner]
+
+    def test_iter_inner_bags_recurses(self):
+        deepest = Bag(["z"])
+        value = ("a", Bag([("b", deepest)]))
+        found = list(iter_inner_bags(value))
+        assert deepest in found
+        assert len(found) == 2
+
+    def test_top_level_bag_is_not_yielded(self):
+        bag = Bag([("a", Bag(["x"]))])
+        found = list(iter_inner_bags(bag))
+        assert bag not in found
+        assert len(found) == 1
+
+
+class TestRendering:
+    def test_render_tuple_and_bag(self):
+        value = ("a", Bag(["x", "y"]))
+        assert render_value(value) == "⟨a, {x, y}⟩"
+
+    def test_render_shows_multiplicities(self):
+        assert render_value(Bag.from_pairs([("x", 2)])) == "{x^2}"
+
+    def test_render_is_deterministic(self):
+        assert render_value(Bag(["b", "a"])) == render_value(Bag(["a", "b"]))
