@@ -1,67 +1,68 @@
-"""Quickstart: build an NRC+ query, derive its delta and maintain it incrementally.
+"""Quickstart: the `repro.engine` facade end to end.
 
 Run with::
 
     python examples/quickstart.py
 
-The example follows the paper's filter query (Examples 2 and 3): a view over a
-movies relation is materialized once and then kept up to date by evaluating
-only the delta query on each update.
+One Engine owns the database.  Views are declared with
+``engine.view(name, query, strategy="auto")``: the cost model of Section 4
+picks the maintenance strategy per view, and ``engine.explain`` shows the
+estimates behind each choice.  The example builds the paper's filter query
+(Examples 2 and 3) through the comprehension DSL and the nested ``related``
+query (Example 1), and maintains both under the same update stream.
 """
 
-from repro.bag import Bag
-from repro.delta import delta
-from repro.ivm import ClassicIVMView, Database, NaiveView, insertions
-from repro.nrc import builders as build, predicates as preds
-from repro.nrc.ast import Relation
-from repro.nrc.pretty import render
-from repro.nrc.types import BASE, BagType, tuple_of
+from repro import Engine, Record, STRING, field_types, nest
+
+MOVIE = Record("Movie", field_types(name=STRING, gen=STRING, dir=STRING))
 
 
 def main() -> None:
-    # 1. Declare the schema and the query: all drama movies.
-    movie_type = tuple_of(BASE, BASE, BASE)            # ⟨name, genre, director⟩
-    movies = Relation("M", BagType(movie_type))
-    dramas = build.filter_query(
-        movies, preds.eq(preds.var_path("x", 1), preds.const("Drama")), "x"
-    )
-    print("query      :", render(dramas))
-
-    # 2. Derive the delta query (Figure 4).  It only reads the update ΔM.
-    delta_query = delta(dramas, targets=["M"])
-    print("delta query:", render(delta_query))
-
-    # 3. Register data and materialize the view.
-    database = Database()
-    database.register(
+    # 1. One engine per session; datasets are registered with named-record
+    #    schemas and give back surface-DSL handles for query building.
+    engine = Engine()
+    movies = engine.dataset(
         "M",
-        BagType(movie_type),
-        Bag(
-            [
-                ("Drive", "Drama", "Refn"),
-                ("Skyfall", "Action", "Mendes"),
-                ("Rush", "Action", "Howard"),
-            ]
-        ),
+        MOVIE,
+        rows=[
+            ("Drive", "Drama", "Refn"),
+            ("Skyfall", "Action", "Mendes"),
+            ("Rush", "Action", "Howard"),
+        ],
     )
-    ivm_view = ClassicIVMView(dramas, database)       # maintained with the delta
-    naive_view = NaiveView(dramas, database)          # recomputed for comparison
-    print("initial    :", ivm_view.result())
 
-    # 4. Apply updates; the database notifies both views.
-    database.apply_update(insertions("M", [("Jarhead", "Drama", "Mendes")]))
-    database.apply_update(insertions("M", [("Heat", "Crime", "Mann")]))
-    print("after two updates:", ivm_view.result())
-    assert ivm_view.result() == naive_view.result()
+    # 2. Declare queries in the comprehension DSL (Section 1 style).
+    x = movies.row("x")
+    dramas = movies.iterate(x).where(x.field("gen") == "Drama").select(x.field("name"))
 
-    # 5. Compare the work done per update (abstract operation counts).
-    print(
-        "mean operations per update — naive: %.0f, incremental: %.0f"
-        % (
-            naive_view.stats.mean_update_operations,
-            ivm_view.stats.mean_update_operations,
+    m, m2 = movies.row("m"), movies.row("m2")
+    rel_b = (
+        movies.iterate(m2)
+        .where(
+            (m.field("name") != m2.field("name"))
+            & ((m.field("gen") == m2.field("gen")) | (m.field("dir") == m2.field("dir")))
         )
+        .select(m2.field("name"))
     )
+    related = movies.iterate(m).select(m.field("name"), nest(rel_b))
+
+    # 3. The planner picks a different backend per view: first-order delta
+    #    processing for the flat filter, shredded IVM for the nested query.
+    dramas_view = engine.view("dramas", dramas, strategy="auto")
+    related_view = engine.view("related", related, strategy="auto")
+    print(engine.explain("dramas").render())
+    print()
+    print(engine.explain("related").render())
+
+    # 4. Apply updates once; every view refreshes incrementally.
+    engine.insert("M", [("Jarhead", "Drama", "Mendes")])
+    engine.insert("M", [("Heat", "Crime", "Mann")])
+    print("\ndramas  :", dramas_view.result())
+    print("related :", related_view.result())
+
+    # 5. Maintenance accounting comes with every view.
+    print("\ndramas stats :", dramas_view.stats)
+    print("related stats:", related_view.stats)
 
 
 if __name__ == "__main__":

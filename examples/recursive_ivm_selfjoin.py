@@ -2,8 +2,10 @@
 
 The first-order delta of this query still depends on the database (it
 mentions ``flatten(R)``), so recursive IVM materializes that part once and
-maintains it with the second-order delta.  The script prints the whole delta
-tower and compares per-update work of classical and recursive IVM.
+maintains it with the second-order delta.  The cost-driven planner detects
+exactly this — the residual delta never re-scans ``R`` — and picks the
+recursive backend on its own.  The script prints the delta tower, the
+planner's reasoning, and the per-update work of all three strategies.
 
 Run with::
 
@@ -13,11 +15,10 @@ Run with::
 import sys
 
 from repro.delta import delta_tower
-from repro.ivm import ClassicIVMView, Database, NaiveView, RecursiveIVMView
 from repro.nrc import ast
 from repro.nrc.pretty import render
 from repro.nrc.types import BASE, bag_of
-from repro.workloads import generate_bag_of_bags, nested_update_stream
+from repro.workloads import bag_of_bags_engine, nested_update_stream
 
 
 def main() -> None:
@@ -32,24 +33,24 @@ def main() -> None:
     for order, level in enumerate(tower.levels):
         print(f"  δ^{order}(h) =", render(level))
 
-    database = Database()
-    database.register("R", schema, generate_bag_of_bags(size, inner_cardinality=4))
-    naive = NaiveView(query, database)
-    classic = ClassicIVMView(query, database)
-    recursive = RecursiveIVMView(query, database)
-    print("\nmaterialized by recursive IVM:", recursive.materialized_names())
-    print("residual delta:", render(recursive.residual_delta))
+    engine = bag_of_bags_engine(size, inner_cardinality=4)
+    naive = engine.view("naive", query, strategy="naive")
+    classic = engine.view("classic", query, strategy="classic")
+    auto = engine.view("selfjoin", query, strategy="auto")
+    print("\n" + engine.explain(auto).render())
+    assert auto.strategy == "recursive"
+    print("\nmaterialized by recursive IVM:", auto.view.materialized_names())
+    print("residual delta:", render(auto.view.residual_delta))
 
-    for update in nested_update_stream("R", 3, 1, inner_cardinality=4):
-        database.apply_update(update)
-    assert classic.result() == naive.result() == recursive.result()
+    engine.apply_stream(nested_update_stream("R", 3, 1, inner_cardinality=4))
+    assert classic.result() == naive.result() == auto.result()
 
     print(
         "\nmean operations/update — naive: %.0f, classic IVM: %.0f, recursive IVM: %.0f"
         % (
             naive.stats.mean_update_operations,
             classic.stats.mean_update_operations,
-            recursive.stats.mean_update_operations,
+            auto.stats.mean_update_operations,
         )
     )
 

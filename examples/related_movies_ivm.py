@@ -1,8 +1,8 @@
 """The paper's motivating example end to end (Sections 1, 2 and 5).
 
 The nested ``related`` view associates to every movie the bag of movies that
-share its genre or director.  Its delta needs *deep updates*, so it is
-maintained in shredded form: a flat view plus a label dictionary, both
+share its genre or director.  Its delta needs *deep updates*, so the planner
+maintains it in shredded form: a flat view plus a label dictionary, both
 incrementally maintained, with the nested result reconstructed on demand.
 
 Run with::
@@ -14,16 +14,16 @@ where ``n`` (default 300) is the number of synthetic movies to start from.
 
 import sys
 
+from repro import Update
 from repro.bag import render_value
-from repro.ivm import Database, NaiveView, NestedIVMView, Update
 from repro.nrc.pretty import render
 from repro.shredding import shred_query
 from repro.workloads import (
-    MOVIE_SCHEMA,
     PAPER_MOVIES,
     PAPER_UPDATE,
     generate_movies,
     movie_update_stream,
+    movies_engine,
     related_query,
 )
 
@@ -37,33 +37,34 @@ def paper_instance_walkthrough() -> None:
     print("related^F ≡", render(shredded.flat))
     print("related^Γ ≡", render(shredded.context.components[1].dictionary))
 
-    database = Database()
-    database.register("M", MOVIE_SCHEMA, PAPER_MOVIES)
-    view = NestedIVMView(query, database)
-    print("\nrelated[M] =", render_value(view.result()))
+    engine = movies_engine(PAPER_MOVIES)
+    view = engine.view("related", query, strategy="auto")
+    print("\nplanner chose:", view.strategy)
+    print("related[M] =", render_value(view.result()))
 
-    database.apply_update(Update(relations={"M": PAPER_UPDATE}))
+    engine.apply(Update(relations={"M": PAPER_UPDATE}))
     print("related[M ⊎ ΔM] =", render_value(view.result()))
 
 
 def scaled_comparison(size: int) -> None:
-    """Compare per-update work of nested IVM against re-evaluation."""
+    """Compare per-update work of auto-planned IVM against re-evaluation."""
     query = related_query()
-    database = Database()
-    database.register("M", MOVIE_SCHEMA, generate_movies(size))
-    naive = NaiveView(query, database)
-    nested = NestedIVMView(query, database)
+    engine = movies_engine(generate_movies(size), expected_update_size=4)
+    naive = engine.view("naive", query, strategy="naive")
+    auto = engine.view("related", query, strategy="auto")
+    print("\n" + engine.explain(auto).render())
 
-    for update in movie_update_stream(3, 4, existing=database.relation("M"), deletion_ratio=0.25):
-        database.apply_update(update)
-    assert nested.result() == naive.result()
+    engine.apply_stream(
+        movie_update_stream(3, 4, existing=engine.relation("M"), deletion_ratio=0.25)
+    )
+    assert auto.result() == naive.result()
 
     naive_ops = naive.stats.mean_update_operations
-    nested_ops = nested.stats.mean_update_operations
+    auto_ops = auto.stats.mean_update_operations
     print(
         f"\nn = {size}: naive re-evaluation ≈ {naive_ops:.0f} operations/update, "
-        f"shredded IVM ≈ {nested_ops:.0f} operations/update "
-        f"(speedup ×{naive_ops / nested_ops:.1f})"
+        f"auto ({auto.strategy}) IVM ≈ {auto_ops:.0f} operations/update "
+        f"(speedup ×{naive_ops / auto_ops:.1f})"
     )
 
 

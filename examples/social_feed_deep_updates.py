@@ -1,7 +1,7 @@
 """A second nested workload: per-user feeds, with shallow and deep updates.
 
 ``feed`` associates to every user the posts written by other users in the
-same city — a nested view like ``related``.  The script maintains it under a
+same city — a nested view like ``related``.  The engine maintains it under a
 stream of post insertions, and then applies a *deep update* directly to an
 inner bag of a nested input relation to show that only the touched label is
 refreshed.
@@ -11,57 +11,47 @@ Run with::
     python examples/social_feed_deep_updates.py
 """
 
+from repro import Engine, Update
 from repro.bag import Bag, render_value
-from repro.ivm import Database, NaiveView, NestedIVMView, Update
 from repro.nrc import ast, builders as build
 from repro.nrc.types import BASE, bag_of
 from repro.shredding.shred_database import input_dict_name
-from repro.workloads import (
-    POST_SCHEMA,
-    USER_SCHEMA,
-    feed_query,
-    generate_posts,
-    generate_users,
-    post_update_stream,
-)
+from repro.workloads import feed_query, post_update_stream, social_engine
 
 
 def feed_maintenance() -> None:
-    users = generate_users(40, num_cities=5)
-    posts = generate_posts(users, posts_per_user=3)
-    database = Database()
-    database.register("Users", USER_SCHEMA, users)
-    database.register("Posts", POST_SCHEMA, posts)
-
+    engine = social_engine(num_users=40, num_cities=5, posts_per_user=3)
     query = feed_query()
-    naive = NaiveView(query, database)
-    feed = NestedIVMView(query, database)
+    naive = engine.view("naive", query, strategy="naive")
+    feed = engine.view("feed", query, strategy="auto")
+    print("planner chose:", feed.strategy)
 
-    for update in post_update_stream(users, num_updates=5, batch_size=3):
-        database.apply_update(update)
+    engine.apply_stream(
+        post_update_stream(engine.relation("Users"), num_updates=5, batch_size=3)
+    )
     assert feed.result() == naive.result()
     print(
         "feed view maintained over 5 update batches — "
         f"naive ≈ {naive.stats.mean_update_operations:.0f} ops/update, "
-        f"shredded IVM ≈ {feed.stats.mean_update_operations:.0f} ops/update"
+        f"{feed.strategy} IVM ≈ {feed.stats.mean_update_operations:.0f} ops/update"
     )
 
 
 def deep_update_demo() -> None:
     """Update one inner bag of a nested input without touching its siblings."""
     schema = bag_of(bag_of(BASE))
-    database = Database()
-    database.register(
+    engine = Engine()
+    groups = engine.dataset(
         "Groups", schema, Bag([Bag(["alice", "bob"]), Bag(["carol"]), Bag(["dave", "erin"])])
     )
-    query = build.for_in("g", ast.Relation("Groups", schema), ast.SngVar("g"))
-    view = NestedIVMView(query, database)
+    query = build.for_in("g", groups, ast.SngVar("g"))
+    view = engine.view("groups", query, strategy="nested")
     print("\ngroups before:", render_value(view.result()))
 
     dictionary_name = input_dict_name("Groups", ())
-    dictionary = database.shredded_environment().dictionaries[dictionary_name]
+    dictionary = engine.database.shredded_environment().dictionaries[dictionary_name]
     label = sorted(dictionary.support(), key=lambda l: l.render())[0]
-    database.apply_update(Update(deep={dictionary_name: {label: Bag(["frank"])}}))
+    engine.apply(Update(deep={dictionary_name: {label: Bag(["frank"])}}))
 
     print("groups after adding 'frank' to one inner bag:", render_value(view.result()))
     print(

@@ -23,14 +23,7 @@ from repro.circuits import build_recompute_circuit, build_update_circuit
 from repro.cost import CostContext, cost_of, size_of, tcost
 from repro.delta import delta, delta_tower, degree
 from repro.instrument import OpCounter
-from repro.ivm import (
-    ClassicIVMView,
-    Database,
-    NaiveView,
-    NestedIVMView,
-    RecursiveIVMView,
-    Update,
-)
+from repro.ivm import Update
 from repro.labels import Label
 from repro.nrc import ast
 from repro.nrc import builders as build
@@ -42,12 +35,13 @@ from repro.shredding import ValueShredder, shred_query, unshred_bag
 from repro.shredding.shred_database import build_shredded_environment, input_dict_name
 from repro.workloads import (
     MOVIE_SCHEMA,
+    bag_of_bags_engine,
     doz_query,
-    generate_bag_of_bags,
     generate_movies,
     generate_nested_bag,
     generate_showtimes,
     movie_update_stream,
+    movies_engine,
     nested_bag_type,
     nested_update_stream,
     related_query,
@@ -84,13 +78,10 @@ def run_e1_related_ivm(
     )
     query = related_query()
     for size in sizes:
-        database = Database()
-        database.register("M", MOVIE_SCHEMA, generate_movies(size))
-        naive = NaiveView(query, database)
-        nested = NestedIVMView(query, database)
-        stream = movie_update_stream(num_updates, batch_size, seed=size)
-        for update in stream:
-            database.apply_update(update)
+        engine = movies_engine(generate_movies(size), expected_update_size=batch_size)
+        naive = engine.view("naive", query, strategy="naive")
+        nested = engine.view("related", query, strategy="nested")
+        engine.apply_stream(movie_update_stream(num_updates, batch_size, seed=size))
         naive_ops = naive.stats.mean_update_operations
         nested_ops = nested.stats.mean_update_operations
         table.add_row(
@@ -119,12 +110,10 @@ def run_e2_filter_delta(
     movie_rel = ast.Relation("M", MOVIE_SCHEMA)
     query = build.filter_query(movie_rel, preds.eq(preds.var_path("x", 1), preds.const("Drama")), "x")
     for size in sizes:
-        database = Database()
-        database.register("M", MOVIE_SCHEMA, generate_movies(size))
-        naive = NaiveView(query, database)
-        classic = ClassicIVMView(query, database)
-        for update in movie_update_stream(num_updates, batch_size, seed=size):
-            database.apply_update(update)
+        engine = movies_engine(generate_movies(size), expected_update_size=batch_size)
+        naive = engine.view("naive", query, strategy="naive")
+        classic = engine.view("dramas", query, strategy="classic")
+        engine.apply_stream(movie_update_stream(num_updates, batch_size, seed=size))
         naive_ops = naive.stats.mean_update_operations
         classic_ops = classic.stats.mean_update_operations
         table.add_row(
@@ -154,13 +143,13 @@ def run_e3_selfjoin_recursive(
     relation = ast.Relation("R", schema)
     query = ast.Product((ast.Flatten(relation), ast.Flatten(relation)))
     for size in sizes:
-        database = Database()
-        database.register("R", schema, generate_bag_of_bags(size, inner_cardinality, seed=size))
-        naive = NaiveView(query, database)
-        classic = ClassicIVMView(query, database)
-        recursive = RecursiveIVMView(query, database)
-        for update in nested_update_stream("R", num_updates, 1, inner_cardinality, seed=size):
-            database.apply_update(update)
+        engine = bag_of_bags_engine(size, inner_cardinality, seed=size)
+        naive = engine.view("naive", query, strategy="naive")
+        classic = engine.view("classic", query, strategy="classic")
+        recursive = engine.view("recursive", query, strategy="recursive")
+        engine.apply_stream(
+            nested_update_stream("R", num_updates, 1, inner_cardinality, seed=size)
+        )
         table.add_row(
             n=size,
             naive_ops=naive.stats.mean_update_operations,
@@ -376,16 +365,15 @@ def run_e8_deep_updates(
     relation = ast.Relation("R", schema)
     query = build.for_in("x", relation, ast.SngVar("x"))
     for size in sizes:
-        database = Database()
-        database.register("R", schema, generate_bag_of_bags(size, inner_cardinality, seed=size))
-        view = NestedIVMView(query, database)
+        engine = bag_of_bags_engine(size, inner_cardinality, seed=size)
+        view = engine.view("groups", query, strategy="nested")
 
         dictionary_name = input_dict_name("R", ())
-        dictionary = database.shredded_environment().dictionaries[dictionary_name]
+        dictionary = engine.database.shredded_environment().dictionaries[dictionary_name]
         support = sorted(dictionary.support(), key=lambda label: label.render())
         targets = support[:touched_labels]
         deep_entries = {label: Bag([f"deep-{index}"]) for index, label in enumerate(targets)}
-        database.apply_update(Update(deep={dictionary_name: deep_entries}))
+        engine.apply(Update(deep={dictionary_name: deep_entries}))
 
         rebuild_size = view.result().cardinality() * inner_cardinality
         ivm_ops = view.stats.mean_update_operations
@@ -449,12 +437,10 @@ def run_e10_crossover(
     query = related_query()
     for fraction in batch_fractions:
         batch = max(1, int(size * fraction))
-        database = Database()
-        database.register("M", MOVIE_SCHEMA, generate_movies(size))
-        naive = NaiveView(query, database)
-        nested = NestedIVMView(query, database)
-        for update in movie_update_stream(1, batch, seed=batch):
-            database.apply_update(update)
+        engine = movies_engine(generate_movies(size), expected_update_size=batch)
+        naive = engine.view("naive", query, strategy="naive")
+        nested = engine.view("related", query, strategy="nested")
+        engine.apply_stream(movie_update_stream(1, batch, seed=batch))
         naive_ops = naive.stats.mean_update_operations
         nested_ops = nested.stats.mean_update_operations
         table.add_row(

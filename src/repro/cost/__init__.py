@@ -13,7 +13,7 @@ from repro.cost.domains import (
 )
 from repro.cost.size import is_incremental_update, size_of
 from repro.cost.tcost import delta_is_cheaper, tcost
-from repro.cost.transform import CostContext, cost_of
+from repro.cost.transform import CostContext, cost_of, dictionary_cost_of
 
 __all__ = [
     "ATOM_COST",
@@ -31,4 +31,5 @@ __all__ = [
     "tcost",
     "CostContext",
     "cost_of",
+    "dictionary_cost_of",
 ]

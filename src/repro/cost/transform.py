@@ -31,7 +31,7 @@ from repro.nrc import ast
 from repro.nrc.ast import Expr
 from repro.nrc.types import BagType, Type
 
-__all__ = ["CostContext", "cost_of"]
+__all__ = ["CostContext", "cost_of", "dictionary_cost_of"]
 
 
 class CostContext:
@@ -92,6 +92,16 @@ def _as_bag_cost(cost: Cost, context: str) -> BagCost:
 def cost_of(expr: Expr, context: Optional[CostContext] = None) -> BagCost:
     """Compute ``C[[expr]]`` under the given cost context."""
     return _CostTransformer(context or CostContext()).cost(expr)
+
+
+def dictionary_cost_of(expr: Expr, context: Optional[CostContext] = None) -> BagCost:
+    """Bound on a single entry of a dictionary-typed expression.
+
+    Dictionary expressions (``h^Γ`` components and their deltas) are costed by
+    the bag bound of one entry — the quantity Figure 5 assigns to dictionary
+    sources.  Used by the strategy planner to estimate shredded maintenance.
+    """
+    return _CostTransformer(context or CostContext())._dictionary_cost(expr)
 
 
 class _CostTransformer:

@@ -1,0 +1,38 @@
+"""The public facade: one engine, many maintenance strategies.
+
+The paper's thesis is that a single calculus serves naive re-evaluation,
+classical delta processing, recursive (higher-order) IVM and shredded/nested
+IVM, with the cost model of Section 4 deciding which to use.  This package is
+that thesis as an API: :class:`Engine` registers datasets and views,
+``strategy="auto"`` routes through the cost-driven planner, and the backend
+registry keeps the strategy set open for new engines.
+"""
+
+from repro.engine import backends as _backends  # noqa: F401 — installs built-ins
+from repro.engine.core import Engine, Session, ViewHandle
+from repro.engine.plan import MaintenancePlan, StrategyEstimate
+from repro.engine.planner import PlanningInputs, plan_view
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    BackendRegistry,
+    BackendSpec,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "Engine",
+    "Session",
+    "ViewHandle",
+    "MaintenancePlan",
+    "StrategyEstimate",
+    "PlanningInputs",
+    "plan_view",
+    "BackendRegistry",
+    "BackendSpec",
+    "DEFAULT_REGISTRY",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,88 @@
+"""The four built-in maintenance backends, registered at import time.
+
+Each spec pairs a :mod:`repro.ivm` view class with the planner estimator
+that scores it (Section 4's cost model).  Importing :mod:`repro.engine`
+installs them into the default registry in planner-priority order:
+naive first (the Theorem 4 baseline), then classic, recursive, nested.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.planner import (
+    estimate_classic,
+    estimate_naive,
+    estimate_nested,
+    estimate_recursive,
+)
+from repro.engine.registry import DEFAULT_REGISTRY, BackendSpec
+from repro.ivm.classic import ClassicIVMView
+from repro.ivm.database import Database
+from repro.ivm.naive import NaiveView
+from repro.ivm.nested import NestedIVMView
+from repro.ivm.recursive import RecursiveIVMView
+from repro.nrc.analysis import is_incremental_fragment
+from repro.nrc.ast import Expr
+
+__all__ = ["BUILTIN_BACKENDS"]
+
+
+def _build_naive(
+    query: Expr, database: Database, targets: Optional[Sequence[str]] = None
+) -> NaiveView:
+    return NaiveView(query, database)
+
+
+def _build_classic(
+    query: Expr, database: Database, targets: Optional[Sequence[str]] = None
+) -> ClassicIVMView:
+    return ClassicIVMView(query, database, targets=targets)
+
+
+def _build_recursive(
+    query: Expr, database: Database, targets: Optional[Sequence[str]] = None
+) -> RecursiveIVMView:
+    return RecursiveIVMView(query, database, targets=targets)
+
+
+def _build_nested(
+    query: Expr, database: Database, targets: Optional[Sequence[str]] = None
+) -> NestedIVMView:
+    return NestedIVMView(query, database)
+
+
+BUILTIN_BACKENDS = (
+    BackendSpec(
+        name="naive",
+        description="full re-evaluation per update (the Theorem 4 baseline)",
+        build=_build_naive,
+        estimator=estimate_naive,
+    ),
+    BackendSpec(
+        name="classic",
+        description="first-order delta processing for IncNRC+ (Proposition 4.1)",
+        build=_build_classic,
+        supports=is_incremental_fragment,
+        estimator=estimate_classic,
+        honors_targets=True,
+    ),
+    BackendSpec(
+        name="recursive",
+        description="higher-order deltas with materialized partial evaluations (Section 4.1)",
+        build=_build_recursive,
+        supports=is_incremental_fragment,
+        estimator=estimate_recursive,
+        honors_targets=True,
+    ),
+    BackendSpec(
+        name="nested",
+        description="shredded IVM for full NRC+: flat view plus dictionaries (Section 5)",
+        build=_build_nested,
+        estimator=estimate_nested,
+    ),
+)
+
+for _spec in BUILTIN_BACKENDS:
+    if _spec.name not in DEFAULT_REGISTRY:
+        DEFAULT_REGISTRY.register(_spec)

@@ -1,0 +1,279 @@
+"""The :class:`Engine` facade — the library's public API.
+
+One object owns the database, plans maintenance strategies through the cost
+model, and dispatches updates to every registered view::
+
+    engine = Engine()
+    movies = engine.dataset("M", MOVIE_RECORD, rows=PAPER_MOVIES)
+    view = engine.view("related", related, strategy="auto")
+    engine.apply(insertions("M", [("Jarhead", "Drama", "Mendes")]))
+    print(engine.explain("related").render())
+    print(view.result())
+
+``dataset`` accepts either a :class:`~repro.surface.Record` (returning a
+surface-DSL :class:`~repro.surface.Dataset` to build queries against) or a
+raw :class:`~repro.nrc.types.BagType` (returning the matching
+:class:`~repro.nrc.ast.Relation` node for hand-written NRC+).  ``view``
+accepts either a surface :class:`~repro.surface.Query` or an NRC+
+:class:`~repro.nrc.ast.Expr`; ``strategy="auto"`` routes through
+:mod:`repro.engine.planner`, explicit names through the backend registry.
+
+The low-level :class:`~repro.ivm.Database` and view classes remain available
+as the implementation layer, but new code should not wire them by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.bag.bag import Bag
+from repro.engine.plan import MaintenancePlan
+from repro.engine.planner import plan_view
+from repro.engine.registry import DEFAULT_REGISTRY, BackendRegistry
+from repro.errors import EngineError, NotInFragmentError
+from repro.ivm.database import Database, ShreddedDelta
+from repro.ivm.updates import Update, UpdateStream, deletions, insertions
+from repro.ivm.views import MaintenanceStats
+from repro.nrc import ast
+from repro.nrc.ast import Expr
+from repro.nrc.types import BagType
+from repro.surface.dsl import Dataset, Query
+from repro.surface.schema import Record
+
+__all__ = ["Engine", "Session", "ViewHandle"]
+
+#: What ``Engine.view`` accepts as a query.
+QueryLike = Union[Query, Expr]
+#: What ``Engine.apply`` accepts as an update.
+UpdateLike = Union[Update, Mapping[str, Union[Bag, Iterable]]]
+
+
+class ViewHandle:
+    """A maintained view as exposed by the facade.
+
+    Wraps the backend view object together with the plan that chose it.
+    ``result()`` returns the current materialization (always the *nested*
+    value, whichever backend maintains it); ``stats`` exposes the
+    maintenance accounting used by the benchmarks.
+    """
+
+    def __init__(self, name: str, strategy: str, view, plan: MaintenancePlan) -> None:
+        self.name = name
+        self.strategy = strategy
+        self.view = view
+        self.plan = plan
+
+    def result(self) -> Bag:
+        return self.view.result()
+
+    @property
+    def stats(self) -> MaintenanceStats:
+        return self.view.stats
+
+    def explain(self) -> MaintenancePlan:
+        return self.plan
+
+    def __repr__(self) -> str:
+        return (
+            f"<View {self.name!r} strategy={self.strategy} "
+            f"updates={self.stats.updates_applied}>"
+        )
+
+
+class Engine:
+    """Sessions over one database: registration, views, updates, explain."""
+
+    def __init__(
+        self,
+        *,
+        expected_update_size: int = 1,
+        registry: Optional[BackendRegistry] = None,
+    ) -> None:
+        self._database = Database()
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._expected_update_size = expected_update_size
+        self._views: Dict[str, ViewHandle] = {}
+        self._datasets: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> Database:
+        """The underlying low-level database (implementation layer)."""
+        return self._database
+
+    @property
+    def registry(self) -> BackendRegistry:
+        return self._registry
+
+    def dataset_names(self) -> Tuple[str, ...]:
+        return self._database.relation_names()
+
+    def dataset_handle(self, name: str):
+        """The query-building handle returned when the dataset was registered."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise EngineError(f"no dataset named {name!r}") from None
+
+    def relation(self, name: str) -> Bag:
+        """Current contents of a registered dataset."""
+        return self._database.relation(name)
+
+    def views(self) -> Tuple[ViewHandle, ...]:
+        return tuple(self._views.values())
+
+    def __getitem__(self, name: str) -> ViewHandle:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise EngineError(f"no view named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def dataset(
+        self,
+        name: str,
+        schema: Union[Record, BagType],
+        rows: Optional[Union[Bag, Iterable]] = None,
+    ):
+        """Register a dataset and return a handle for building queries.
+
+        A :class:`Record` schema yields a surface-DSL :class:`Dataset`
+        (``.row()`` / ``.iterate()``); a raw :class:`BagType` yields the
+        corresponding :class:`~repro.nrc.ast.Relation` node.
+        """
+        if name in self._datasets:
+            raise EngineError(f"dataset {name!r} is already registered")
+        if isinstance(schema, Record):
+            bag_type = schema.bag_type()
+            handle: object = Dataset(name, schema)
+        elif isinstance(schema, BagType):
+            bag_type = schema
+            handle = ast.Relation(name, schema)
+        else:
+            raise TypeError(
+                f"schema must be a Record or a BagType, got {type(schema).__name__}"
+            )
+        instance = None
+        if rows is not None:
+            instance = rows if isinstance(rows, Bag) else Bag(rows)
+        self._database.register(name, bag_type, instance)
+        self._datasets[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def view(
+        self,
+        name: str,
+        query: QueryLike,
+        strategy: str = "auto",
+        *,
+        targets: Optional[Sequence[str]] = None,
+        expected_update_size: Optional[int] = None,
+    ) -> ViewHandle:
+        """Create and materialize a maintained view.
+
+        ``strategy="auto"`` lets the cost model pick the backend; any
+        registered backend name selects it explicitly (the estimates are
+        still computed so :meth:`explain` stays informative).
+        """
+        if name in self._views:
+            raise EngineError(f"view {name!r} already exists")
+        expr = query.to_expr() if isinstance(query, Query) else query
+        if not isinstance(expr, Expr):
+            raise TypeError(
+                f"query must be a surface Query or an NRC+ Expr, got {type(query).__name__}"
+            )
+        plan = plan_view(
+            expr,
+            self._database,
+            name=name,
+            requested=strategy,
+            expected_update_size=(
+                expected_update_size
+                if expected_update_size is not None
+                else self._expected_update_size
+            ),
+            targets=targets,
+            registry=self._registry,
+        )
+        spec = self._registry.get(plan.strategy)
+        if targets is not None and not spec.honors_targets:
+            raise EngineError(
+                f"backend {spec.name!r} derives its own update sources and cannot "
+                f"honor an explicit targets list for view {name!r}"
+            )
+        if not spec.supports(expr):
+            raise NotInFragmentError(
+                f"backend {spec.name!r} cannot maintain view {name!r}: "
+                f"query is outside its supported fragment"
+            )
+        view = spec.build(expr, self._database, targets=targets)
+        handle = ViewHandle(name, plan.strategy, view, plan)
+        self._views[name] = handle
+        return handle
+
+    def explain(self, view: Union[str, ViewHandle]) -> MaintenancePlan:
+        """The :class:`MaintenancePlan` behind a view's strategy choice."""
+        handle = view if isinstance(view, ViewHandle) else self[view]
+        return handle.plan
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def apply(self, update: UpdateLike) -> ShreddedDelta:
+        """Apply one update: every registered view refreshes incrementally."""
+        return self._database.apply_update(self._coerce_update(update))
+
+    def apply_stream(self, stream: Union[UpdateStream, Iterable[UpdateLike]]) -> int:
+        """Apply every update of a stream in order; returns the count applied."""
+        applied = 0
+        for update in stream:
+            self.apply(update)
+            applied += 1
+        return applied
+
+    def insert(self, relation: str, rows: Iterable) -> ShreddedDelta:
+        """Convenience: insert rows into one dataset."""
+        return self.apply(insertions(relation, rows))
+
+    def delete(self, relation: str, rows: Iterable) -> ShreddedDelta:
+        """Convenience: delete rows from one dataset."""
+        return self.apply(deletions(relation, rows))
+
+    @staticmethod
+    def _coerce_update(update: UpdateLike) -> Update:
+        if isinstance(update, Update):
+            return update
+        if isinstance(update, Mapping):
+            relations = {
+                name: bag if isinstance(bag, Bag) else Bag(bag)
+                for name, bag in update.items()
+            }
+            return Update(relations=relations)
+        raise TypeError(
+            f"updates must be Update objects or relation→rows mappings, "
+            f"got {type(update).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        views = ", ".join(
+            f"{handle.name}:{handle.strategy}" for handle in self._views.values()
+        )
+        return (
+            f"<Engine datasets={list(self.dataset_names())} "
+            f"views=[{views}]>"
+        )
+
+
+#: The issue's "Engine/Session" object: a session is just an engine instance.
+Session = Engine

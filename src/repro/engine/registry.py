@@ -1,0 +1,125 @@
+"""The pluggable view-backend registry.
+
+A *backend* is one maintenance strategy: a factory building a low-level view
+(`repro.ivm` classes for the built-ins), a cheap ``supports`` predicate, and
+an optional cost estimator the ``auto`` planner calls.  Backends register by
+name; future engines (async, sharded, remote — see ROADMAP.md) plug in with
+:func:`register_backend` without touching the :class:`~repro.engine.Engine`
+facade or the planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import EngineError
+from repro.nrc.ast import Expr
+
+__all__ = [
+    "BackendSpec",
+    "BackendRegistry",
+    "DEFAULT_REGISTRY",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]
+
+#: ``build(query, database, targets=None)`` → a registered view object.
+BuildFn = Callable[..., object]
+#: ``supports(query)`` → can this backend maintain the query at all?
+SupportsFn = Callable[[Expr], bool]
+#: ``estimator(query, inputs)`` → a StrategyEstimate for the auto planner.
+EstimatorFn = Callable[..., object]
+
+
+def _always(expr: Expr) -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One maintenance strategy as seen by the facade and the planner.
+
+    ``honors_targets`` declares whether the backend restricts maintenance to
+    an explicit ``targets`` list; backends that derive their own update
+    sources (naive re-evaluation, shredded IVM) must leave it ``False`` so
+    the facade can reject — and the planner can skip — them when the caller
+    pins the updatable relations.
+    """
+
+    name: str
+    description: str
+    build: BuildFn
+    supports: SupportsFn = field(default=_always)
+    estimator: Optional[EstimatorFn] = None
+    honors_targets: bool = False
+
+    def __repr__(self) -> str:
+        return f"BackendSpec({self.name!r}: {self.description})"
+
+
+class BackendRegistry:
+    """An ordered, named collection of :class:`BackendSpec` objects.
+
+    Registration order doubles as the planner's tie-breaking priority, so
+    simpler strategies should be registered before heavier ones.
+    """
+
+    def __init__(self, specs: Iterable[BackendSpec] = ()) -> None:
+        self._specs: Dict[str, BackendSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: BackendSpec, replace: bool = False) -> BackendSpec:
+        if not replace and spec.name in self._specs:
+            raise EngineError(f"backend {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        self._specs.pop(name, None)
+
+    def get(self, name: str) -> BackendSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise EngineError(
+                f"unknown strategy {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def specs(self) -> Tuple[BackendSpec, ...]:
+        return tuple(self._specs.values())
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def copy(self) -> "BackendRegistry":
+        """An independent registry with the same specs (for per-engine tweaks)."""
+        return BackendRegistry(self.specs())
+
+    def __repr__(self) -> str:
+        return f"BackendRegistry({', '.join(self.names())})"
+
+
+#: The process-wide registry the facade uses unless given another one.
+DEFAULT_REGISTRY = BackendRegistry()
+
+
+def register_backend(spec: BackendSpec, replace: bool = False) -> BackendSpec:
+    """Register a backend with the default registry (module-level convenience)."""
+    return DEFAULT_REGISTRY.register(spec, replace=replace)
+
+
+def get_backend(name: str) -> BackendSpec:
+    return DEFAULT_REGISTRY.get(name)
+
+
+def backend_names() -> Tuple[str, ...]:
+    return DEFAULT_REGISTRY.names()

@@ -59,3 +59,11 @@ class CircuitError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
+
+
+class EngineError(ReproError):
+    """Misuse of the :mod:`repro.engine` facade.
+
+    Raised for duplicate view names, unknown maintenance strategies, or
+    malformed inputs handed to :class:`repro.engine.Engine`.
+    """

@@ -101,6 +101,14 @@ class UpdateStream:
     def total_size(self) -> int:
         return sum(update.total_size() for update in self._updates)
 
+    def __repr__(self) -> str:
+        if not self._updates:
+            return "UpdateStream(empty)"
+        return (
+            f"UpdateStream({len(self._updates)} updates, "
+            f"{self.total_size()} changed tuples)"
+        )
+
     def merged(self) -> Update:
         """Collapse the stream into a single cumulative update."""
         relations: Dict[str, Bag] = {}

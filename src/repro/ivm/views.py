@@ -67,6 +67,13 @@ class MaintenanceStats:
             "mean_update_operations": self.mean_update_operations,
         }
 
+    def __repr__(self) -> str:
+        return (
+            f"MaintenanceStats(init={self.init_operations} ops/"
+            f"{self.init_seconds:.4f}s, updates={self.updates_applied}, "
+            f"mean={self.mean_update_operations:.1f} ops/update)"
+        )
+
 
 class View:
     """Base class for materialized views."""

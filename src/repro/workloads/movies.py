@@ -37,6 +37,7 @@ __all__ = [
     "generate_movies",
     "generate_showtimes",
     "movie_update_stream",
+    "movies_engine",
     "related_query",
     "related_query_dsl",
     "relb_subquery",
@@ -137,6 +138,26 @@ def movie_update_stream(
                 pairs.append((row, 1))
         stream.append(Update(relations={relation: Bag.from_pairs(pairs)}))
     return stream
+
+
+def movies_engine(
+    movies: Optional[Bag] = None,
+    count: int = 300,
+    seed: int = 7,
+    relation: str = "M",
+    expected_update_size: int = 1,
+):
+    """An :class:`~repro.engine.Engine` preloaded with the movies relation.
+
+    Pass an explicit ``movies`` bag (e.g. :data:`PAPER_MOVIES`) or let the
+    generator produce ``count`` synthetic movies.
+    """
+    from repro.engine import Engine
+
+    engine = Engine(expected_update_size=expected_update_size)
+    bag = movies if movies is not None else generate_movies(count, seed=seed)
+    engine.dataset(relation, MOVIE_SCHEMA, bag)
+    return engine
 
 
 # --------------------------------------------------------------------------- #

@@ -19,6 +19,7 @@ __all__ = [
     "nested_bag_type",
     "generate_nested_bag",
     "generate_bag_of_bags",
+    "bag_of_bags_engine",
     "nested_update_stream",
 ]
 
@@ -68,6 +69,25 @@ def generate_bag_of_bags(
         Bag(f"x{rng.randrange(value_pool)}" for _ in range(inner_cardinality))
         for _ in range(top_cardinality)
     )
+
+
+def bag_of_bags_engine(
+    top_cardinality: int,
+    inner_cardinality: int,
+    seed: int = 9,
+    relation: str = "R",
+    expected_update_size: int = 1,
+):
+    """An :class:`~repro.engine.Engine` preloaded with a ``Bag(Bag(Base))`` relation."""
+    from repro.engine import Engine
+
+    engine = Engine(expected_update_size=expected_update_size)
+    engine.dataset(
+        relation,
+        bag_of(bag_of(BASE)),
+        generate_bag_of_bags(top_cardinality, inner_cardinality, seed=seed),
+    )
+    return engine
 
 
 def nested_update_stream(

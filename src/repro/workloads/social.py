@@ -30,6 +30,7 @@ __all__ = [
     "generate_users",
     "generate_posts",
     "post_update_stream",
+    "social_engine",
     "feed_query",
 ]
 
@@ -78,6 +79,24 @@ def post_update_stream(
             counter += 1
         stream.append(Update(relations={relation: Bag(rows)}))
     return stream
+
+
+def social_engine(
+    num_users: int = 40,
+    num_cities: int = 10,
+    posts_per_user: int = 3,
+    seed: int = 3,
+    expected_update_size: int = 1,
+):
+    """An :class:`~repro.engine.Engine` preloaded with Users and Posts."""
+    from repro.engine import Engine
+
+    users = generate_users(num_users, num_cities=num_cities, seed=seed)
+    posts = generate_posts(users, posts_per_user=posts_per_user)
+    engine = Engine(expected_update_size=expected_update_size)
+    engine.dataset("Users", USER_SCHEMA, users)
+    engine.dataset("Posts", POST_SCHEMA, posts)
+    return engine
 
 
 def feed_query(users_rel: str = "Users", posts_rel: str = "Posts") -> Expr:
