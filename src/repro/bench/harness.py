@@ -8,6 +8,8 @@ CSV for further analysis.
 
 from __future__ import annotations
 
+import csv
+import io
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -61,11 +63,18 @@ class ResultTable:
         return "\n".join(lines)
 
     def to_csv(self) -> str:
-        """Render as CSV (no quoting needed for the values we produce)."""
-        lines = [",".join(self.columns)]
+        """Render as RFC-4180 CSV.
+
+        Cells containing commas, quotes or newlines (notes, string columns)
+        are quoted by the :mod:`csv` module, so the output always parses
+        back into the original cells.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
         for row in self.rows:
-            lines.append(",".join(_format_cell(row.get(column)) for column in self.columns))
-        return "\n".join(lines)
+            writer.writerow([_format_cell(row.get(column)) for column in self.columns])
+        return buffer.getvalue().rstrip("\n")
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.format()

@@ -1,0 +1,104 @@
+"""Micro-benchmark: compiled vs interpreted update latency (BENCH json).
+
+Maintains the selective genre self-join (an equality join whose delta the
+compiled pipeline turns into a hash-join) with the classic first-order
+strategy, twice over identical data and update streams: once with the
+compiled pipeline (the default) and once with the ``REPRO_NO_COMPILE``
+escape hatch forcing the interpreter.  Reports total and mean per-update
+wall-clock seconds for both and the resulting speedup, and verifies that
+both runs produced identical view contents.
+
+Run with ``python -m repro.bench.microbench``; the JSON result is written to
+``benchmarks/results/compile_selfjoin.json`` by default (the committed copy
+is regenerated from exactly this command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.nrc.compile import forced_interpretation
+from repro.workloads import (
+    generate_movies,
+    genre_selfjoin_query,
+    movie_update_stream,
+    movies_engine,
+)
+
+__all__ = ["run_selfjoin_latency", "main"]
+
+
+def _run_once(size: int, batch: int, updates: int, interpreted: bool):
+    """One maintenance run; returns ``(view_handle, final_result)``."""
+    with forced_interpretation(interpreted):
+        engine = movies_engine(generate_movies(size, seed=7), expected_update_size=batch)
+        view = engine.view("selfjoin", genre_selfjoin_query(), strategy="classic")
+        engine.apply_stream(movie_update_stream(updates, batch, seed=13))
+        return view, view.result()
+
+
+def run_selfjoin_latency(size: int = 600, batch: int = 8, updates: int = 10) -> dict:
+    """Measure the selective self-join's update latency under both modes."""
+    interpreted_view, interpreted_result = _run_once(size, batch, updates, interpreted=True)
+    compiled_view, compiled_result = _run_once(size, batch, updates, interpreted=False)
+    if compiled_result != interpreted_result:
+        raise AssertionError(
+            "compiled and interpreted maintenance diverged on the self-join benchmark"
+        )
+
+    interpreted_seconds = interpreted_view.stats.total_update_seconds
+    compiled_seconds = compiled_view.stats.total_update_seconds
+    return {
+        "benchmark": "compile_selfjoin_update_latency",
+        "workload": "genre self-join (equality join, selective), classic strategy",
+        "n": size,
+        "d": batch,
+        "updates": updates,
+        "interpreted": {
+            "execution": interpreted_view.execution,
+            "total_update_seconds": interpreted_seconds,
+            "mean_update_seconds": interpreted_seconds / updates,
+            "mean_update_operations": interpreted_view.stats.mean_update_operations,
+        },
+        "compiled": {
+            "execution": compiled_view.execution,
+            "total_update_seconds": compiled_seconds,
+            "mean_update_seconds": compiled_seconds / updates,
+            "mean_update_operations": compiled_view.stats.mean_update_operations,
+        },
+        "speedup": (interpreted_seconds / compiled_seconds) if compiled_seconds else None,
+        "results_identical": True,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compiled-vs-interpreted update-latency micro-benchmark"
+    )
+    parser.add_argument("--size", type=int, default=600, help="base relation cardinality n")
+    parser.add_argument("--batch", type=int, default=8, help="update batch size d")
+    parser.add_argument("--updates", type=int, default=10, help="number of update batches")
+    parser.add_argument(
+        "--output",
+        default="benchmarks/results/compile_selfjoin.json",
+        help="path for the BENCH json ('-' prints to stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_selfjoin_latency(args.size, args.batch, args.updates)
+    rendered = json.dumps(result, indent=2, sort_keys=False)
+    print(rendered)
+    if args.output != "-":
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

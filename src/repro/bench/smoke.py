@@ -1,0 +1,150 @@
+"""CI smoke check: compiled and interpreted maintenance must never diverge.
+
+Runs one small experiment workload per maintenance strategy — the E3-style
+``flatten(R) × flatten(R)`` self-join for classic/recursive/naive, the
+selective genre self-join for the hash-join path, and the nested ``related``
+view with relation *and* deep updates — under both execution modes, applying
+identical update streams, and compares the final view contents bag-for-bag.
+
+Exit status is non-zero on any divergence, which is what the CI benchmark
+smoke step keys on.  Run with ``python -m repro.bench.smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.bag.bag import Bag
+from repro.ivm import Update
+from repro.nrc import ast
+from repro.nrc import builders as build
+from repro.nrc.compile import forced_interpretation
+from repro.nrc.types import BASE, bag_of
+from repro.shredding.shred_database import input_dict_name
+from repro.workloads import (
+    bag_of_bags_engine,
+    generate_movies,
+    genre_selfjoin_query,
+    movie_update_stream,
+    movies_engine,
+    nested_update_stream,
+    related_query,
+)
+
+__all__ = ["run_smoke", "main"]
+
+
+def _flatten_selfjoin_run(strategy: str):
+    def run() -> Tuple[str, Bag]:
+        engine = bag_of_bags_engine(20, 4, seed=31)
+        relation = ast.Relation("R", bag_of(bag_of(BASE)))
+        query = ast.Product((ast.Flatten(relation), ast.Flatten(relation)))
+        view = engine.view("v", query, strategy=strategy)
+        engine.apply_stream(nested_update_stream("R", 3, 1, 4, seed=31))
+        return view.execution, view.result()
+
+    return run
+
+
+def _genre_selfjoin_run(strategy: str):
+    def run() -> Tuple[str, Bag]:
+        movies = generate_movies(60, seed=41)
+        engine = movies_engine(movies, expected_update_size=4)
+        view = engine.view("v", genre_selfjoin_query(), strategy=strategy)
+        engine.apply_stream(
+            movie_update_stream(3, 4, existing=movies, deletion_ratio=0.3, seed=43)
+        )
+        return view.execution, view.result()
+
+    return run
+
+
+def _related_deep_run():
+    def run() -> Tuple[str, Bag]:
+        engine = bag_of_bags_engine(15, 3, seed=47)
+        relation = ast.Relation("R", bag_of(bag_of(BASE)))
+        query = build.for_in("x", relation, ast.SngVar("x"))
+        view = engine.view("v", query, strategy="nested")
+        dict_name = input_dict_name("R", ())
+        dictionary = engine.database.shredded_environment().dictionaries[dict_name]
+        labels = sorted(dictionary.support(), key=lambda label: label.render())[:2]
+        engine.apply(Update(deep={dict_name: {label: Bag([f"deep-{i}"]) for i, label in enumerate(labels)}}))
+        engine.apply_stream(nested_update_stream("R", 2, 1, 3, seed=53))
+        return view.execution, view.result()
+
+    return run
+
+
+def _related_nested_run():
+    def run() -> Tuple[str, Bag]:
+        movies = generate_movies(40, seed=59)
+        engine = movies_engine(movies, expected_update_size=3)
+        view = engine.view("related", related_query(), strategy="nested")
+        engine.apply_stream(
+            movie_update_stream(3, 3, existing=movies, deletion_ratio=0.3, seed=61)
+        )
+        return view.execution, view.result()
+
+    return run
+
+
+def _build_checks() -> List[Tuple[str, Callable[[], Tuple[str, Bag]]]]:
+    checks: List[Tuple[str, Callable[[], Tuple[str, Bag]]]] = []
+    for strategy in ("naive", "classic", "recursive"):
+        checks.append((f"E3 flatten self-join / {strategy}", _flatten_selfjoin_run(strategy)))
+        checks.append((f"genre self-join / {strategy}", _genre_selfjoin_run(strategy)))
+    checks.append(("E8 deep updates / nested", _related_deep_run()))
+    checks.append(("E1 related movies / nested", _related_nested_run()))
+    return checks
+
+
+def _in_mode(interpreted: bool, run: Callable[[], Tuple[str, Bag]]) -> Tuple[str, Bag]:
+    with forced_interpretation(interpreted):
+        return run()
+
+
+def run_smoke() -> dict:
+    """Run every check under both modes; returns the BENCH json report.
+
+    A check fails when the two runs diverge *or* when the compiled leg did
+    not actually run compiled — comparing the interpreter against itself
+    would make the divergence check vacuous.
+    """
+    report = {"benchmark": "compile_smoke", "checks": [], "divergences": 0}
+    for name, run in _build_checks():
+        compiled_mode, compiled_result = _in_mode(False, run)
+        interpreted_mode, interpreted_result = _in_mode(True, run)
+        identical = compiled_result == interpreted_result
+        passed = identical and compiled_mode == "compiled"
+        report["checks"].append(
+            {
+                "name": name,
+                "compiled_execution": compiled_mode,
+                "interpreted_execution": interpreted_mode,
+                "result_cardinality": compiled_result.cardinality(),
+                "identical": identical,
+                "passed": passed,
+            }
+        )
+        if not passed:
+            report["divergences"] += 1
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    report = run_smoke()
+    print(json.dumps(report, indent=2))
+    if report["divergences"]:
+        print(
+            f"FAIL: {report['divergences']} compiled-vs-interpreted divergence(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: compiled and interpreted maintenance agree on every check", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

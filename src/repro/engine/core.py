@@ -70,12 +70,20 @@ class ViewHandle:
     def stats(self) -> MaintenanceStats:
         return self.view.stats
 
+    @property
+    def execution(self) -> str:
+        """``"compiled"`` or ``"interpreted"`` — how the view's per-update
+        queries run (see :mod:`repro.nrc.compile` and ``REPRO_NO_COMPILE``)."""
+        mode = getattr(self.view, "execution_mode", None)
+        return mode() if callable(mode) else "interpreted"
+
     def explain(self) -> MaintenancePlan:
         return self.plan
 
     def __repr__(self) -> str:
         return (
             f"<View {self.name!r} strategy={self.strategy} "
+            f"execution={self.execution} "
             f"updates={self.stats.updates_applied}>"
         )
 
@@ -218,6 +226,7 @@ class Engine:
             )
         view = spec.build(expr, self._database, targets=targets)
         handle = ViewHandle(name, plan.strategy, view, plan)
+        plan.execution = handle.execution
         self._views[name] = handle
         return handle
 

@@ -77,6 +77,10 @@ class MaintenancePlan:
     estimates: Tuple[StrategyEstimate, ...] = ()
     expected_update_size: int = 1
     artifacts: Dict[str, str] = field(default_factory=dict)
+    #: ``"compiled"`` when the built view runs its per-update queries through
+    #: the closure compiler (:mod:`repro.nrc.compile`), ``"interpreted"``
+    #: otherwise.  Filled in by the facade once the backend view exists.
+    execution: str = "interpreted"
 
     def estimate_for(self, strategy: str) -> Optional[StrategyEstimate]:
         """The estimate recorded for a given backend name (``None`` if absent)."""
@@ -94,6 +98,7 @@ class MaintenancePlan:
         lines = [
             f"MaintenancePlan for view {self.view_name!r}",
             f"  strategy : {self.strategy} (requested: {self.requested})",
+            f"  execution: {self.execution}",
             f"  reason   : {self.reason}",
             f"  assumed update size d = {self.expected_update_size}",
             "  candidates:",

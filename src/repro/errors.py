@@ -24,6 +24,15 @@ class UnboundVariableError(EvaluationError):
     """A variable was referenced without a binding in the environment."""
 
 
+class CompileError(ReproError):
+    """An expression contains a construct the closure compiler cannot lower.
+
+    Callers that can fall back to the interpreter should use
+    :func:`repro.nrc.compile.try_compile`, which converts this error into a
+    ``None`` result.
+    """
+
+
 class NotInFragmentError(ReproError):
     """An operation requires IncNRC+ but the expression falls outside it.
 

@@ -23,7 +23,7 @@ from repro.ivm.updates import Update
 from repro.ivm.views import View
 from repro.nrc.analysis import referenced_relations
 from repro.nrc.ast import Expr
-from repro.nrc.evaluator import evaluate_bag
+from repro.nrc.compile import run_bag, try_compile
 
 __all__ = ["ClassicIVMView"]
 
@@ -45,10 +45,15 @@ class ClassicIVMView(View):
             sorted(referenced_relations(query))
         )
         self._delta_query = delta(query, self._targets)
+        # The delta pipeline is compiled once here and reused on every
+        # update; ``None`` (escape hatch or unsupported node) means the
+        # interpreter remains in charge.
+        self._compiled_delta = try_compile(self._delta_query)
+        self._execution_mode = "compiled" if self._compiled_delta is not None else "interpreted"
 
         counter = OpCounter()
         started = self._now()
-        self._result = evaluate_bag(query, database.environment(), counter)
+        self._result = run_bag(try_compile(query), query, database.environment(), counter)
         self.stats.record_init(self._now() - started, counter)
         if register:
             database.register_view(self)
@@ -70,6 +75,6 @@ class ClassicIVMView(View):
         }
         if deltas:
             environment = self._database.environment().with_deltas(deltas)
-            change = evaluate_bag(self._delta_query, environment, counter)
+            change = run_bag(self._compiled_delta, self._delta_query, environment, counter)
             self._result = self._result.union(change)
         self.stats.record_update(self._now() - started, counter)

@@ -75,6 +75,11 @@ class Database:
         self._shredder = ValueShredder(LabelFactory(prefix="db"))
         self._flat: Dict[str, Bag] = {}
         self._dictionaries: Dict[str, MaterializedDict] = {}
+        # Input-dictionary name → owning relation.  Resolving ownership by
+        # parsing the generated names would break for relations whose own
+        # name contains the ``__D`` separator (e.g. ``user__Data``), so the
+        # mapping is recorded from the schema at registration time.
+        self._dict_owner: Dict[str, str] = {}
         self._views: List[object] = []
 
     # ------------------------------------------------------------------ #
@@ -88,6 +93,9 @@ class Database:
             raise TypeError("relation schemas must be bag types")
         self._schemas[name] = schema
         self._relations[name] = instance or EMPTY_BAG
+        context = input_context_for(name, schema.element)
+        for path, _ in iter_context_dicts(context):
+            self._dict_owner[input_dict_name(name, path)] = name
         self._reshred_relation(name)
 
     def _reshred_relation(self, name: str) -> None:
@@ -164,7 +172,18 @@ class Database:
         return delta
 
     def apply_update(self, update: Update) -> ShreddedDelta:
-        """Notify views of ``update`` and then apply it to the stored instances."""
+        """Notify views of ``update`` and then apply it to the stored instances.
+
+        A no-op update (empty relation bags, deep deltas whose entry bags are
+        all empty) short-circuits: views are not notified and nothing is
+        written.  Relation names are still validated first, so a typo'd name
+        fails loudly even when its delta bag happens to be empty.
+        """
+        for name in update.relations:
+            if name not in self._schemas:
+                raise WorkloadError(f"update touches unknown relation {name!r}")
+        if update.is_empty():
+            return ShreddedDelta()
         shredded_delta = self.shred_update(update)
 
         for view in list(self._views):
@@ -196,17 +215,21 @@ class Database:
         return shredded_delta
 
     def _refresh_nested_from_shredded(self, update: Update) -> None:
-        """Re-nest relations whose inner bags were deep-updated."""
+        """Re-nest relations whose inner bags were deep-updated.
+
+        Ownership of a deep-updated dictionary is resolved through the
+        registry built from the schemas at registration time, never by
+        parsing the dictionary name (a relation may itself be named with the
+        ``__D`` separator).
+        """
         from repro.shredding.shred_values import unshred_bag
-        from repro.shredding.context import BagContext, TupleContext, UNIT_CONTEXT
-        from repro.nrc.types import ProductType
 
         touched = set()
         for dict_name in update.deep:
-            touched.add(dict_name.split("__D")[0])
+            owner = self._dict_owner.get(dict_name)
+            if owner is not None:
+                touched.add(owner)
         for name in touched:
-            if name not in self._schemas:
-                continue
             element_type = self._schemas[name].element
             context = self._value_context_for(name, element_type)
             flat = self._flat[flat_relation_name(name)]

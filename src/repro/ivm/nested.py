@@ -39,7 +39,8 @@ from repro.ivm.views import View
 from repro.labels import Label
 from repro.nrc.analysis import referenced_sources
 from repro.nrc.ast import Expr
-from repro.nrc.evaluator import Environment, evaluate, evaluate_bag
+from repro.nrc.compile import CompiledQuery, run_bag, try_compile
+from repro.nrc.evaluator import Environment, evaluate
 from repro.delta.rules import delta
 from repro.shredding.context import (
     BagContext,
@@ -64,6 +65,8 @@ class _DictState:
     expression: Expr
     delta_expression: Expr
     materialized: MaterializedDict = field(default_factory=lambda: MaterializedDict({}))
+    compiled: Optional[CompiledQuery] = None
+    compiled_delta: Optional[CompiledQuery] = None
 
 
 class NestedIVMView(View):
@@ -89,21 +92,37 @@ class NestedIVMView(View):
         self._targets = tuple(sorted(sources))
 
         self._flat_delta = delta(self._shredded.flat, self._targets)
+        self._compiled_flat = try_compile(self._shredded.flat)
+        self._compiled_flat_delta = try_compile(self._flat_delta)
         for path, expression in iter_context_dicts(self._shredded.context):
+            delta_expression = delta(expression, self._targets)
             self._dict_states.append(
                 _DictState(
                     path=path,
                     expression=expression,
-                    delta_expression=delta(expression, self._targets),
+                    delta_expression=delta_expression,
+                    compiled=try_compile(expression),
+                    compiled_delta=try_compile(delta_expression),
                 )
             )
+        self._execution_mode = (
+            "compiled"
+            if self._compiled_flat_delta is not None
+            and all(
+                state.compiled is not None and state.compiled_delta is not None
+                for state in self._dict_states
+            )
+            else "interpreted"
+        )
 
         counter = OpCounter()
         started = self._now()
         environment = database.shredded_environment()
-        self._flat_view = evaluate_bag(self._shredded.flat, environment, counter)
+        self._flat_view = run_bag(self._compiled_flat, self._shredded.flat, environment, counter)
         for state in self._dict_states:
-            dictionary = self._evaluate_dictionary(state.expression, environment, counter)
+            dictionary = self._dictionary_value(
+                state.compiled, state.expression, environment, counter
+            )
             active = self._active_labels(state)
             entries = {label: dictionary.lookup(label) for label in active}
             state.materialized = MaterializedDict(entries)
@@ -173,14 +192,14 @@ class NestedIVMView(View):
         post_env = self._post_update_environment(pre_env, shredded_delta)
 
         # 1. Maintain the flat view with δ(h^F).
-        flat_change = evaluate_bag(self._flat_delta, delta_env, counter)
+        flat_change = run_bag(self._compiled_flat_delta, self._flat_delta, delta_env, counter)
         self._flat_view = self._flat_view.union(flat_change)
 
         # 2. Maintain every dictionary: refresh existing definitions with
         #    δ(h^Γ)(ℓ) and initialize definitions for newly active labels.
         for state in self._dict_states:
-            delta_dictionary = self._evaluate_dictionary(
-                state.delta_expression, delta_env, counter
+            delta_dictionary = self._dictionary_value(
+                state.compiled_delta, state.delta_expression, delta_env, counter
             )
             entries: Dict[Label, Bag] = dict(state.materialized.items())
             # When the delta dictionary has finite support (e.g. deep updates
@@ -201,8 +220,8 @@ class NestedIVMView(View):
             active = self._active_labels(state, entries_hint=entries)
             new_labels = [label for label in active if label not in entries]
             if new_labels:
-                full_dictionary = self._evaluate_dictionary(
-                    state.expression, post_env, counter
+                full_dictionary = self._dictionary_value(
+                    state.compiled, state.expression, post_env, counter
                 )
                 for label in new_labels:
                     maybe_count(counter, "dict_initializations")
@@ -232,10 +251,17 @@ class NestedIVMView(View):
     # Helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _evaluate_dictionary(
-        expression: Expr, environment: Environment, counter: OpCounter
+    def _dictionary_value(
+        compiled: Optional[CompiledQuery],
+        expression: Expr,
+        environment: Environment,
+        counter: OpCounter,
     ) -> DictValue:
-        value = evaluate(expression, environment, counter)
+        """Evaluate a context expression through its compiled pipeline if any."""
+        if compiled is not None:
+            value = compiled.evaluate(environment, counter)
+        else:
+            value = evaluate(expression, environment, counter)
         if not isinstance(value, DictValue):
             raise ShreddingError("context expressions must evaluate to dictionaries")
         return value

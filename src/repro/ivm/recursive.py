@@ -33,6 +33,7 @@ from repro.ivm.views import View
 from repro.nrc import ast
 from repro.nrc.analysis import free_elem_vars, referenced_deltas, referenced_relations
 from repro.nrc.ast import Expr
+from repro.nrc.compile import CompiledQuery, run_bag, try_compile
 from repro.nrc.evaluator import Environment, evaluate_bag
 from repro.nrc.rewrite import simplify
 
@@ -47,6 +48,7 @@ class _Materialization:
     expression: Expr
     delta_expression: Expr
     value: Bag
+    compiled_delta: Optional[CompiledQuery] = None
 
 
 def partially_evaluate(
@@ -125,21 +127,30 @@ class RecursiveIVMView(View):
         first_order = delta(query, self._targets)
         residual, to_materialize = partially_evaluate(first_order, self._targets)
         self._residual_delta = simplify(residual)
+        self._compiled_residual = try_compile(self._residual_delta)
 
         counter = OpCounter()
         started = self._now()
         environment = database.environment()
-        self._result = evaluate_bag(query, environment, counter)
+        self._result = run_bag(try_compile(query), query, environment, counter)
         self._materializations: Dict[str, _Materialization] = {}
         for name, expression in to_materialize:
             value = evaluate_bag(expression, environment, counter)
+            delta_expression = delta(expression, self._targets)
             self._materializations[name] = _Materialization(
                 name=name,
                 expression=expression,
-                delta_expression=delta(expression, self._targets),
+                delta_expression=delta_expression,
                 value=value,
+                compiled_delta=try_compile(delta_expression),
             )
         self.stats.record_init(self._now() - started, counter)
+        self._execution_mode = (
+            "compiled"
+            if self._compiled_residual is not None
+            and all(m.compiled_delta is not None for m in self._materializations.values())
+            else "interpreted"
+        )
         if register:
             database.register_view(self)
 
@@ -172,7 +183,7 @@ class RecursiveIVMView(View):
             environment.bag_vars.update(
                 {m.name: m.value for m in self._materializations.values()}
             )
-            change = evaluate_bag(self._residual_delta, environment, counter)
+            change = run_bag(self._compiled_residual, self._residual_delta, environment, counter)
             self._result = self._result.union(change)
 
             # Maintain the materialized sub-expressions with their own deltas
@@ -180,8 +191,11 @@ class RecursiveIVMView(View):
             # pre-update database state.
             maintenance_env = self._database.environment().with_deltas(deltas)
             for materialization in self._materializations.values():
-                change = evaluate_bag(
-                    materialization.delta_expression, maintenance_env, counter
+                change = run_bag(
+                    materialization.compiled_delta,
+                    materialization.delta_expression,
+                    maintenance_env,
+                    counter,
                 )
                 materialization.value = materialization.value.union(change)
         self.stats.record_update(self._now() - started, counter)

@@ -38,9 +38,17 @@ class Update:
     deep: Dict[str, Dict[Label, Bag]] = field(default_factory=dict)
 
     def is_empty(self) -> bool:
-        """True iff the update changes nothing."""
-        return all(bag.is_empty() for bag in self.relations.values()) and not any(
-            self.deep.values()
+        """True iff the update changes nothing.
+
+        Emptiness is checked pointwise: a deep delta whose entry bags are all
+        empty (``deep={"R__D": {label: EMPTY_BAG}}``) is a no-op — adding the
+        empty bag to a label definition changes nothing — and must not
+        trigger view notification or nested-relation refreshes.
+        """
+        return all(bag.is_empty() for bag in self.relations.values()) and all(
+            bag.is_empty()
+            for entries in self.deep.values()
+            for bag in entries.values()
         )
 
     def total_size(self) -> int:
@@ -110,7 +118,13 @@ class UpdateStream:
         )
 
     def merged(self) -> Update:
-        """Collapse the stream into a single cumulative update."""
+        """Collapse the stream into a single cumulative update.
+
+        Relations and deep-delta labels whose merged bag cancels to empty
+        (an insertion later undone by a deletion) are dropped, so a merged
+        no-op stream is itself a no-op: applying it triggers neither view
+        refreshes nor dictionary writes.
+        """
         relations: Dict[str, Bag] = {}
         deep: Dict[str, Dict[Label, Bag]] = {}
         for update in self._updates:
@@ -120,4 +134,10 @@ class UpdateStream:
                 bucket = deep.setdefault(name, {})
                 for label, bag in entries.items():
                     bucket[label] = bucket.get(label, Bag()).union(bag)
-        return Update(relations=relations, deep=deep)
+        relations = {name: bag for name, bag in relations.items() if not bag.is_empty()}
+        cleaned_deep: Dict[str, Dict[Label, Bag]] = {}
+        for name, bucket in deep.items():
+            bucket = {label: bag for label, bag in bucket.items() if not bag.is_empty()}
+            if bucket:
+                cleaned_deep[name] = bucket
+        return Update(relations=relations, deep=cleaned_deep)

@@ -15,6 +15,7 @@ from repro.nrc.analysis import (
     referenced_relations,
     referenced_sources,
 )
+from repro.nrc.compile import CompiledQuery, compile_expr, compilation_enabled, try_compile
 from repro.nrc.evaluator import Environment, evaluate, evaluate_bag
 from repro.nrc.lazy import evaluate_lazy, evaluate_lazy_expanded
 from repro.nrc.pretty import render
@@ -32,6 +33,10 @@ __all__ = [
     "is_input_independent",
     "referenced_relations",
     "referenced_sources",
+    "CompiledQuery",
+    "compile_expr",
+    "compilation_enabled",
+    "try_compile",
     "Environment",
     "evaluate",
     "evaluate_bag",

@@ -1,0 +1,1073 @@
+"""Compilation of NRC+ / IncNRC+_l expressions into reusable Python closures.
+
+The recursive interpreter (:mod:`repro.nrc.evaluator`) pays two prices on
+every update the cost model does not charge for: each ``for`` binder copies a
+whole :class:`~repro.nrc.evaluator.Environment`, and each ``for``-over-``for``
+join is executed as a nested loop with a predicate check per pair — time
+proportional to the *product* of the operands instead of the matching pairs
+assumed by the paper's ``tcost`` bound (Section 4).  This module lowers an
+expression once, at view-registration time, into a tree of closures that
+
+* replaces per-binder environment copies with **slot-indexed frames** (one
+  flat Python list per evaluation; every binder writes a pre-assigned slot),
+* turns the canonical join shape ``for x in e₁ union (for y in e₂ union
+  (where p …))`` into a **hash-join** whenever ``p`` contains an equality
+  between a projection of the inner variable and a projection of an outer
+  variable (or a constant): the build side is indexed once per evaluation and
+  probed per outer tuple, so selective joins cost time proportional to the
+  matching pairs, and
+* **hoists loop-invariant sub-expressions**: any computation that reads no
+  binder slot is evaluated at most once per evaluation (memoized in a
+  per-call cache), no matter how many loop iterations reference it.
+
+The strict interpreter remains the semantic reference; compiled and
+interpreted evaluation must agree on every input (the differential tests in
+``tests/test_compile.py`` enforce this, and the CI smoke benchmark re-checks
+it on real workloads).  Setting the environment variable
+:data:`REPRO_NO_COMPILE` (to any non-empty value) disables compilation
+globally — :func:`try_compile` then returns ``None`` and every view falls
+back to the interpreter.
+
+One bounded caveat applies to *ill-typed* guards only: a hash-join does not
+evaluate guard conjuncts for pairs its index already excludes, so an error
+the interpreter would raise on such a pair (e.g. an ordered comparison over
+non-base values, which the type system forbids) is not reproduced.
+Equality conjuncts themselves never diverge — keys that hashing cannot
+match faithfully (non-base values, ``NaN``, erroring operands) degrade to a
+nested-loop twin that follows interpreter conjunct order exactly.
+Well-typed queries (:mod:`repro.nrc.typecheck`) are unaffected.
+
+Operation counters are threaded through so the cost-model experiments keep
+working: compiled evaluation reports the operations it *actually* performs
+(hash probes instead of skipped pairs), which is exactly the work reduction
+the pipeline exists to deliver.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.bag.values import is_base_value
+from repro.dictionaries import DictValue, EMPTY_DICT, IntensionalDict
+from repro.errors import CompileError, EvaluationError, UnboundVariableError
+from repro.instrument import OpCounter, maybe_count
+from repro.labels import Label
+from repro.nrc import ast
+from repro.nrc import predicates as preds
+from repro.nrc.ast import Expr
+from repro.nrc.evaluator import Environment, evaluate_bag as _interpret_bag
+
+__all__ = [
+    "REPRO_NO_COMPILE",
+    "CompiledQuery",
+    "compile_expr",
+    "compilation_enabled",
+    "forced_interpretation",
+    "run_bag",
+    "try_compile",
+]
+
+#: Environment variable that disables compilation when set to a non-empty value.
+REPRO_NO_COMPILE = "REPRO_NO_COMPILE"
+
+
+def compilation_enabled() -> bool:
+    """True unless the ``REPRO_NO_COMPILE`` escape hatch is set."""
+    return not os.environ.get(REPRO_NO_COMPILE)
+
+
+@contextmanager
+def forced_interpretation(interpreted: bool = True) -> Iterator[None]:
+    """Temporarily force the execution mode (benchmark/smoke/test helper).
+
+    ``interpreted=True`` sets ``REPRO_NO_COMPILE`` for the duration of the
+    block, ``interpreted=False`` clears it; the previous value is restored
+    on exit either way.  Only affects views *constructed* inside the block —
+    views compile (or don't) at registration time.
+    """
+    saved = os.environ.get(REPRO_NO_COMPILE)
+    try:
+        if interpreted:
+            os.environ[REPRO_NO_COMPILE] = "1"
+        else:
+            os.environ.pop(REPRO_NO_COMPILE, None)
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(REPRO_NO_COMPILE, None)
+        else:
+            os.environ[REPRO_NO_COMPILE] = saved
+
+
+def compile_expr(expr: Expr) -> "CompiledQuery":
+    """Compile ``expr`` into a reusable :class:`CompiledQuery`.
+
+    Raises :class:`~repro.errors.CompileError` when the expression contains a
+    node the compiler has no rule for.
+    """
+    return CompiledQuery(expr)
+
+
+def try_compile(expr: Expr) -> Optional["CompiledQuery"]:
+    """Compile ``expr``, or return ``None`` when disabled or unsupported.
+
+    This is the entry point the view classes use at registration time: a
+    ``None`` result means "run interpreted", never an error.
+    """
+    if not compilation_enabled():
+        return None
+    try:
+        return compile_expr(expr)
+    except CompileError:
+        return None
+
+
+def run_bag(
+    compiled: Optional["CompiledQuery"],
+    expr: Expr,
+    env: Environment,
+    counter: Optional[OpCounter] = None,
+) -> Bag:
+    """Evaluate ``expr`` through ``compiled`` when available, else interpret.
+
+    The shared dispatch the view classes use on every (re-)evaluation:
+    ``compiled`` is the result of :func:`try_compile` for ``expr``, possibly
+    ``None``.
+    """
+    if compiled is not None:
+        return compiled.evaluate_bag(env, counter)
+    return _interpret_bag(expr, env, counter)
+
+
+# --------------------------------------------------------------------------- #
+# Runtime pieces
+# --------------------------------------------------------------------------- #
+class _Missing:
+    """Sentinel for an unbound frame slot."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+class _Ctx:
+    """Per-evaluation context: database bindings, op counter, hoist cache.
+
+    Let-bound and externally-provided bag variables live in frame slots, not
+    here — the context carries only the bindings resolved by name at runtime.
+    """
+
+    __slots__ = ("relations", "dictionaries", "deltas", "counter", "cache")
+
+    def __init__(
+        self,
+        relations,
+        dictionaries,
+        deltas,
+        counter: Optional[OpCounter],
+    ) -> None:
+        self.relations = relations
+        self.dictionaries = dictionaries
+        self.deltas = deltas
+        self.counter = counter
+        self.cache: Dict[int, Any] = {}
+
+
+def _project_value(value: Any, path: Tuple[int, ...], context: str) -> Any:
+    for index in path:
+        if not isinstance(value, tuple) or index >= len(value):
+            raise EvaluationError(f"{context}: projection .{index} fails on {value!r}")
+        value = value[index]
+    return value
+
+
+def _as_bag(value: Any) -> Bag:
+    if not isinstance(value, Bag):
+        raise EvaluationError(f"expected a bag, got {value!r}")
+    return value
+
+
+def _as_dict(value: Any) -> DictValue:
+    if not isinstance(value, DictValue):
+        raise EvaluationError(f"expected a dictionary, got {value!r}")
+    return value
+
+
+def _accumulate(
+    accumulator: Dict[Any, int], inner: Bag, multiplicity: int, counter
+) -> None:
+    """Merge ``inner`` scaled by ``multiplicity`` into a loop accumulator.
+
+    The single definition of the ``for``-loop multiplicity semantics shared
+    by the plain loop, the hash-join bucket walk and its nested-loop twin.
+    """
+    for inner_element, inner_multiplicity in inner.items():
+        combined = multiplicity * inner_multiplicity
+        if combined == 0:
+            continue
+        maybe_count(counter, "union_merges")
+        updated = accumulator.get(inner_element, 0) + combined
+        if updated == 0:
+            accumulator.pop(inner_element, None)
+        else:
+            accumulator[inner_element] = updated
+
+
+# A compiled node: closure plus the set of *binder* slots it reads.  Slots
+# filled once per evaluation (free variables of the whole expression) are not
+# tracked — depending only on them still makes a node loop-invariant.
+_Fn = Callable[[_Ctx, List[Any]], Any]
+_Compiled = Tuple[_Fn, frozenset]
+
+#: Node types worth memoizing when loop-invariant (they do real work).
+_HOISTABLE = (
+    ast.For,
+    ast.Product,
+    ast.Union,
+    ast.Flatten,
+    ast.Negate,
+    ast.Let,
+    ast.Sng,
+    ast.DictUnion,
+    ast.DictAdd,
+)
+
+
+class _UnhashableKey(Exception):
+    """Internal: a join-key value that must not be matched via hashing."""
+
+
+#: Cache sentinel: the build side contained an unhashable key, use the loop.
+_NO_INDEX = object()
+
+
+class _EqAtom:
+    """One hashable equality conjunct of a join guard.
+
+    ``build_path`` projects the inner (build-side) variable; ``probe`` is a
+    closure computing the matching key part from the outer frame, and
+    ``deps`` are the binder slots that closure reads.
+    """
+
+    __slots__ = ("build_path", "probe", "deps")
+
+    def __init__(self, build_path: Tuple[int, ...], probe: _Fn, deps: frozenset) -> None:
+        self.build_path = build_path
+        self.probe = probe
+        self.deps = deps
+
+
+class _Compiler:
+    """Single-pass compiler from AST nodes to ``(closure, deps)`` pairs."""
+
+    def __init__(self) -> None:
+        self._slot_count = 0
+        self._elem_scope: Dict[str, int] = {}
+        self._bag_scope: Dict[str, int] = {}
+        # Free variables of the whole expression get parameter slots, filled
+        # from the Environment once per evaluation.
+        self._elem_params: Dict[str, int] = {}
+        self._bag_params: Dict[str, int] = {}
+        self._binder_depth = 0
+        self._cache_keys = 0
+
+    # ------------------------------------------------------------------ #
+    # Slot management
+    # ------------------------------------------------------------------ #
+    def _new_slot(self) -> int:
+        slot = self._slot_count
+        self._slot_count += 1
+        return slot
+
+    def _elem_param_slot(self, name: str) -> int:
+        if name not in self._elem_params:
+            self._elem_params[name] = self._new_slot()
+        return self._elem_params[name]
+
+    def _bag_param_slot(self, name: str) -> int:
+        if name not in self._bag_params:
+            self._bag_params[name] = self._new_slot()
+        return self._bag_params[name]
+
+    def _elem_slot(self, name: str) -> Tuple[int, bool]:
+        """Slot for an element variable: ``(slot, is_binder_slot)``."""
+        if name in self._elem_scope:
+            return self._elem_scope[name], True
+        return self._elem_param_slot(name), False
+
+    class _Bound:
+        """Scoped binding of a variable name to a fresh binder slot."""
+
+        __slots__ = ("_scope", "_name", "_saved", "_had", "slot")
+
+        def __init__(self, compiler: "_Compiler", scope: Dict[str, int], name: str) -> None:
+            self._scope = scope
+            self._name = name
+            self._had = name in scope
+            self._saved = scope.get(name)
+            self.slot = compiler._new_slot()
+            scope[name] = self.slot
+
+        def release(self) -> None:
+            if self._had:
+                self._scope[self._name] = self._saved  # type: ignore[assignment]
+            else:
+                self._scope.pop(self._name, None)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def compile(self, expr: Expr) -> _Compiled:
+        method = getattr(self, f"_compile_{type(expr).__name__}", None)
+        if method is None:
+            raise CompileError(f"no compile rule for node {type(expr).__name__}")
+        fn, deps = method(expr)
+        if (
+            self._binder_depth > 0
+            and not deps
+            and isinstance(expr, _HOISTABLE)
+        ):
+            fn = self._memoized(fn)
+        return fn, deps
+
+    def _memoized(self, fn: _Fn) -> _Fn:
+        """Hoist a loop-invariant computation: at most one evaluation per call."""
+        key = self._cache_keys
+        self._cache_keys += 1
+
+        def cached(ctx: _Ctx, frame: List[Any]) -> Any:
+            cache = ctx.cache
+            if key in cache:
+                return cache[key]
+            value = fn(ctx, frame)
+            cache[key] = value
+            return value
+
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Sources and variables
+    # ------------------------------------------------------------------ #
+    def _compile_Relation(self, expr: ast.Relation) -> _Compiled:
+        name = expr.name
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            try:
+                return ctx.relations[name]
+            except KeyError:
+                raise UnboundVariableError(f"unknown relation {name!r}") from None
+
+        return fn, frozenset()
+
+    def _compile_DeltaRelation(self, expr: ast.DeltaRelation) -> _Compiled:
+        key = (expr.name, expr.order)
+        name, order = expr.name, expr.order
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            value = ctx.deltas.get(key, EMPTY_BAG)
+            if not isinstance(value, Bag):
+                raise EvaluationError(
+                    f"update symbol Δ^{order}{name} is bound to a non-bag value"
+                )
+            return value
+
+        return fn, frozenset()
+
+    def _compile_DictVar(self, expr: ast.DictVar) -> _Compiled:
+        name = expr.name
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> DictValue:
+            try:
+                return ctx.dictionaries[name]
+            except KeyError:
+                raise UnboundVariableError(f"unknown dictionary {name!r}") from None
+
+        return fn, frozenset()
+
+    def _compile_DeltaDictVar(self, expr: ast.DeltaDictVar) -> _Compiled:
+        key = (expr.name, expr.order)
+        name, order = expr.name, expr.order
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> DictValue:
+            value = ctx.deltas.get(key, EMPTY_DICT)
+            if not isinstance(value, DictValue):
+                raise EvaluationError(
+                    f"update symbol Δ^{order}{name} is bound to a non-dictionary value"
+                )
+            return value
+
+        return fn, frozenset()
+
+    def _compile_BagVar(self, expr: ast.BagVar) -> _Compiled:
+        name = expr.name
+        if name in self._bag_scope:
+            slot = self._bag_scope[name]
+
+            def fn(ctx: _Ctx, frame: List[Any]) -> Any:
+                value = frame[slot]
+                if value is _MISSING:
+                    raise UnboundVariableError(f"unbound bag variable {name!r}")
+                return value
+
+            return fn, frozenset((slot,))
+
+        slot = self._bag_param_slot(name)
+
+        def fn_param(ctx: _Ctx, frame: List[Any]) -> Any:
+            value = frame[slot]
+            if value is _MISSING:
+                raise UnboundVariableError(f"unbound bag variable {name!r}")
+            return value
+
+        return fn_param, frozenset()
+
+    def _elem_reader(self, name: str) -> _Compiled:
+        slot, is_binder = self._elem_slot(name)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Any:
+            value = frame[slot]
+            if value is _MISSING:
+                raise UnboundVariableError(f"unbound element variable {name!r}")
+            return value
+
+        return fn, frozenset((slot,)) if is_binder else frozenset()
+
+    # ------------------------------------------------------------------ #
+    # Singletons and constants
+    # ------------------------------------------------------------------ #
+    def _compile_SngVar(self, expr: ast.SngVar) -> _Compiled:
+        read, deps = self._elem_reader(expr.var)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            maybe_count(ctx.counter, "elements_emitted")
+            return Bag.singleton(read(ctx, frame))
+
+        return fn, deps
+
+    def _compile_SngProj(self, expr: ast.SngProj) -> _Compiled:
+        read, deps = self._elem_reader(expr.var)
+        path = expr.path
+        context = f"sng(π({expr.var}))"
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            value = _project_value(read(ctx, frame), path, context)
+            maybe_count(ctx.counter, "elements_emitted")
+            return Bag.singleton(value)
+
+        return fn, deps
+
+    def _compile_SngUnit(self, expr: ast.SngUnit) -> _Compiled:
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            maybe_count(ctx.counter, "elements_emitted")
+            return Bag.singleton(())
+
+        return fn, frozenset()
+
+    def _compile_Sng(self, expr: ast.Sng) -> _Compiled:
+        body_fn, deps = self.compile(expr.body)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            inner = _as_bag(body_fn(ctx, frame))
+            maybe_count(ctx.counter, "elements_emitted")
+            return Bag.singleton(inner)
+
+        return fn, deps
+
+    def _compile_Empty(self, expr: ast.Empty) -> _Compiled:
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            return EMPTY_BAG
+
+        return fn, frozenset()
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+    def _compile_operand(self, operand: preds.Operand) -> _Compiled:
+        if isinstance(operand, preds.Const):
+            value = operand.value
+
+            def fn_const(ctx: _Ctx, frame: List[Any]) -> Any:
+                return value
+
+            return fn_const, frozenset()
+        if isinstance(operand, preds.VarPath):
+            slot, is_binder = self._elem_slot(operand.var)
+            path = operand.path
+            name = operand.var
+
+            def fn_var(ctx: _Ctx, frame: List[Any]) -> Any:
+                value = frame[slot]
+                if value is _MISSING:
+                    raise EvaluationError(
+                        f"unbound element variable {name!r} in predicate"
+                    )
+                for index in path:
+                    if not isinstance(value, tuple) or index >= len(value):
+                        raise EvaluationError(
+                            f"projection .{index} does not apply to value {value!r}"
+                        )
+                    value = value[index]
+                return value
+
+            return fn_var, frozenset((slot,)) if is_binder else frozenset()
+        raise CompileError(f"no compile rule for operand {type(operand).__name__}")
+
+    def _compile_predicate(self, predicate: preds.Predicate) -> _Compiled:
+        """Compile a predicate to a ``fn(ctx, frame) -> bool`` closure."""
+        if isinstance(predicate, preds.Comparison):
+            left_fn, left_deps = self._compile_operand(predicate.left)
+            right_fn, right_deps = self._compile_operand(predicate.right)
+            comparator = preds._COMPARATORS[predicate.op]
+            op = predicate.op
+
+            def fn_cmp(ctx: _Ctx, frame: List[Any]) -> bool:
+                left = left_fn(ctx, frame)
+                right = right_fn(ctx, frame)
+                if not is_base_value(left) or not is_base_value(right):
+                    raise EvaluationError(
+                        "predicates may only compare base values "
+                        f"(got {left!r} {op} {right!r}); comparisons over bags "
+                        "would allow simulating negation (Appendix A.2)"
+                    )
+                return comparator(left, right)
+
+            return fn_cmp, left_deps | right_deps
+        if isinstance(predicate, preds.And):
+            parts = [self._compile_predicate(term) for term in predicate.terms]
+            fns = [fn for fn, _ in parts]
+
+            def fn_and(ctx: _Ctx, frame: List[Any]) -> bool:
+                return all(fn(ctx, frame) for fn in fns)
+
+            deps: frozenset = frozenset()
+            for _, part_deps in parts:
+                deps |= part_deps
+            return fn_and, deps
+        if isinstance(predicate, preds.Or):
+            parts = [self._compile_predicate(term) for term in predicate.terms]
+            fns = [fn for fn, _ in parts]
+
+            def fn_or(ctx: _Ctx, frame: List[Any]) -> bool:
+                return any(fn(ctx, frame) for fn in fns)
+
+            deps = frozenset()
+            for _, part_deps in parts:
+                deps |= part_deps
+            return fn_or, deps
+        if isinstance(predicate, preds.Not):
+            inner_fn, deps = self._compile_predicate(predicate.term)
+
+            def fn_not(ctx: _Ctx, frame: List[Any]) -> bool:
+                return not inner_fn(ctx, frame)
+
+            return fn_not, deps
+        if isinstance(predicate, preds.TruePredicate):
+            def fn_true(ctx: _Ctx, frame: List[Any]) -> bool:
+                return True
+
+            return fn_true, frozenset()
+        raise CompileError(f"no compile rule for predicate {type(predicate).__name__}")
+
+    def _compile_Pred(self, expr: ast.Pred) -> _Compiled:
+        pred_fn, deps = self._compile_predicate(expr.predicate)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            maybe_count(ctx.counter, "predicate_checks")
+            if pred_fn(ctx, frame):
+                return Bag.singleton(())
+            return EMPTY_BAG
+
+        return fn, deps
+
+    # ------------------------------------------------------------------ #
+    # For: nested loops, guard analysis and hash-joins
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _flatten_conjuncts(predicate: preds.Predicate) -> List[preds.Predicate]:
+        if isinstance(predicate, preds.And):
+            conjuncts: List[preds.Predicate] = []
+            for term in predicate.terms:
+                conjuncts.extend(_Compiler._flatten_conjuncts(term))
+            return conjuncts
+        return [predicate]
+
+    def _compile_For(self, expr: ast.For) -> _Compiled:
+        source_fn, source_deps = self.compile(expr.source)
+
+        # Peel the chain of `where` guards (`for _w in p(x̄) union …`) sitting
+        # directly under this binder; the guard predicates are the join
+        # condition candidates.
+        guard_specs: List[Tuple[preds.Predicate, str]] = []
+        body = expr.body
+        while isinstance(body, ast.For) and isinstance(body.source, ast.Pred):
+            guard_specs.append((body.source.predicate, body.var))
+            body = body.body
+
+        binding = self._Bound(self, self._elem_scope, expr.var)
+        guard_bindings: List[_Compiler._Bound] = []
+        self._binder_depth += 1
+        try:
+            atoms: List[_EqAtom] = []
+            residual: List[_Compiled] = []
+            conjuncts: List[_Compiled] = []
+            if guard_specs and not source_deps:
+                # Hash-join candidate: the build side is loop-invariant, so
+                # an index over it can be built once per evaluation.  Guard
+                # i's predicate is the *source* of its binder, so it is
+                # compiled with only the loop variable and guards 1..i-1 in
+                # scope: a guard binder never shadows names inside its own
+                # predicate, mirroring interpreter scoping.
+                local_names = {expr.var, *(name for _, name in guard_specs)}
+                loop_var_shadowed = False
+                for predicate, guard_name in guard_specs:
+                    for conjunct in self._flatten_conjuncts(predicate):
+                        compiled_conjunct = self._compile_predicate(conjunct)
+                        conjuncts.append(compiled_conjunct)
+                        # Once a guard binder has rebound the loop variable's
+                        # name, later conjuncts mentioning it no longer see
+                        # the loop element — they can't be hash atoms.
+                        atom = (
+                            self._equality_atom(conjunct, expr.var, local_names)
+                            if not loop_var_shadowed
+                            else None
+                        )
+                        if atom is not None:
+                            atoms.append(atom)
+                        else:
+                            residual.append(compiled_conjunct)
+                    guard_bindings.append(
+                        self._Bound(self, self._elem_scope, guard_name)
+                    )
+                    if guard_name == expr.var:
+                        loop_var_shadowed = True
+            if atoms:
+                compiled = self._compile_hash_join(
+                    expr, source_fn, binding, guard_bindings, atoms, residual, conjuncts, body
+                )
+            else:
+                # No hashable equality found: fall back to the nested loop,
+                # recompiling the original body so the guard binders are
+                # introduced by their own For nodes with correct scoping.
+                for guard_binding in reversed(guard_bindings):
+                    guard_binding.release()
+                guard_bindings = []
+                compiled = self._compile_plain_for(expr, source_fn, source_deps, binding)
+        finally:
+            self._binder_depth -= 1
+            for guard_binding in reversed(guard_bindings):
+                guard_binding.release()
+            binding.release()
+        return compiled
+
+    def _equality_atom(
+        self, conjunct: preds.Predicate, loop_var: str, local_names: Set[str]
+    ) -> Optional[_EqAtom]:
+        """Classify one guard conjunct as a hashable equality, if possible.
+
+        A conjunct qualifies when it is ``==`` between a projection of the
+        loop variable and something computable *outside* the loop: a
+        projection of an enclosing variable, or a constant.
+        """
+        if not isinstance(conjunct, preds.Comparison) or conjunct.op != "==":
+            return None
+
+        def is_loop_side(operand: preds.Operand) -> bool:
+            return isinstance(operand, preds.VarPath) and operand.var == loop_var
+
+        def is_outer_side(operand: preds.Operand) -> bool:
+            if isinstance(operand, preds.Const):
+                return True
+            return isinstance(operand, preds.VarPath) and operand.var not in local_names
+
+        if is_loop_side(conjunct.left) and is_outer_side(conjunct.right):
+            loop_operand, outer_operand = conjunct.left, conjunct.right
+        elif is_loop_side(conjunct.right) and is_outer_side(conjunct.left):
+            loop_operand, outer_operand = conjunct.right, conjunct.left
+        else:
+            return None
+        probe_fn, probe_deps = self._compile_operand(outer_operand)
+        return _EqAtom(loop_operand.path, probe_fn, probe_deps)  # type: ignore[union-attr]
+
+    def _compile_plain_for(
+        self,
+        expr: ast.For,
+        source_fn: _Fn,
+        source_deps: frozenset,
+        binding: "_Compiler._Bound",
+    ) -> _Compiled:
+        body_fn, body_deps = self.compile(expr.body)
+        slot = binding.slot
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            source = _as_bag(source_fn(ctx, frame))
+            counter = ctx.counter
+            accumulator: Dict[Any, int] = {}
+            for element, multiplicity in source.items():
+                maybe_count(counter, "for_iterations")
+                frame[slot] = element
+                _accumulate(accumulator, _as_bag(body_fn(ctx, frame)), multiplicity, counter)
+            return Bag.from_pairs(accumulator.items())
+
+        deps = source_deps | (body_deps - {slot})
+        return fn, frozenset(deps)
+
+    def _compile_hash_join(
+        self,
+        expr: ast.For,
+        source_fn: _Fn,
+        binding: "_Compiler._Bound",
+        guard_bindings: Sequence["_Compiler._Bound"],
+        atoms: Sequence[_EqAtom],
+        residual: Sequence[_Compiled],
+        conjuncts: Sequence[_Compiled],
+        body: Expr,
+    ) -> _Compiled:
+        """``for x in S union (where k(x)=k' …)`` as build-once/probe-per-tuple.
+
+        Hashing is sound only for keys on which ``==`` coincides with
+        dictionary-key matching: base values that are equal to themselves.
+        Non-base keys (the interpreter rejects comparing them, but possibly
+        only after an earlier conjunct short-circuits), ``NaN`` (not
+        self-equal, so dict identity lookup would wrongly match it) and key
+        computations that raise all degrade to ``loop_fn`` — a nested-loop
+        twin that evaluates every guard conjunct in original order, exactly
+        as the interpreter does.
+        """
+        slot = binding.slot
+        guard_slots = tuple(guard_binding.slot for guard_binding in guard_bindings)
+        build_paths = tuple(atom.build_path for atom in atoms)
+        probe_fns = tuple(atom.probe for atom in atoms)
+        body_fn, body_deps = self.compile(body)
+        residual_fns = tuple(fn for fn, _ in residual)
+        conjunct_fns = tuple(fn for fn, _ in conjuncts)
+        index_key = self._cache_keys
+        self._cache_keys += 1
+        build_context = f"hash-join build over {expr.var!r}"
+
+        def loop_fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            counter = ctx.counter
+            source = _as_bag(source_fn(ctx, frame))
+            accumulator: Dict[Any, int] = {}
+            for element, multiplicity in source.items():
+                maybe_count(counter, "for_iterations")
+                frame[slot] = element
+                for guard_slot in guard_slots:
+                    frame[guard_slot] = ()
+                maybe_count(counter, "predicate_checks")
+                if not all(conjunct(ctx, frame) for conjunct in conjunct_fns):
+                    continue
+                _accumulate(accumulator, _as_bag(body_fn(ctx, frame)), multiplicity, counter)
+            return Bag.from_pairs(accumulator.items())
+
+        def hashable(value: Any) -> bool:
+            # ``==`` coincides with dict-key matching only for self-equal
+            # base values; NaN and compound values must not be hashed.
+            return is_base_value(value) and value == value
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            counter = ctx.counter
+            index = ctx.cache.get(index_key)
+            if index is None:
+                try:
+                    source = _as_bag(source_fn(ctx, frame))
+                    index = {}
+                    for element, multiplicity in source.items():
+                        maybe_count(counter, "hash_build_entries")
+                        key_parts = []
+                        for path in build_paths:
+                            value = _project_value(element, path, build_context)
+                            if not hashable(value):
+                                raise _UnhashableKey()
+                            key_parts.append(value)
+                        index.setdefault(tuple(key_parts), []).append(
+                            (element, multiplicity)
+                        )
+                except _UnhashableKey:
+                    index = _NO_INDEX
+                ctx.cache[index_key] = index
+            if index is _NO_INDEX:
+                return loop_fn(ctx, frame)
+            if not index:
+                # Empty build side: the interpreter never evaluates the
+                # guard, so no operand error may fire here either.
+                return EMPTY_BAG
+            maybe_count(counter, "hash_probes")
+            try:
+                probe_parts = []
+                for probe in probe_fns:
+                    value = probe(ctx, frame)
+                    if not hashable(value):
+                        raise _UnhashableKey()
+                    probe_parts.append(value)
+            except (_UnhashableKey, EvaluationError):
+                # Probe keys the index cannot answer faithfully (non-base,
+                # NaN, or erroring operands whose error the interpreter may
+                # short-circuit away) fall back to the loop for this probe.
+                return loop_fn(ctx, frame)
+            bucket = index.get(tuple(probe_parts))
+            if not bucket:
+                return EMPTY_BAG
+            accumulator: Dict[Any, int] = {}
+            for element, multiplicity in bucket:
+                maybe_count(counter, "for_iterations")
+                frame[slot] = element
+                for guard_slot in guard_slots:
+                    frame[guard_slot] = ()
+                if residual_fns:
+                    maybe_count(counter, "predicate_checks")
+                    if not all(res(ctx, frame) for res in residual_fns):
+                        continue
+                _accumulate(accumulator, _as_bag(body_fn(ctx, frame)), multiplicity, counter)
+            return Bag.from_pairs(accumulator.items())
+
+        # Every guard conjunct (atoms included) contributes deps; probe-side
+        # slots are never local, so subtracting the local slots keeps them.
+        local_slots = {slot, *guard_slots}
+        deps: frozenset = body_deps
+        for _, part_deps in conjuncts:
+            deps |= part_deps
+        return fn, frozenset(deps - local_slots)
+
+    # ------------------------------------------------------------------ #
+    # Structural constructs
+    # ------------------------------------------------------------------ #
+    def _compile_Let(self, expr: ast.Let) -> _Compiled:
+        bound_fn, bound_deps = self.compile(expr.bound)
+        binding = self._Bound(self, self._bag_scope, expr.name)
+        try:
+            body_fn, body_deps = self.compile(expr.body)
+        finally:
+            binding.release()
+        slot = binding.slot
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Any:
+            frame[slot] = bound_fn(ctx, frame)
+            return body_fn(ctx, frame)
+
+        return fn, bound_deps | frozenset(body_deps - {slot})
+
+    def _compile_Flatten(self, expr: ast.Flatten) -> _Compiled:
+        body_fn, deps = self.compile(expr.body)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            outer = _as_bag(body_fn(ctx, frame))
+            result = EMPTY_BAG
+            for element, multiplicity in outer.items():
+                if not isinstance(element, Bag):
+                    raise EvaluationError(
+                        "flatten applied to a bag whose elements are not bags"
+                    )
+                maybe_count(ctx.counter, "union_merges", len(element))
+                result = result.union(element.scale(multiplicity))
+            return result
+
+        return fn, deps
+
+    def _compile_Product(self, expr: ast.Product) -> _Compiled:
+        compiled = [self.compile(factor) for factor in expr.factors]
+        factor_fns = tuple(fn for fn, _ in compiled)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            counter = ctx.counter
+            factor_bags = [_as_bag(factor(ctx, frame)) for factor in factor_fns]
+            accumulator: Dict[Any, int] = {(): 1}
+            for factor in factor_bags:
+                next_accumulator: Dict[Any, int] = {}
+                for prefix, prefix_mult in accumulator.items():
+                    for element, multiplicity in factor.items():
+                        maybe_count(counter, "product_pairs")
+                        combined = prefix_mult * multiplicity
+                        if combined == 0:
+                            continue
+                        key = prefix + (element,)
+                        next_accumulator[key] = next_accumulator.get(key, 0) + combined
+                accumulator = next_accumulator
+            return Bag.from_pairs(accumulator.items())
+
+        deps: frozenset = frozenset()
+        for _, factor_deps in compiled:
+            deps |= factor_deps
+        return fn, deps
+
+    def _compile_Union(self, expr: ast.Union) -> _Compiled:
+        compiled = [self.compile(term) for term in expr.terms]
+        term_fns = tuple(fn for fn, _ in compiled)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            result = EMPTY_BAG
+            for term in term_fns:
+                term_bag = _as_bag(term(ctx, frame))
+                maybe_count(ctx.counter, "union_merges", len(term_bag))
+                result = result.union(term_bag)
+            return result
+
+        deps: frozenset = frozenset()
+        for _, term_deps in compiled:
+            deps |= term_deps
+        return fn, deps
+
+    def _compile_Negate(self, expr: ast.Negate) -> _Compiled:
+        body_fn, deps = self.compile(expr.body)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            return _as_bag(body_fn(ctx, frame)).negate()
+
+        return fn, deps
+
+    # ------------------------------------------------------------------ #
+    # Labels and dictionaries
+    # ------------------------------------------------------------------ #
+    def _compile_InLabel(self, expr: ast.InLabel) -> _Compiled:
+        readers = [self._elem_reader(param) for param in expr.params]
+        reader_fns = tuple(fn for fn, _ in readers)
+        iota = expr.iota
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            values = tuple(read(ctx, frame) for read in reader_fns)
+            maybe_count(ctx.counter, "elements_emitted")
+            return Bag.singleton(Label(iota, values))
+
+        deps: frozenset = frozenset()
+        for _, reader_deps in readers:
+            deps |= reader_deps
+        return fn, deps
+
+    def _compile_DictSingleton(self, expr: ast.DictSingleton) -> _Compiled:
+        bindings = [self._Bound(self, self._elem_scope, param) for param in expr.params]
+        self._binder_depth += 1
+        try:
+            body_fn, body_deps = self.compile(expr.body)
+        finally:
+            self._binder_depth -= 1
+            for binding in reversed(bindings):
+                binding.release()
+        param_slots = tuple(binding.slot for binding in bindings)
+        iota = expr.iota
+        arity = len(expr.params)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> DictValue:
+            # The dictionary is a closure over everything except its own
+            # parameters (Section 5.2): snapshot the frame so later binder
+            # writes in enclosing loops do not leak into lookups.
+            snapshot = list(frame)
+
+            def _lookup(values: Tuple[Any, ...]) -> Bag:
+                if len(values) != arity:
+                    raise EvaluationError(
+                        f"label arity mismatch for dictionary {iota!r}: "
+                        f"expected {arity} values, got {len(values)}"
+                    )
+                local = list(snapshot)
+                for param_slot, value in zip(param_slots, values):
+                    local[param_slot] = value
+                maybe_count(ctx.counter, "dict_lookups")
+                return _as_bag(body_fn(ctx, local))
+
+            return IntensionalDict(iota, _lookup)
+
+        return fn, frozenset(body_deps - set(param_slots))
+
+    def _compile_DictEmpty(self, expr: ast.DictEmpty) -> _Compiled:
+        def fn(ctx: _Ctx, frame: List[Any]) -> DictValue:
+            return EMPTY_DICT
+
+        return fn, frozenset()
+
+    def _compile_DictUnion(self, expr: ast.DictUnion) -> _Compiled:
+        compiled = [self.compile(term) for term in expr.terms]
+        term_fns = tuple(fn for fn, _ in compiled)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> DictValue:
+            result: DictValue = EMPTY_DICT
+            for term in term_fns:
+                result = result.label_union(_as_dict(term(ctx, frame)))
+            return result
+
+        deps: frozenset = frozenset()
+        for _, term_deps in compiled:
+            deps |= term_deps
+        return fn, deps
+
+    def _compile_DictAdd(self, expr: ast.DictAdd) -> _Compiled:
+        compiled = [self.compile(term) for term in expr.terms]
+        term_fns = tuple(fn for fn, _ in compiled)
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> DictValue:
+            result: DictValue = EMPTY_DICT
+            for term in term_fns:
+                result = result.add(_as_dict(term(ctx, frame)))
+            return result
+
+        deps: frozenset = frozenset()
+        for _, term_deps in compiled:
+            deps |= term_deps
+        return fn, deps
+
+    def _compile_DictLookup(self, expr: ast.DictLookup) -> _Compiled:
+        dict_fn, dict_deps = self.compile(expr.dictionary)
+        read, read_deps = self._elem_reader(expr.var)
+        path = expr.path
+
+        def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
+            dictionary = _as_dict(dict_fn(ctx, frame))
+            label = _project_value(read(ctx, frame), path, "dictionary lookup")
+            if not isinstance(label, Label):
+                raise EvaluationError(f"dictionary lookup key is not a label: {label!r}")
+            maybe_count(ctx.counter, "dict_lookups")
+            return dictionary.lookup(label)
+
+        return fn, dict_deps | read_deps
+
+
+class CompiledQuery:
+    """A compiled NRC+ expression: evaluate it many times, over any bindings.
+
+    The compiled form closes over nothing database-specific — relations,
+    dictionaries, update symbols and externally-bound variables are resolved
+    from the :class:`~repro.nrc.evaluator.Environment` passed to each
+    :meth:`evaluate` call, so one compiled object serves every update of a
+    maintained view.
+    """
+
+    def __init__(self, expr: Expr) -> None:
+        self.expr = expr
+        compiler = _Compiler()
+        self._fn, _ = compiler.compile(expr)
+        self._slot_count = compiler._slot_count
+        self._elem_params = tuple(compiler._elem_params.items())
+        self._bag_params = tuple(compiler._bag_params.items())
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, env: Optional[Environment] = None, counter: Optional[OpCounter] = None
+    ):
+        """Evaluate against ``env`` (mirrors :func:`repro.nrc.evaluator.evaluate`)."""
+        env = env or Environment()
+        frame: List[Any] = [_MISSING] * self._slot_count
+        for name, slot in self._elem_params:
+            if name in env.elem_vars:
+                frame[slot] = env.elem_vars[name]
+        for name, slot in self._bag_params:
+            if name in env.bag_vars:
+                frame[slot] = env.bag_vars[name]
+        ctx = _Ctx(env.relations, env.dictionaries, env.deltas, counter)
+        return self._fn(ctx, frame)
+
+    def evaluate_bag(
+        self, env: Optional[Environment] = None, counter: Optional[OpCounter] = None
+    ) -> Bag:
+        """Evaluate and require a bag result (mirrors :func:`evaluate_bag`)."""
+        value = self.evaluate(env, counter)
+        if not isinstance(value, Bag):
+            raise EvaluationError(f"expected a bag result, got {value!r}")
+        return value
+
+    def __repr__(self) -> str:
+        return f"CompiledQuery({type(self.expr).__name__}, slots={self._slot_count})"

@@ -41,6 +41,7 @@ __all__ = [
     "related_query",
     "related_query_dsl",
     "relb_subquery",
+    "genre_selfjoin_query",
     "doz_query",
 ]
 
@@ -210,6 +211,31 @@ def related_query_dsl(relation: str = "M") -> Expr:
         .select(m2.field("name"))
     )
     return movies.iterate(m).select(m.field("name"), nest(rel_b)).to_expr()
+
+
+def genre_selfjoin_query(relation: str = "M") -> Expr:
+    """A flat, selective self-join: pairs of distinct movies sharing a genre.
+
+    ``for m in M union for m2 in M union (where m.gen = m2.gen ∧ m.name ≠
+    m2.name: sng(⟨m.name, m2.name⟩))`` — the canonical equality-join shape
+    whose delta the compiled pipeline turns into a hash-join (build once per
+    update, probe per delta tuple), used by the compilation micro-benchmark
+    and the CI smoke check.
+    """
+    source = ast.Relation(relation, MOVIE_SCHEMA)
+    condition = preds.And(
+        (
+            preds.eq(preds.var_path("m", 1), preds.var_path("m2", 1)),
+            preds.ne(preds.var_path("m", 0), preds.var_path("m2", 0)),
+        )
+    )
+    inner = build.for_in(
+        "m2",
+        source,
+        build.tuple_bag(build.proj("m", 0), build.proj("m2", 0)),
+        condition=condition,
+    )
+    return build.for_in("m", source, inner)
 
 
 def doz_query(movies_rel: str = "Mflat", showtimes_rel: str = "Sh"):

@@ -1,0 +1,436 @@
+"""Differential tests: the compiled pipeline against the strict interpreter.
+
+The interpreter (:mod:`repro.nrc.evaluator`) is the semantic reference; every
+test here evaluates the same expression (or maintains the same view) both
+ways and requires identical bags — including negative multiplicities, deep
+updates and every maintenance strategy.
+"""
+
+import pytest
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.dictionaries import DictValue
+from repro.engine import Engine
+from repro.instrument import OpCounter
+from repro.ivm import Update
+from repro.labels import Label
+from repro.nrc import ast
+from repro.nrc import builders as build
+from repro.nrc import predicates as preds
+from repro.nrc.compile import (
+    REPRO_NO_COMPILE,
+    CompiledQuery,
+    compilation_enabled,
+    compile_expr,
+    try_compile,
+)
+from repro.nrc.evaluator import Environment, evaluate, evaluate_bag
+from repro.delta.rules import delta
+from repro.errors import CompileError
+from repro.nrc.types import BASE, bag_of
+from repro.shredding.context import iter_context_dicts
+from repro.shredding.shred_database import build_shredded_environment, input_dict_name
+from repro.shredding.shred_query import shred_query
+from repro.workloads import (
+    MOVIE_SCHEMA,
+    bag_of_bags_engine,
+    generate_movies,
+    genre_selfjoin_query,
+    movie_update_stream,
+    movies_engine,
+    nested_update_stream,
+    related_query,
+)
+
+MOVIES = generate_movies(60, seed=3)
+MOVIE_ENV = Environment(relations={"M": MOVIES})
+MOVIE_REL = ast.Relation("M", MOVIE_SCHEMA)
+
+NESTED = Bag([Bag(["a", "b"]), Bag(["b", "c"]), Bag(["a"]), Bag([])])
+NESTED_REL = ast.Relation("R", bag_of(bag_of(BASE)))
+NESTED_ENV = Environment(relations={"R": NESTED})
+
+
+def _assert_agree(expr, env):
+    compiled = compile_expr(expr)
+    assert compiled.evaluate_bag(env) == evaluate_bag(expr, env)
+
+
+# --------------------------------------------------------------------------- #
+# Expression-level equivalence
+# --------------------------------------------------------------------------- #
+class TestCompiledExpressions:
+    def test_filter(self):
+        query = build.filter_query(
+            MOVIE_REL, preds.eq(preds.var_path("x", 1), preds.const("Drama")), "x"
+        )
+        _assert_agree(query, MOVIE_ENV)
+
+    def test_genre_selfjoin_hash_join(self):
+        _assert_agree(genre_selfjoin_query(), MOVIE_ENV)
+
+    def test_join_with_disjunctive_guard_falls_back_to_loop(self):
+        condition = preds.Or(
+            (
+                preds.eq(preds.var_path("m", 1), preds.var_path("m2", 1)),
+                preds.eq(preds.var_path("m", 2), preds.var_path("m2", 2)),
+            )
+        )
+        inner = build.for_in("m2", MOVIE_REL, build.proj("m2", 0), condition=condition)
+        _assert_agree(ast.For("m", MOVIE_REL, inner), MOVIE_ENV)
+
+    def test_constant_equality_guard(self):
+        query = ast.For(
+            "m",
+            MOVIE_REL,
+            build.where(
+                preds.eq(preds.var_path("m", 1), preds.const("Drama")),
+                build.proj("m", 0),
+            ),
+        )
+        _assert_agree(query, MOVIE_ENV)
+
+    def test_related_query_with_sng(self):
+        _assert_agree(related_query(), MOVIE_ENV)
+
+    def test_flatten_product_selfjoin(self):
+        query = ast.Product((ast.Flatten(NESTED_REL), ast.Flatten(NESTED_REL)))
+        _assert_agree(query, NESTED_ENV)
+
+    def test_let_union_negate(self):
+        query = ast.Let(
+            "X",
+            ast.Flatten(NESTED_REL),
+            ast.Union((ast.BagVar("X"), ast.Negate(ast.BagVar("X")), ast.Flatten(NESTED_REL))),
+        )
+        _assert_agree(query, NESTED_ENV)
+
+    def test_shadowed_variable(self):
+        inner = ast.For("m", MOVIE_REL, build.proj("m", 1))
+        query = ast.For("m", MOVIE_REL, ast.Union((build.proj("m", 0), inner)))
+        _assert_agree(query, MOVIE_ENV)
+
+    def test_delta_of_selfjoin_with_negative_multiplicities(self):
+        delta_query = delta(genre_selfjoin_query(), ("M",))
+        update = Bag.from_pairs(
+            [
+                (("Movie000001", "Drama", "Director1"), -1),
+                (("Fresh", "Drama", "Director9"), 2),
+                (("Gone", "Action", "Director2"), -3),
+            ]
+        )
+        env = MOVIE_ENV.with_deltas({("M", 1): update})
+        _assert_agree(delta_query, env)
+
+    def test_empty_delta_produces_empty_change(self):
+        delta_query = delta(genre_selfjoin_query(), ("M",))
+        env = MOVIE_ENV.with_deltas({("M", 1): EMPTY_BAG})
+        assert compile_expr(delta_query).evaluate_bag(env) == EMPTY_BAG
+
+    def test_shredded_flat_and_dictionaries(self):
+        shredded = shred_query(related_query())
+        env = build_shredded_environment({"M": MOVIES}, {"M": MOVIE_SCHEMA})
+        _assert_agree(shredded.flat, env)
+        flat = evaluate_bag(shredded.flat, env)
+        for _, expression in iter_context_dicts(shredded.context):
+            compiled_dict = compile_expr(expression).evaluate(env)
+            interpreted_dict = evaluate(expression, env)
+            assert isinstance(compiled_dict, DictValue)
+            for element in flat.elements():
+                parts = element if isinstance(element, tuple) else (element,)
+                for part in parts:
+                    if isinstance(part, Label):
+                        assert compiled_dict.lookup(part) == interpreted_dict.lookup(part)
+
+    def test_free_element_variable_parameters(self):
+        # A body with a free variable (as inside a dictionary definition).
+        body = build.for_in(
+            "m2",
+            MOVIE_REL,
+            build.proj("m2", 0),
+            condition=preds.eq(preds.var_path("m", 1), preds.var_path("m2", 1)),
+        )
+        env = MOVIE_ENV.copy()
+        env.elem_vars["m"] = ("Probe", "Drama", "Nobody")
+        _assert_agree(body, env)
+
+    def test_unbound_variable_raises(self):
+        from repro.errors import UnboundVariableError
+
+        with pytest.raises(UnboundVariableError):
+            compile_expr(ast.SngVar("ghost")).evaluate_bag(Environment())
+
+    def test_guard_binder_does_not_shadow_its_own_predicate(self):
+        # Regression: a where-binder whose name collides with an enclosing
+        # variable must not shadow it inside the guard predicate — the
+        # predicate is the *source* of the binder and is evaluated before
+        # the binding exists.
+        from repro.nrc.types import BagType, tuple_of
+
+        pairs = Bag([("k1", 0), ("k2", 0)])
+        flat = Bag([("k1",)])
+        env = Environment(relations={"S": pairs, "R": flat})
+        # for y in S union (for x in R union
+        #   (for y in Pred(x.0 == y.0) union sng(x)))
+        s_node = ast.Relation("S", BagType(tuple_of(BASE, BASE)))
+        r_node = ast.Relation("R", BagType(tuple_of(BASE)))
+        guard = ast.For(
+            "y",
+            ast.Pred(preds.eq(preds.var_path("x", 0), preds.var_path("y", 0))),
+            ast.SngVar("x"),
+        )
+        query = ast.For("y", s_node, ast.For("x", r_node, guard))
+        _assert_agree(query, env)
+
+    def test_hash_join_rejects_non_base_keys(self):
+        # Regression: equality over compound values must raise exactly as
+        # the interpreter's comparison rule does, never be hashed silently.
+        from repro.errors import EvaluationError
+        from repro.nrc.types import BagType, tuple_of
+
+        compound = Bag([(("a", "b"), "x"), (("a", "b"), "y")])
+        env = Environment(relations={"T": compound})
+        t_node = ast.Relation("T", BagType(tuple_of(tuple_of(BASE, BASE), BASE)))
+        inner = build.for_in(
+            "u",
+            t_node,
+            build.proj("u", 1),
+            condition=preds.eq(preds.var_path("t", 0), preds.var_path("u", 0)),
+        )
+        query = ast.For("t", t_node, inner)
+        with pytest.raises(EvaluationError):
+            evaluate_bag(query, env)
+        with pytest.raises(EvaluationError):
+            compile_expr(query).evaluate_bag(env)
+
+    def test_hash_join_matches_interpreter_on_nan_keys(self):
+        # Regression: NaN is not self-equal, so a dict-backed index must not
+        # match it (dict lookup short-circuits on identity); the join falls
+        # back to the faithful nested loop.
+        from repro.nrc.types import BagType
+
+        values = Bag([float("nan"), 1.0, 2.0])
+        env = Environment(relations={"F": values})
+        f_node = ast.Relation("F", BagType(BASE))
+        inner = build.for_in(
+            "y",
+            f_node,
+            build.tuple_bag(ast.SngVar("x"), ast.SngVar("y")),
+            condition=preds.eq(preds.var_path("x"), preds.var_path("y")),
+        )
+        query = ast.For("x", f_node, inner)
+        _assert_agree(query, env)
+
+    def test_guard_rebinding_loop_var_disables_atom_classification(self):
+        # Regression: once a guard binder rebinds the loop variable's name
+        # (to the unit tuple), later equality conjuncts mentioning that name
+        # no longer see the loop element and must not become hash atoms —
+        # both paths raise here because () is not a base-comparable value.
+        from repro.errors import EvaluationError
+        from repro.nrc.types import BagType
+
+        env = Environment(relations={"B": Bag(["a", "b"])})
+        b_node = ast.Relation("B", BagType(BASE))
+        query = ast.For(
+            "x",
+            b_node,
+            ast.For(
+                "x",
+                ast.Pred(preds.TruePredicate()),
+                ast.For(
+                    "w",
+                    ast.Pred(preds.eq(preds.var_path("x"), preds.const("a"))),
+                    ast.SngUnit(),
+                ),
+            ),
+        )
+        with pytest.raises(EvaluationError):
+            evaluate_bag(query, env)
+        with pytest.raises(EvaluationError):
+            compile_expr(query).evaluate_bag(env)
+
+    def test_hash_join_respects_conjunct_short_circuit(self):
+        # Regression: when an earlier conjunct is false for every pair, the
+        # interpreter never evaluates a later non-base equality; hoisting it
+        # into a hash key must not introduce an error — the join degrades to
+        # the nested loop instead.
+        from repro.nrc.types import BagType, tuple_of
+
+        rows = Bag([("a", Bag(["g"]))])
+        env = Environment(relations={"W": rows})
+        w_node = ast.Relation("W", BagType(tuple_of(BASE, BASE)))
+        condition = preds.And(
+            (
+                preds.ne(preds.var_path("x", 0), preds.var_path("y", 0)),
+                preds.eq(preds.var_path("x", 1), preds.var_path("y", 1)),
+            )
+        )
+        inner = build.for_in("y", w_node, build.proj("y", 0), condition=condition)
+        query = ast.For("x", w_node, inner)
+        assert evaluate_bag(query, env) == EMPTY_BAG
+        assert compile_expr(query).evaluate_bag(env) == EMPTY_BAG
+
+
+# --------------------------------------------------------------------------- #
+# Hash-join work reduction
+# --------------------------------------------------------------------------- #
+class TestHashJoinWork:
+    def test_compiled_delta_does_less_work(self):
+        movies = generate_movies(300, seed=11)
+        env = Environment(relations={"M": movies})
+        delta_query = delta(genre_selfjoin_query(), ("M",))
+        update = Bag([("Fresh0", "Drama", "DirectorX"), ("Fresh1", "SciFi", "DirectorY")])
+        delta_env = env.with_deltas({("M", 1): update})
+
+        interpreted_counter = OpCounter()
+        interpreted = evaluate_bag(delta_query, delta_env, interpreted_counter)
+        compiled_counter = OpCounter()
+        compiled = compile_expr(delta_query).evaluate_bag(delta_env, compiled_counter)
+
+        assert compiled == interpreted
+        # The nested-loop interpreter pays |M|·d predicate checks; the
+        # hash-join pays one probe per outer tuple plus the matches, so the
+        # loop/predicate work (the part the index removes) collapses.  The
+        # emission work (elements actually produced) is identical by design.
+        assert compiled_counter.total() < interpreted_counter.total()
+        compiled_loop_work = compiled_counter.get("for_iterations") + compiled_counter.get(
+            "predicate_checks"
+        )
+        interpreted_loop_work = interpreted_counter.get(
+            "for_iterations"
+        ) + interpreted_counter.get("predicate_checks")
+        assert compiled_loop_work < interpreted_loop_work / 2
+        assert compiled_counter.get("elements_emitted") == interpreted_counter.get(
+            "elements_emitted"
+        )
+
+    def test_index_reused_across_probes(self):
+        movies = generate_movies(100, seed=5)
+        env = Environment(relations={"M": movies})
+        counter = OpCounter()
+        compile_expr(genre_selfjoin_query()).evaluate_bag(env, counter)
+        # One build of the inner index, not one per outer tuple.
+        assert counter.get("hash_build_entries") == 100
+        assert counter.get("hash_probes") == 100
+
+
+# --------------------------------------------------------------------------- #
+# Escape hatch and fallback
+# --------------------------------------------------------------------------- #
+class TestEscapeHatch:
+    def test_no_compile_env_disables_compilation(self, monkeypatch):
+        monkeypatch.setenv(REPRO_NO_COMPILE, "1")
+        assert not compilation_enabled()
+        assert try_compile(ast.SngUnit()) is None
+
+    def test_try_compile_returns_none_for_unknown_nodes(self):
+        class Alien(ast.Expr):
+            pass
+
+        assert try_compile(Alien()) is None
+        with pytest.raises(CompileError):
+            compile_expr(Alien())
+
+    def test_views_fall_back_to_interpreter(self, monkeypatch):
+        monkeypatch.setenv(REPRO_NO_COMPILE, "1")
+        engine = movies_engine(generate_movies(30))
+        view = engine.view("join", genre_selfjoin_query(), strategy="classic")
+        assert view.execution == "interpreted"
+        assert engine.explain("join").execution == "interpreted"
+
+
+# --------------------------------------------------------------------------- #
+# Strategy-level differential maintenance
+# --------------------------------------------------------------------------- #
+def _maintained_results(strategy, query, stream, monkeypatch, interpreted):
+    if interpreted:
+        monkeypatch.setenv(REPRO_NO_COMPILE, "1")
+    else:
+        monkeypatch.delenv(REPRO_NO_COMPILE, raising=False)
+    engine = movies_engine(generate_movies(40, seed=9))
+    view = engine.view("v", query, strategy=strategy)
+    results = []
+    for update in stream:
+        engine.apply(update)
+        results.append(view.result())
+    return view, results
+
+
+@pytest.mark.parametrize("strategy", ["naive", "classic", "recursive", "nested"])
+def test_strategies_agree_compiled_vs_interpreted(strategy, monkeypatch):
+    query = related_query() if strategy == "nested" else genre_selfjoin_query()
+    stream = list(
+        movie_update_stream(
+            4, 3, existing=generate_movies(40, seed=9), deletion_ratio=0.4, seed=17
+        )
+    )
+    compiled_view, compiled = _maintained_results(strategy, query, stream, monkeypatch, False)
+    interpreted_view, interpreted = _maintained_results(strategy, query, stream, monkeypatch, True)
+    assert compiled_view.execution == "compiled"
+    assert interpreted_view.execution == "interpreted"
+    assert compiled == interpreted
+
+
+@pytest.mark.parametrize("interpreted", [False, True])
+def test_nested_strategy_handles_deep_updates(interpreted, monkeypatch):
+    if interpreted:
+        monkeypatch.setenv(REPRO_NO_COMPILE, "1")
+    else:
+        monkeypatch.delenv(REPRO_NO_COMPILE, raising=False)
+    engine = bag_of_bags_engine(12, 3, seed=21)
+    query = build.for_in("x", ast.Relation("R", bag_of(bag_of(BASE))), ast.SngVar("x"))
+    view = engine.view("groups", query, strategy="nested")
+
+    dict_name = input_dict_name("R", ())
+    dictionary = engine.database.shredded_environment().dictionaries[dict_name]
+    labels = sorted(dictionary.support(), key=lambda label: label.render())[:2]
+    engine.apply(Update(deep={dict_name: {labels[0]: Bag(["deep-a"]), labels[1]: Bag(["deep-b"])}}))
+    engine.apply_stream(nested_update_stream("R", 2, 1, 3, seed=5))
+
+    # The maintained view must agree with direct re-evaluation of the query
+    # over the post-update database, whichever execution mode ran.
+    expected = evaluate_bag(query, engine.database.environment())
+    assert view.result() == expected
+
+
+def test_compiled_and_interpreted_selfjoin_ops_diverge_superlinearly(monkeypatch):
+    """The compiled pipeline's per-update work stays near the match count."""
+    stream = list(movie_update_stream(3, 4, seed=29))
+    _, _ = _maintained_results("classic", genre_selfjoin_query(), stream, monkeypatch, False)
+    monkeypatch.delenv(REPRO_NO_COMPILE, raising=False)
+    engine_c = movies_engine(generate_movies(200, seed=9))
+    compiled_view = engine_c.view("v", genre_selfjoin_query(), strategy="classic")
+    monkeypatch.setenv(REPRO_NO_COMPILE, "1")
+    engine_i = movies_engine(generate_movies(200, seed=9))
+    interpreted_view = engine_i.view("v", genre_selfjoin_query(), strategy="classic")
+    monkeypatch.delenv(REPRO_NO_COMPILE, raising=False)
+    for update in stream:
+        engine_c.apply(update)
+        engine_i.apply(update)
+    assert compiled_view.result() == interpreted_view.result()
+    assert (
+        compiled_view.stats.mean_update_operations
+        < interpreted_view.stats.mean_update_operations / 2
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Explain / execution reporting
+# --------------------------------------------------------------------------- #
+class TestExecutionReporting:
+    def test_plan_reports_compiled(self):
+        engine = movies_engine(generate_movies(20))
+        engine.view("join", genre_selfjoin_query(), strategy="classic")
+        plan = engine.explain("join")
+        assert plan.execution == "compiled"
+        assert "execution: compiled" in plan.render()
+
+    def test_handle_repr_mentions_execution(self):
+        engine = movies_engine(generate_movies(10))
+        handle = engine.view("join", genre_selfjoin_query(), strategy="classic")
+        assert "execution=compiled" in repr(handle)
+
+    def test_compiled_query_repr(self):
+        compiled = compile_expr(genre_selfjoin_query())
+        assert isinstance(compiled, CompiledQuery)
+        assert "CompiledQuery" in repr(compiled)

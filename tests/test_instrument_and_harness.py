@@ -81,6 +81,23 @@ class TestResultTable:
         table.add_row(a=1, b=True)
         assert table.to_csv().splitlines() == ["a,b", "1,yes"]
 
+    def test_to_csv_quotes_cells_with_commas(self):
+        # Regression: cells containing commas (notes, string columns) used
+        # to corrupt the output; the csv module must quote them so the text
+        # parses back into the original cells.
+        import csv
+        import io
+
+        table = ResultTable("demo", ("query", "n"))
+        table.add_row(query="join(M, Sh), selective", n=10)
+        table.add_row(query='say "hi"', n=20)
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        assert parsed == [
+            ["query", "n"],
+            ["join(M, Sh), selective", "10"],
+            ['say "hi"', "20"],
+        ]
+
     def test_timed_and_ratio(self):
         value, seconds = timed(lambda: 21 * 2)
         assert value == 42

@@ -48,6 +48,42 @@ class TestUpdateObjects:
         stream.append(insertions("M", [("b", "g", "d")]))
         assert len(list(stream)) == 2
 
+    def test_deep_delta_of_empty_bags_is_empty(self):
+        # Regression: pointwise emptiness — a deep delta that adds only
+        # empty bags changes nothing and must report empty.
+        update = Update(deep={"R__D1": {Label("l"): EMPTY_BAG}})
+        assert update.is_empty()
+        mixed = Update(deep={"R__D1": {Label("l"): EMPTY_BAG, Label("m"): Bag(["x"])}})
+        assert not mixed.is_empty()
+
+    def test_merged_drops_cancelled_relations(self):
+        stream = UpdateStream(
+            [insertions("M", [("a", "g", "d")]), deletions("M", [("a", "g", "d")])]
+        )
+        merged = stream.merged()
+        assert "M" not in merged.relations
+        assert merged.is_empty()
+
+    def test_merged_drops_cancelled_deep_labels(self):
+        label, other = Label("l"), Label("m")
+        stream = UpdateStream(
+            [
+                Update(deep={"R__D": {label: Bag(["x"]), other: Bag(["y"])}}),
+                Update(deep={"R__D": {label: Bag(["x"]).negate()}}),
+            ]
+        )
+        merged = stream.merged()
+        assert label not in merged.deep["R__D"]
+        assert merged.deep["R__D"][other] == Bag(["y"])
+        # A fully cancelled dictionary disappears altogether.
+        cancelling = UpdateStream(
+            [
+                Update(deep={"R__D": {label: Bag(["x"])}}),
+                Update(deep={"R__D": {label: Bag(["x"]).negate()}}),
+            ]
+        )
+        assert cancelling.merged().deep == {}
+
 
 class TestDatabase:
     def test_register_and_read(self, movie_db, paper_movies):
@@ -62,6 +98,11 @@ class TestDatabase:
     def test_update_to_unknown_relation_rejected(self, movie_db):
         with pytest.raises(WorkloadError):
             movie_db.apply_update(insertions("Unknown", [("a",)]))
+
+    def test_empty_update_to_unknown_relation_still_rejected(self, movie_db):
+        # The no-op short-circuit must not mask a typo'd relation name.
+        with pytest.raises(WorkloadError):
+            movie_db.apply_update(Update(relations={"Mtypo": EMPTY_BAG}))
 
     def test_apply_update_mutates_nested_relation(self, movie_db, paper_update):
         movie_db.apply_update(Update(relations={"M": paper_update}))
@@ -128,6 +169,38 @@ class TestDatabase:
         database.apply_update(Update(deep={dict_name: {label: Bag(["z"])}}))
         updated = database.relation("R")
         assert any("z" in inner.elements() for inner in updated.elements() if isinstance(inner, Bag))
+
+    def test_noop_update_short_circuits_view_notification(self, movie_db):
+        calls = []
+
+        class Probe:
+            def on_update(self, update, shredded_delta):
+                calls.append(update)
+
+        movie_db.register_view(Probe())
+        movie_db.apply_update(Update())
+        movie_db.apply_update(Update(relations={"M": EMPTY_BAG}))
+        movie_db.apply_update(Update(deep={"whatever__D": {Label("l"): EMPTY_BAG}}))
+        assert calls == []
+        movie_db.apply_update(insertions("M", [("a", "g", "d")]))
+        assert len(calls) == 1
+
+    def test_deep_update_of_relation_named_with_dunder_d(self):
+        # Regression: the relation name itself contains the "__D" separator;
+        # parsing the dictionary name would mis-derive the owner ("user")
+        # and silently skip the nested refresh.
+        database = Database()
+        database.register("user__Data", NESTED_SCHEMA, Bag([Bag(["a"]), Bag(["b"])]))
+        dict_name = input_dict_name("user__Data", ())
+        label = sorted(
+            database.shredded_environment().dictionaries[dict_name].support(),
+            key=lambda l: l.render(),
+        )[0]
+        database.apply_update(Update(deep={dict_name: {label: Bag(["z"])}}))
+        updated = database.relation("user__Data")
+        assert any(
+            "z" in inner.elements() for inner in updated.elements() if isinstance(inner, Bag)
+        )
 
     def test_shredded_source_names(self, movie_db):
         assert movie_db.shredded_source_names("M") == (flat_relation_name("M"),)
