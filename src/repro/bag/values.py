@@ -21,6 +21,7 @@ from repro.bag.bag import Bag
 
 __all__ = [
     "is_base_value",
+    "is_hashable_key",
     "is_nested_value",
     "value_depth",
     "value_size",
@@ -35,6 +36,20 @@ _BASE_TYPES = (str, int, float, bool)
 def is_base_value(value: Any) -> bool:
     """True iff ``value`` is a base (atomic) value."""
     return isinstance(value, _BASE_TYPES)
+
+
+def is_hashable_key(value: Any) -> bool:
+    """True iff ``==`` on ``value`` coincides with dictionary-key matching.
+
+    That holds exactly for *self-equal base values*: ``NaN`` is not
+    self-equal (dict identity lookup would wrongly match it) and compound
+    values may not be compared by the predicate fragment at all.  This is
+    the single soundness rule shared by the compiled pipeline's
+    per-evaluation hash-join builds (:mod:`repro.nrc.compile`) and the
+    storage layer's persistent indexes (:mod:`repro.storage.index`) — the
+    two must never disagree about which keys hashing can match faithfully.
+    """
+    return isinstance(value, _BASE_TYPES) and value == value
 
 
 def is_nested_value(value: Any) -> bool:

@@ -1,16 +1,22 @@
-"""Micro-benchmark: compiled vs interpreted update latency (BENCH json).
+"""Micro-benchmarks: compiled-vs-interpreted and indexed-vs-rebuild (BENCH json).
 
-Maintains the selective genre self-join (an equality join whose delta the
-compiled pipeline turns into a hash-join) with the classic first-order
-strategy, twice over identical data and update streams: once with the
-compiled pipeline (the default) and once with the ``REPRO_NO_COMPILE``
-escape hatch forcing the interpreter.  Reports total and mean per-update
-wall-clock seconds for both and the resulting speedup, and verifies that
-both runs produced identical view contents.
+Two update-latency benchmarks share this CLI:
 
-Run with ``python -m repro.bench.microbench``; the JSON result is written to
-``benchmarks/results/compile_selfjoin.json`` by default (the committed copy
-is regenerated from exactly this command).
+* ``--benchmark compile`` (the default) maintains the selective genre
+  self-join with the classic first-order strategy, once with the compiled
+  pipeline and once with the ``REPRO_NO_COMPILE`` escape hatch forcing the
+  interpreter — PR 2's measurement.
+* ``--benchmark index`` maintains the asymmetric featured-genre join
+  (:func:`repro.workloads.featured_join_query`) under a stream of repeated
+  small probe-side updates, once with the storage layer's persistent indexes
+  (the default) and once with the ``REPRO_NO_INDEX`` escape hatch forcing
+  the compiled pipeline's per-update index rebuild.  The dominant per-update
+  cost drops from ``O(|build side|)`` to ``O(|Δ|)``.
+
+Both verify that the two runs produced identical view contents.  JSON
+results are written to ``benchmarks/results/compile_selfjoin.json`` /
+``benchmarks/results/storage_index.json`` by default (the committed copies
+are regenerated from exactly these commands).
 """
 
 from __future__ import annotations
@@ -19,22 +25,33 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
+from repro.bag.bag import Bag
 from repro.nrc.compile import forced_interpretation
+from repro.storage import forced_no_index
 from repro.workloads import (
+    FEATURED_SCHEMA,
+    featured_join_query,
+    featured_update_stream,
     generate_movies,
     genre_selfjoin_query,
     movie_update_stream,
     movies_engine,
 )
 
-__all__ = ["run_selfjoin_latency", "main"]
+__all__ = ["run_selfjoin_latency", "run_index_latency", "main"]
 
 
 def _run_once(size: int, batch: int, updates: int, interpreted: bool):
-    """One maintenance run; returns ``(view_handle, final_result)``."""
-    with forced_interpretation(interpreted):
+    """One maintenance run; returns ``(view_handle, final_result)``.
+
+    Persistent indexes are disabled for *both* legs: the interpreter cannot
+    use them, so leaving them on would attribute the storage layer's gains
+    to compilation — ``run_index_latency`` isolates that contribution.
+    """
+    with forced_interpretation(interpreted), forced_no_index(True):
         engine = movies_engine(generate_movies(size, seed=7), expected_update_size=batch)
         view = engine.view("selfjoin", genre_selfjoin_query(), strategy="classic")
         engine.apply_stream(movie_update_stream(updates, batch, seed=13))
@@ -75,28 +92,119 @@ def run_selfjoin_latency(size: int = 600, batch: int = 8, updates: int = 10) -> 
     }
 
 
+def _index_run(size: int, batch: int, updates: int, no_index: bool):
+    """One maintenance run; returns ``(view, final_result, apply_seconds)``.
+
+    Timed end-to-end around ``apply_stream`` so the measurement charges the
+    indexed run for its own index maintenance, not just the delta queries.
+    """
+    with forced_no_index(no_index):
+        engine = movies_engine(
+            generate_movies(size, seed=7), expected_update_size=batch
+        )
+        engine.dataset(
+            "F", FEATURED_SCHEMA, Bag([("Movie000000", "seed0"), ("Movie000001", "seed1")])
+        )
+        view = engine.view(
+            "featured", featured_join_query(), strategy="classic", targets=("F",)
+        )
+        stream = featured_update_stream(
+            updates, batch, catalog_size=size, deletion_ratio=0.25, seed=13
+        )
+        started = time.perf_counter()
+        engine.apply_stream(stream)
+        elapsed = time.perf_counter() - started
+        return view, view.result(), elapsed
+
+
+def run_index_latency(size: int = 2000, batch: int = 2, updates: int = 30) -> dict:
+    """Measure repeated-small-update latency with and without persistent indexes."""
+    rebuild_view, rebuild_result, rebuild_seconds = _index_run(
+        size, batch, updates, no_index=True
+    )
+    indexed_view, indexed_result, indexed_seconds = _index_run(
+        size, batch, updates, no_index=False
+    )
+    if indexed_result != rebuild_result:
+        raise AssertionError(
+            "indexed and per-update-rebuild maintenance diverged on the featured-join benchmark"
+        )
+    index_state = [dict(entry) for entry in indexed_view.indexes()]
+    if not any(entry.get("hits", 0) for entry in index_state):
+        raise AssertionError(
+            "the indexed run never probed a persistent index — measurement is vacuous"
+        )
+    for entry in index_state:
+        entry["key_paths"] = [list(path) for path in entry["key_paths"]]
+    return {
+        "benchmark": "storage_index_update_latency",
+        "workload": (
+            "featured-picks join on movie name (static build side M, "
+            "probe-side updates to F), classic strategy, targets=(F,)"
+        ),
+        "n": size,
+        "d": batch,
+        "updates": updates,
+        "rebuild_per_update": {
+            "execution": rebuild_view.execution,
+            "total_apply_seconds": rebuild_seconds,
+            "mean_apply_seconds": rebuild_seconds / updates,
+            "mean_update_operations": rebuild_view.stats.mean_update_operations,
+        },
+        "persistent_index": {
+            "execution": indexed_view.execution,
+            "total_apply_seconds": indexed_seconds,
+            "mean_apply_seconds": indexed_seconds / updates,
+            "mean_update_operations": indexed_view.stats.mean_update_operations,
+            "indexes": index_state,
+        },
+        "speedup": (rebuild_seconds / indexed_seconds) if indexed_seconds else None,
+        "results_identical": True,
+    }
+
+
+_BENCHMARKS = {
+    "compile": (run_selfjoin_latency, "benchmarks/results/compile_selfjoin.json"),
+    "index": (run_index_latency, "benchmarks/results/storage_index.json"),
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Compiled-vs-interpreted update-latency micro-benchmark"
+        description="Update-latency micro-benchmarks (compiled pipeline, storage indexes)"
     )
-    parser.add_argument("--size", type=int, default=600, help="base relation cardinality n")
-    parser.add_argument("--batch", type=int, default=8, help="update batch size d")
-    parser.add_argument("--updates", type=int, default=10, help="number of update batches")
+    parser.add_argument(
+        "--benchmark",
+        choices=sorted(_BENCHMARKS),
+        default="compile",
+        help="which micro-benchmark to run",
+    )
+    parser.add_argument("--size", type=int, default=None, help="base relation cardinality n")
+    parser.add_argument("--batch", type=int, default=None, help="update batch size d")
+    parser.add_argument("--updates", type=int, default=None, help="number of update batches")
     parser.add_argument(
         "--output",
-        default="benchmarks/results/compile_selfjoin.json",
-        help="path for the BENCH json ('-' prints to stdout only)",
+        default=None,
+        help="path for the BENCH json ('-' prints to stdout only; "
+        "defaults to the benchmark's committed path)",
     )
     args = parser.parse_args(argv)
 
-    result = run_selfjoin_latency(args.size, args.batch, args.updates)
+    runner, default_output = _BENCHMARKS[args.benchmark]
+    overrides = {
+        key: value
+        for key, value in (("size", args.size), ("batch", args.batch), ("updates", args.updates))
+        if value is not None
+    }
+    result = runner(**overrides)
+    output = args.output if args.output is not None else default_output
     rendered = json.dumps(result, indent=2, sort_keys=False)
     print(rendered)
-    if args.output != "-":
-        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
-        with open(args.output, "w", encoding="utf-8") as handle:
+    if output != "-":
+        os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+        with open(output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
-        print(f"written to {args.output}", file=sys.stderr)
+        print(f"written to {output}", file=sys.stderr)
     return 0
 
 

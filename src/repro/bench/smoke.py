@@ -1,10 +1,17 @@
-"""CI smoke check: compiled and interpreted maintenance must never diverge.
+"""CI smoke check: no execution mode may ever diverge from the interpreter.
 
 Runs one small experiment workload per maintenance strategy — the E3-style
 ``flatten(R) × flatten(R)`` self-join for classic/recursive/naive, the
 selective genre self-join for the hash-join path, and the nested ``related``
-view with relation *and* deep updates — under both execution modes, applying
-identical update streams, and compares the final view contents bag-for-bag.
+view with relation *and* deep updates — under both execution modes
+(compiled vs ``REPRO_NO_COMPILE`` interpreter), applying identical update
+streams, and compares the final view contents bag-for-bag.
+
+A second battery exercises the storage layer: equality-join views are
+maintained three ways — persistent indexes (the default), compiled but
+unindexed (``REPRO_NO_INDEX``, PR 2's per-evaluation rebuild), and fully
+interpreted (``REPRO_NO_COMPILE``) — and all three must agree, with the
+indexed leg required to have actually served probes from a persistent index.
 
 Exit status is non-zero on any divergence, which is what the CI benchmark
 smoke step keys on.  Run with ``python -m repro.bench.smoke``.
@@ -23,8 +30,12 @@ from repro.nrc import builders as build
 from repro.nrc.compile import forced_interpretation
 from repro.nrc.types import BASE, bag_of
 from repro.shredding.shred_database import input_dict_name
+from repro.storage import forced_no_index
 from repro.workloads import (
+    FEATURED_SCHEMA,
     bag_of_bags_engine,
+    featured_join_query,
+    featured_update_stream,
     generate_movies,
     genre_selfjoin_query,
     movie_update_stream,
@@ -100,17 +111,63 @@ def _build_checks() -> List[Tuple[str, Callable[[], Tuple[str, Bag]]]]:
     return checks
 
 
+# --------------------------------------------------------------------------- #
+# Storage-index checks: indexed vs compiled-unindexed vs interpreted
+# --------------------------------------------------------------------------- #
+def _genre_selfjoin_view_run(strategy: str):
+    def run():
+        movies = generate_movies(60, seed=41)
+        engine = movies_engine(movies, expected_update_size=4)
+        view = engine.view("v", genre_selfjoin_query(), strategy=strategy)
+        engine.apply_stream(
+            movie_update_stream(3, 4, existing=movies, deletion_ratio=0.3, seed=43)
+        )
+        return view
+
+    return run
+
+
+def _featured_join_view_run():
+    def run():
+        engine = movies_engine(generate_movies(80, seed=67), expected_update_size=2)
+        engine.dataset("F", FEATURED_SCHEMA, Bag([("Movie000003", "seed0")]))
+        view = engine.view(
+            "featured", featured_join_query(), strategy="classic", targets=("F",)
+        )
+        engine.apply_stream(
+            featured_update_stream(4, 2, catalog_size=80, deletion_ratio=0.25, seed=71)
+        )
+        return view
+
+    return run
+
+
+def _build_storage_checks():
+    checks = [("storage featured join / classic", _featured_join_view_run())]
+    for strategy in ("classic", "nested", "recursive"):
+        checks.append(
+            (f"storage genre self-join / {strategy}", _genre_selfjoin_view_run(strategy))
+        )
+    return checks
+
+
 def _in_mode(interpreted: bool, run: Callable[[], Tuple[str, Bag]]) -> Tuple[str, Bag]:
     with forced_interpretation(interpreted):
         return run()
 
 
-def run_smoke() -> dict:
-    """Run every check under both modes; returns the BENCH json report.
+def _index_hits(view) -> int:
+    return sum(entry.get("hits", 0) for entry in view.indexes())
 
-    A check fails when the two runs diverge *or* when the compiled leg did
-    not actually run compiled — comparing the interpreter against itself
-    would make the divergence check vacuous.
+
+def run_smoke() -> dict:
+    """Run every check under every mode; returns the BENCH json report.
+
+    A compile check fails when the two runs diverge *or* when the compiled
+    leg did not actually run compiled — comparing the interpreter against
+    itself would make the divergence check vacuous.  A storage check
+    likewise requires the indexed leg to have served probes from a
+    persistent index.
     """
     report = {"benchmark": "compile_smoke", "checks": [], "divergences": 0}
     for name, run in _build_checks():
@@ -124,6 +181,32 @@ def run_smoke() -> dict:
                 "compiled_execution": compiled_mode,
                 "interpreted_execution": interpreted_mode,
                 "result_cardinality": compiled_result.cardinality(),
+                "identical": identical,
+                "passed": passed,
+            }
+        )
+        if not passed:
+            report["divergences"] += 1
+    for name, run in _build_storage_checks():
+        with forced_interpretation(False), forced_no_index(False):
+            indexed_view = run()
+        with forced_interpretation(False), forced_no_index(True):
+            unindexed_view = run()
+        with forced_interpretation(True):
+            interpreted_view = run()
+        indexed_result = indexed_view.result()
+        identical = (
+            indexed_result == unindexed_view.result()
+            and indexed_result == interpreted_view.result()
+        )
+        hits = _index_hits(indexed_view)
+        passed = identical and indexed_view.execution == "compiled" and hits > 0
+        report["checks"].append(
+            {
+                "name": name,
+                "modes": "indexed / compiled-unindexed / interpreted",
+                "result_cardinality": indexed_result.cardinality(),
+                "persistent_index_hits": hits,
                 "identical": identical,
                 "passed": passed,
             }

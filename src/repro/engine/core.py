@@ -44,8 +44,12 @@ __all__ = ["Engine", "Session", "ViewHandle"]
 
 #: What ``Engine.view`` accepts as a query.
 QueryLike = Union[Query, Expr]
-#: What ``Engine.apply`` accepts as an update.
-UpdateLike = Union[Update, Mapping[str, Union[Bag, Iterable]]]
+#: What ``Engine.apply`` accepts as an update: an :class:`Update`, or a
+#: relation→rows mapping whose values are a :class:`Bag`, an iterable of
+#: elements (insertions), or an ``element → multiplicity`` mapping (the
+#: ``(element, multiplicity)`` pairs form — negative multiplicities express
+#: deletions, so mixed deltas need no ``deletions()`` import).
+UpdateLike = Union[Update, Mapping[str, Union[Bag, Iterable, Mapping]]]
 
 
 class ViewHandle:
@@ -76,6 +80,16 @@ class ViewHandle:
         queries run (see :mod:`repro.nrc.compile` and ``REPRO_NO_COMPILE``)."""
         mode = getattr(self.view, "execution_mode", None)
         return mode() if callable(mode) else "interpreted"
+
+    def indexes(self) -> Tuple[Mapping, ...]:
+        """Live state of the persistent storage indexes behind this view.
+
+        One entry per join atom of the view's compiled queries: relation,
+        key paths, whether a persistent index is registered for it, and —
+        when registered — its size plus hit/rebuild counts.
+        """
+        report = getattr(self.view, "index_report", None)
+        return tuple(report()) if callable(report) else ()
 
     def explain(self) -> MaintenancePlan:
         return self.plan
@@ -227,6 +241,16 @@ class Engine:
         view = spec.build(expr, self._database, targets=targets)
         handle = ViewHandle(name, plan.strategy, view, plan)
         plan.execution = handle.execution
+        requirements = getattr(view, "index_requirements", lambda: ())()
+        registered = {
+            requirement.key()
+            for requirement in getattr(view, "registered_index_requirements", lambda: ())()
+        }
+        plan.indexes = tuple(
+            f"{requirement.render()} "
+            f"({'persistent' if requirement.key() in registered else 'per-evaluation'})"
+            for requirement in requirements
+        )
         self._views[name] = handle
         return handle
 
@@ -242,8 +266,27 @@ class Engine:
         """Apply one update: every registered view refreshes incrementally."""
         return self._database.apply_update(self._coerce_update(update))
 
-    def apply_stream(self, stream: Union[UpdateStream, Iterable[UpdateLike]]) -> int:
-        """Apply every update of a stream in order; returns the count applied."""
+    def apply_stream(
+        self,
+        stream: Union[UpdateStream, Iterable[UpdateLike]],
+        *,
+        batched: bool = False,
+    ) -> int:
+        """Apply a stream of updates; returns the number of input updates.
+
+        ``batched=True`` coalesces the whole stream into one cumulative
+        update (:meth:`UpdateStream.merged`) and applies it in a single
+        round: every view runs its delta pipeline once over the combined
+        delta and the stores/indexes refresh once, instead of once per
+        input update.  Cancelling insert/delete pairs vanish before any
+        view sees them.  Views observe the same final state either way,
+        but not the intermediate ones — don't batch when per-update
+        results matter.
+        """
+        if batched:
+            updates = [self._coerce_update(update) for update in stream]
+            self._database.apply_update(UpdateStream(updates).merged())
+            return len(updates)
         applied = 0
         for update in stream:
             self.apply(update)
@@ -258,15 +301,49 @@ class Engine:
         """Convenience: delete rows from one dataset."""
         return self.apply(deletions(relation, rows))
 
+    # ------------------------------------------------------------------ #
+    # Storage maintenance
+    # ------------------------------------------------------------------ #
+    def vacuum(self) -> Dict[str, int]:
+        """Reclaim stale derived state from every backend that supports it.
+
+        Delegates to each view's ``vacuum()`` (e.g. the nested backend drops
+        dictionary entries for labels no longer reachable) and returns the
+        reclaimed-label count per view name; views whose backend has nothing
+        to vacuum are omitted.  As a side effect, persistent indexes
+        poisoned by since-deleted unhashable keys are re-validated against
+        their current bags (restoring ``O(|Δ|)`` index maintenance).
+        """
+        self._database.vacuum_storage()
+        reclaimed: Dict[str, int] = {}
+        for handle in self._views.values():
+            vacuum = getattr(handle.view, "vacuum", None)
+            if callable(vacuum):
+                reclaimed[handle.name] = vacuum()
+        return reclaimed
+
+    def storage_report(self) -> Mapping[str, object]:
+        """Sizes and index statistics of the underlying stores."""
+        return self._database.storage_report()
+
     @staticmethod
     def _coerce_update(update: UpdateLike) -> Update:
         if isinstance(update, Update):
             return update
         if isinstance(update, Mapping):
-            relations = {
-                name: bag if isinstance(bag, Bag) else Bag(bag)
-                for name, bag in update.items()
-            }
+            relations = {}
+            for name, rows in update.items():
+                if isinstance(rows, Bag):
+                    relations[name] = rows
+                elif isinstance(rows, Mapping):
+                    # The (element, multiplicity) pairs form: negative
+                    # multiplicities are deletions, so one mapping can carry
+                    # a mixed delta.  A Mapping is required (rather than an
+                    # iterable of pairs) because rows that happen to be
+                    # 2-tuples ending in an int would otherwise be ambiguous.
+                    relations[name] = Bag.from_mapping(rows)
+                else:
+                    relations[name] = Bag(rows)
             return Update(relations=relations)
         raise TypeError(
             f"updates must be Update objects or relation→rows mappings, "

@@ -81,6 +81,11 @@ class MaintenancePlan:
     #: the closure compiler (:mod:`repro.nrc.compile`), ``"interpreted"``
     #: otherwise.  Filled in by the facade once the backend view exists.
     execution: str = "interpreted"
+    #: One rendered entry per join atom of the view's compiled queries,
+    #: marking whether the storage layer keeps a persistent index for it
+    #: (``"M[.1] (persistent)"``) or the pipeline rebuilds per evaluation.
+    #: Filled in by the facade once the backend view exists.
+    indexes: Tuple[str, ...] = ()
 
     def estimate_for(self, strategy: str) -> Optional[StrategyEstimate]:
         """The estimate recorded for a given backend name (``None`` if absent)."""
@@ -99,6 +104,7 @@ class MaintenancePlan:
             f"MaintenancePlan for view {self.view_name!r}",
             f"  strategy : {self.strategy} (requested: {self.requested})",
             f"  execution: {self.execution}",
+            f"  indexes  : {', '.join(self.indexes) if self.indexes else 'none'}",
             f"  reason   : {self.reason}",
             f"  assumed update size d = {self.expected_update_size}",
             "  candidates:",

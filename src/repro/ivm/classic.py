@@ -50,10 +50,14 @@ class ClassicIVMView(View):
         # interpreter remains in charge.
         self._compiled_delta = try_compile(self._delta_query)
         self._execution_mode = "compiled" if self._compiled_delta is not None else "interpreted"
+        compiled_query = try_compile(query)
+        # Registering the join atoms before the initial evaluation lets even
+        # the first materialization probe the persistent indexes.
+        self._register_indexes(database, compiled_query, self._compiled_delta)
 
         counter = OpCounter()
         started = self._now()
-        self._result = run_bag(try_compile(query), query, database.environment(), counter)
+        self._result = run_bag(compiled_query, query, database.environment(), counter)
         self.stats.record_init(self._now() - started, counter)
         if register:
             database.register_view(self)

@@ -1,28 +1,36 @@
 """The database: nested relations, their shredded mirror, and update dispatch.
 
-A :class:`Database` stores
+A :class:`Database` routes all of its state through the persistent storage
+layer (:mod:`repro.storage`):
 
-* the *nested* relation instances (bags of possibly-nested tuples), used by
-  direct evaluation and by the naive re-evaluation baseline, and
+* the *nested* relation instances (bags of possibly-nested tuples) live in
+  one :class:`~repro.storage.StorageManager`, used by direct evaluation and
+  by the naive re-evaluation baseline;
 * a *shredded mirror* — flat relations plus input dictionaries (Section 5.1)
-  — maintained incrementally, used by the shredded/nested IVM engine.
+  — lives in a second manager and a :class:`~repro.storage.DictionaryStore`,
+  maintained incrementally, used by the shredded/nested IVM engine;
+* both managers also own the **persistent join indexes** the compiled delta
+  pipelines register through :meth:`register_index_requirements`; every
+  update folds its delta into the affected indexes in ``O(|Δ|)``, so compiled
+  hash-joins probe without rebuilding their build sides.
 
 Views register themselves with :meth:`register_view`.  ``apply_update``
 notifies every registered view *before* mutating the stored instances, so
 delta queries are evaluated against the pre-update state exactly as required
 by ``h[R ⊎ ΔR] = h[R] ⊎ δ(h)[R, ΔR]``; the update is applied to the stored
-relations afterwards.
+relations (and their indexes) afterwards.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.bag.bag import Bag, EMPTY_BAG
 from repro.dictionaries import DictValue, MaterializedDict
 from repro.errors import WorkloadError
 from repro.ivm.updates import Update
 from repro.labels import LabelFactory
+from repro.nrc.compile import IndexRequirement
 from repro.nrc.evaluator import Environment
 from repro.nrc.types import BagType
 from repro.shredding.shred_database import (
@@ -33,6 +41,7 @@ from repro.shredding.shred_database import (
 )
 from repro.shredding.context import iter_context_dicts
 from repro.shredding.shred_values import ValueShredder
+from repro.storage import DictionaryStore, StorageManager
 
 __all__ = ["Database", "ShreddedDelta"]
 
@@ -54,9 +63,17 @@ class ShreddedDelta:
         self.dictionaries: Dict[str, MaterializedDict] = dict(dictionaries or {})
 
     def as_delta_symbols(self, order: int = 1) -> Dict[Tuple[str, int], object]:
-        """Bindings for the ``Δ`` symbols of delta queries."""
+        """Bindings for the ``Δ`` symbols of delta queries.
+
+        Flat bags whose multiplicities cancel to empty are dropped: an
+        unbound ``ΔR`` symbol resolves to the empty bag anyway, and views can
+        then recognize no-op flat deltas and skip work for them (the shredded
+        mirror of ``Update.is_empty()``'s pointwise check).
+        """
         symbols: Dict[Tuple[str, int], object] = {}
         for name, bag in self.bags.items():
+            if bag.is_empty():
+                continue
             symbols[(name, order)] = bag
         for name, dictionary in self.dictionaries.items():
             symbols[(name, order)] = dictionary
@@ -71,10 +88,10 @@ class Database:
 
     def __init__(self) -> None:
         self._schemas: Dict[str, BagType] = {}
-        self._relations: Dict[str, Bag] = {}
+        self._storage = StorageManager(kind="nested")
         self._shredder = ValueShredder(LabelFactory(prefix="db"))
-        self._flat: Dict[str, Bag] = {}
-        self._dictionaries: Dict[str, MaterializedDict] = {}
+        self._flat_storage = StorageManager(kind="flat")
+        self._dict_store = DictionaryStore()
         # Input-dictionary name → owning relation.  Resolving ownership by
         # parsing the generated names would break for relations whose own
         # name contains the ``__D`` separator (e.g. ``user__Data``), so the
@@ -92,7 +109,7 @@ class Database:
         if not isinstance(schema, BagType):
             raise TypeError("relation schemas must be bag types")
         self._schemas[name] = schema
-        self._relations[name] = instance or EMPTY_BAG
+        self._storage.ensure(name, instance or EMPTY_BAG)
         context = input_context_for(name, schema.element)
         for path, _ in iter_context_dicts(context):
             self._dict_owner[input_dict_name(name, path)] = name
@@ -100,12 +117,12 @@ class Database:
 
     def _reshred_relation(self, name: str) -> None:
         schema = self._schemas[name]
-        shredded = shred_relation(name, self._relations[name], schema.element, self._shredder)
-        self._flat[flat_relation_name(name)] = shredded.flat
+        shredded = shred_relation(name, self._storage.bag(name), schema.element, self._shredder)
+        self._flat_storage.replace(flat_relation_name(name), shredded.flat)
         for dict_name, dictionary in shredded.dictionaries.items():
             if not isinstance(dictionary, MaterializedDict):
                 dictionary = dictionary.materialize(dictionary.support() or ())
-            self._dictionaries[dict_name] = dictionary
+            self._dict_store.set(dict_name, dictionary)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -114,7 +131,7 @@ class Database:
         return self._schemas[name]
 
     def relation(self, name: str) -> Bag:
-        return self._relations[name]
+        return self._storage.bag(name)
 
     def relation_names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._schemas))
@@ -129,11 +146,87 @@ class Database:
 
     def environment(self) -> Environment:
         """Environment for direct (nested) evaluation."""
-        return Environment(relations=self._relations)
+        return Environment(
+            relations=self._storage.bags(), indexes=self._storage.provider()
+        )
 
     def shredded_environment(self) -> Environment:
         """Environment for evaluating shredded (flat) queries."""
-        return Environment(relations=self._flat, dictionaries=self._dictionaries)
+        return Environment(
+            relations=self._flat_storage.bags(),
+            dictionaries=self._dict_store.as_mapping(),
+            indexes=self._flat_storage.provider(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Storage and persistent indexes
+    # ------------------------------------------------------------------ #
+    def register_index_requirements(
+        self, requirements: Iterable[IndexRequirement]
+    ) -> Tuple[IndexRequirement, ...]:
+        """Register persistent join indexes for the given requirements.
+
+        Each requirement names a relation (nested, or the shredded mirror's
+        flat form) and the projection paths of the join key.  Requirements
+        over unknown names — delta symbols, let-bound bags, computed
+        subexpressions — are skipped: those build sides stay per-evaluation.
+        Returns the requirements that were actually registered (also empty
+        while the ``REPRO_NO_INDEX`` escape hatch is set).
+        """
+        registered: List[IndexRequirement] = []
+        for requirement in requirements:
+            name = requirement.relation
+            if name in self._schemas:
+                index = self._storage.ensure_index(name, requirement.paths)
+            elif name in self._flat_storage:
+                index = self._flat_storage.ensure_index(name, requirement.paths)
+            else:
+                index = None
+            if index is not None:
+                registered.append(requirement)
+        return tuple(registered)
+
+    def describe_indexes(
+        self, requirements: Iterable[IndexRequirement]
+    ) -> Tuple[Dict[str, object], ...]:
+        """Live state of the indexes behind the given requirements."""
+        report: List[Dict[str, object]] = []
+        for requirement in requirements:
+            name = requirement.relation
+            if name in self._schemas:
+                store = self._storage.get(name)
+            else:
+                store = self._flat_storage.get(name)
+            entry: Dict[str, object] = {
+                "relation": name,
+                "key_paths": requirement.paths,
+                "registered": False,
+            }
+            if store is not None:
+                index = store.index_for(requirement.paths)
+                if index is not None:
+                    entry["registered"] = True
+                    entry.update(index.describe())
+            report.append(entry)
+        return tuple(report)
+
+    def vacuum_storage(self) -> int:
+        """Re-validate poisoned persistent indexes against their current bags.
+
+        The recovery half of the index lifecycle: a transient unhashable key
+        poisons an index, and once the offending elements have been deleted
+        one vacuum pass rebuilds it and restores ``O(|Δ|)`` maintenance.
+        Returns the number of indexes that came back healthy.
+        """
+        return self._storage.vacuum() + self._flat_storage.vacuum()
+
+    def storage_report(self) -> Dict[str, object]:
+        """Sizes and index statistics of every store (what ``explain`` surfaces)."""
+        return {
+            "nested": self._storage.report(),
+            "flat": self._flat_storage.report(),
+            "dictionaries": self._dict_store.report(),
+        }
 
     # ------------------------------------------------------------------ #
     # Views
@@ -191,22 +284,19 @@ class Database:
             if on_update is not None:
                 on_update(update, shredded_delta)
 
-        # Nested instances.
+        # Nested instances: one delta pass per store updates the bag and all
+        # of its persistent indexes.
         for name, bag in update.relations.items():
-            self._relations[name] = self._relations[name].union(bag)
+            self._storage.apply_delta(name, bag)
 
         # Shredded mirror: flat relations and dictionaries.
         for flat_name, bag in shredded_delta.bags.items():
-            self._flat[flat_name] = self._flat.get(flat_name, EMPTY_BAG).union(bag)
+            self._flat_storage.apply_delta(flat_name, bag)
         for dict_name, dictionary in shredded_delta.dictionaries.items():
-            existing = self._dictionaries.get(dict_name, MaterializedDict({}))
-            merged = existing.add(dictionary)
-            if not isinstance(merged, MaterializedDict):
-                merged = merged.materialize(merged.support() or ())
-            self._dictionaries[dict_name] = merged
+            self._dict_store.apply_delta(dict_name, dictionary)
 
-        # Deep updates also change the *nested* instances: rebuild the nested
-        # relation from the shredded mirror is expensive, so instead nested
+        # Deep updates also change the *nested* instances: rebuilding the
+        # nested relation from the shredded mirror is expensive, so nested
         # instances are only guaranteed to reflect relation deltas.  Engines
         # that need the nested view of deep updates reconstruct it through the
         # shredded mirror (see repro.ivm.nested).
@@ -220,7 +310,8 @@ class Database:
         Ownership of a deep-updated dictionary is resolved through the
         registry built from the schemas at registration time, never by
         parsing the dictionary name (a relation may itself be named with the
-        ``__D`` separator).
+        ``__D`` separator).  The store replaces the bag wholesale, so any
+        persistent indexes over it are rebuilt (counted as rebuilds).
         """
         from repro.shredding.shred_values import unshred_bag
 
@@ -232,8 +323,8 @@ class Database:
         for name in touched:
             element_type = self._schemas[name].element
             context = self._value_context_for(name, element_type)
-            flat = self._flat[flat_relation_name(name)]
-            self._relations[name] = unshred_bag(flat, element_type, context)
+            flat = self._flat_storage.bag(flat_relation_name(name))
+            self._storage.replace(name, unshred_bag(flat, element_type, context))
 
     def _value_context_for(self, name: str, element_type) -> object:
         """Value context of a relation assembled from the stored dictionaries."""
@@ -249,7 +340,7 @@ class Database:
                     )
                 )
             if isinstance(type_, _BagType):
-                dictionary = self._dictionaries.get(
+                dictionary = self._dict_store.get(
                     input_dict_name(name, path), MaterializedDict({})
                 )
                 return BagContext(dictionary, _build(type_.element, path + ("e",)))

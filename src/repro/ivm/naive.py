@@ -31,6 +31,14 @@ class NaiveView(View):
         # and loop-invariant hoisting), keeping the baseline honest.
         self._compiled_query = try_compile(query)
         self._execution_mode = "compiled" if self._compiled_query is not None else "interpreted"
+        # Requirements are collected for explain()/index_report() but NOT
+        # registered: every per-update re-evaluation assembles a post-update
+        # environment by hand, which the provider's bag-identity check would
+        # route to per-evaluation builds anyway — a persistent index would
+        # be maintained on every update yet probed at most once, at init.
+        # (Indexes registered by delta-maintaining views over the same
+        # relations are still served to that initial evaluation.)
+        self._collect_index_requirements(self._compiled_query)
         counter = OpCounter()
         started = self._now()
         self._result = run_bag(self._compiled_query, query, database.environment(), counter)

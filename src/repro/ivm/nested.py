@@ -114,6 +114,15 @@ class NestedIVMView(View):
             )
             else "interpreted"
         )
+        # The shredded pipelines join over the *flat* relations; their join
+        # atoms register against the flat storage manager.
+        self._register_indexes(
+            database,
+            self._compiled_flat,
+            self._compiled_flat_delta,
+            *(state.compiled for state in self._dict_states),
+            *(state.compiled_delta for state in self._dict_states),
+        )
 
         counter = OpCounter()
         started = self._now()

@@ -128,11 +128,13 @@ class RecursiveIVMView(View):
         residual, to_materialize = partially_evaluate(first_order, self._targets)
         self._residual_delta = simplify(residual)
         self._compiled_residual = try_compile(self._residual_delta)
+        compiled_query = try_compile(query)
+        self._register_indexes(database, compiled_query, self._compiled_residual)
 
         counter = OpCounter()
         started = self._now()
         environment = database.environment()
-        self._result = run_bag(try_compile(query), query, environment, counter)
+        self._result = run_bag(compiled_query, query, environment, counter)
         self._materializations: Dict[str, _Materialization] = {}
         for name, expression in to_materialize:
             value = evaluate_bag(expression, environment, counter)
@@ -145,6 +147,14 @@ class RecursiveIVMView(View):
                 compiled_delta=try_compile(delta_expression),
             )
         self.stats.record_init(self._now() - started, counter)
+        # The materialization-maintenance deltas read base relations too;
+        # fold their join atoms into the registered set.
+        self._register_indexes(
+            database,
+            compiled_query,
+            self._compiled_residual,
+            *(m.compiled_delta for m in self._materializations.values()),
+        )
         self._execution_mode = (
             "compiled"
             if self._compiled_residual is not None

@@ -99,6 +99,58 @@ class View:
         return getattr(self, "_execution_mode", "interpreted")
 
     # ------------------------------------------------------------------ #
+    # Persistent index plumbing (the storage layer)
+    # ------------------------------------------------------------------ #
+    def _collect_index_requirements(self, *compiled) -> tuple:
+        """Record the join atoms of this view's compiled queries.
+
+        Collects the :class:`~repro.nrc.compile.IndexRequirement`s of every
+        non-``None`` compiled query (deduplicated, first-seen order) for
+        reporting, without registering anything — backends whose per-update
+        evaluation cannot probe persistent indexes use this so the storage
+        layer is not taxed with maintaining indexes nobody reads.
+        """
+        seen = set()
+        requirements = []
+        for compiled_query in compiled:
+            if compiled_query is None:
+                continue
+            for requirement in compiled_query.index_requirements:
+                if requirement.key() not in seen:
+                    seen.add(requirement.key())
+                    requirements.append(requirement)
+        self._index_requirements = tuple(requirements)
+        self._registered_indexes = ()
+        return self._index_requirements
+
+    def _register_indexes(self, database, *compiled) -> None:
+        """Register the join atoms of this view's compiled queries.
+
+        Asks the database's storage layer to keep persistent hash indexes
+        for the collected requirements.  Requirements the storage layer
+        cannot serve — computed build sides, the ``REPRO_NO_INDEX`` escape
+        hatch — stay per-evaluation.
+        """
+        requirements = self._collect_index_requirements(*compiled)
+        self._registered_indexes = database.register_index_requirements(requirements)
+
+    def index_requirements(self):
+        """Join atoms this view's compiled queries probe (maybe unregistered)."""
+        return getattr(self, "_index_requirements", ())
+
+    def registered_index_requirements(self):
+        """The subset of :meth:`index_requirements` backed by persistent indexes."""
+        return getattr(self, "_registered_indexes", ())
+
+    def index_report(self):
+        """Live state (sizes, hit/rebuild counts) of this view's indexes."""
+        database = getattr(self, "_database", None)
+        requirements = self.index_requirements()
+        if database is None or not requirements:
+            return ()
+        return database.describe_indexes(requirements)
+
+    # ------------------------------------------------------------------ #
     # Timing helpers
     # ------------------------------------------------------------------ #
     @staticmethod

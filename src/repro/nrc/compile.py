@@ -50,7 +50,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.bag.bag import Bag, EMPTY_BAG
-from repro.bag.values import is_base_value
+from repro.bag.values import is_base_value, is_hashable_key
 from repro.dictionaries import DictValue, EMPTY_DICT, IntensionalDict
 from repro.errors import CompileError, EvaluationError, UnboundVariableError
 from repro.instrument import OpCounter, maybe_count
@@ -63,6 +63,7 @@ from repro.nrc.evaluator import Environment, evaluate_bag as _interpret_bag
 __all__ = [
     "REPRO_NO_COMPILE",
     "CompiledQuery",
+    "IndexRequirement",
     "compile_expr",
     "compilation_enabled",
     "forced_interpretation",
@@ -162,9 +163,11 @@ class _Ctx:
 
     Let-bound and externally-provided bag variables live in frame slots, not
     here — the context carries only the bindings resolved by name at runtime.
+    ``indexes`` is the environment's persistent-index provider (or ``None``);
+    hash-join sites over base relations probe it before building their own.
     """
 
-    __slots__ = ("relations", "dictionaries", "deltas", "counter", "cache")
+    __slots__ = ("relations", "dictionaries", "deltas", "counter", "cache", "indexes")
 
     def __init__(
         self,
@@ -172,12 +175,14 @@ class _Ctx:
         dictionaries,
         deltas,
         counter: Optional[OpCounter],
+        indexes=None,
     ) -> None:
         self.relations = relations
         self.dictionaries = dictionaries
         self.deltas = deltas
         self.counter = counter
         self.cache: Dict[int, Any] = {}
+        self.indexes = indexes
 
 
 def _project_value(value: Any, path: Tuple[int, ...], context: str) -> Any:
@@ -247,6 +252,16 @@ class _UnhashableKey(Exception):
 #: Cache sentinel: the build side contained an unhashable key, use the loop.
 _NO_INDEX = object()
 
+#: Cache sentinel: this join site is served by a persistent storage index.
+#: The live index object is deliberately *not* cached — it mutates in place
+#: as the store applies deltas, so every call re-verifies through the
+#: provider's bag-identity check.  Evaluation contexts can outlive the store
+#: state they were first validated against (an intensional dictionary
+#: escaping its evaluation); a stale context then degrades to a
+#: per-evaluation build over its own environment snapshot, exactly matching
+#: the interpreter's closed-over-environment semantics.
+_PERSISTENT = object()
+
 
 class _EqAtom:
     """One hashable equality conjunct of a join guard.
@@ -264,10 +279,46 @@ class _EqAtom:
         self.deps = deps
 
 
+class IndexRequirement:
+    """A join atom a compiled query probes: relation name plus key paths.
+
+    Emitted for every hash-join site whose build side is a bare base-relation
+    reference.  The view classes hand these to
+    :meth:`repro.ivm.database.Database.register_index_requirements` so the
+    storage layer can keep a persistent index current from deltas instead of
+    rebuilding it on every evaluation.
+    """
+
+    __slots__ = ("relation", "paths")
+
+    def __init__(self, relation: str, paths: Tuple[Tuple[int, ...], ...]) -> None:
+        self.relation = relation
+        self.paths = paths
+
+    def key(self) -> Tuple[str, Tuple[Tuple[int, ...], ...]]:
+        return (self.relation, self.paths)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, IndexRequirement):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def render(self) -> str:
+        paths = ", ".join("." + ".".join(map(str, path)) for path in self.paths)
+        return f"{self.relation}[{paths}]"
+
+    def __repr__(self) -> str:
+        return f"IndexRequirement({self.render()})"
+
+
 class _Compiler:
     """Single-pass compiler from AST nodes to ``(closure, deps)`` pairs."""
 
     def __init__(self) -> None:
+        self.index_requirements: List[IndexRequirement] = []
         self._slot_count = 0
         self._elem_scope: Dict[str, int] = {}
         self._bag_scope: Dict[str, int] = {}
@@ -750,6 +801,16 @@ class _Compiler:
         index_key = self._cache_keys
         self._cache_keys += 1
         build_context = f"hash-join build over {expr.var!r}"
+        # A build side that is a bare base-relation reference can be served
+        # by a *persistent* index maintained incrementally by the storage
+        # layer; record the requirement so views can register it.
+        relation_name = (
+            expr.source.name if isinstance(expr.source, ast.Relation) else None
+        )
+        if relation_name is not None:
+            self.index_requirements.append(
+                IndexRequirement(relation_name, build_paths)
+            )
 
         def loop_fn(ctx: _Ctx, frame: List[Any]) -> Bag:
             counter = ctx.counter
@@ -766,32 +827,62 @@ class _Compiler:
                 _accumulate(accumulator, _as_bag(body_fn(ctx, frame)), multiplicity, counter)
             return Bag.from_pairs(accumulator.items())
 
-        def hashable(value: Any) -> bool:
-            # ``==`` coincides with dict-key matching only for self-equal
-            # base values; NaN and compound values must not be hashed.
-            return is_base_value(value) and value == value
+        # The single hashing-soundness rule, shared with the storage layer's
+        # persistent indexes so both always agree on which keys qualify.
+        hashable = is_hashable_key
+
+        def build_index(ctx: _Ctx, frame: List[Any]):
+            """Per-evaluation build over the context's own relation snapshot."""
+            try:
+                source = _as_bag(source_fn(ctx, frame))
+                built: Dict[Any, Any] = {}
+                for element, multiplicity in source.items():
+                    maybe_count(ctx.counter, "hash_build_entries")
+                    key_parts = []
+                    for path in build_paths:
+                        value = _project_value(element, path, build_context)
+                        if not hashable(value):
+                            raise _UnhashableKey()
+                        key_parts.append(value)
+                    built.setdefault(tuple(key_parts), []).append(
+                        (element, multiplicity)
+                    )
+            except _UnhashableKey:
+                built = _NO_INDEX
+            ctx.cache[index_key] = built
+            return built
 
         def fn(ctx: _Ctx, frame: List[Any]) -> Bag:
             counter = ctx.counter
             index = ctx.cache.get(index_key)
-            if index is None:
-                try:
+            if index is _PERSISTENT:
+                # Re-verify on every call (see the sentinel's note): serve
+                # the persistent index only while it still describes the
+                # exact bag this context reads; once the store moves on,
+                # build from the snapshot like the interpreter would see it.
+                source = _as_bag(source_fn(ctx, frame))
+                index = ctx.indexes.probe(relation_name, build_paths, source)
+                if index is None:
+                    index = build_index(ctx, frame)
+            elif index is None:
+                provider = ctx.indexes
+                if provider is not None and relation_name is not None:
+                    # Persistent path: use the storage layer's index when it
+                    # provably describes the very bag this query reads (bag
+                    # identity — exact, since bags are immutable) and is not
+                    # poisoned by unhashable keys.  Its buckets have the same
+                    # (element, multiplicity) shape as a fresh build.
                     source = _as_bag(source_fn(ctx, frame))
-                    index = {}
-                    for element, multiplicity in source.items():
-                        maybe_count(counter, "hash_build_entries")
-                        key_parts = []
-                        for path in build_paths:
-                            value = _project_value(element, path, build_context)
-                            if not hashable(value):
-                                raise _UnhashableKey()
-                            key_parts.append(value)
-                        index.setdefault(tuple(key_parts), []).append(
-                            (element, multiplicity)
-                        )
-                except _UnhashableKey:
-                    index = _NO_INDEX
-                ctx.cache[index_key] = index
+                    persistent = provider.probe(relation_name, build_paths, source)
+                    if persistent is not None:
+                        maybe_count(counter, "index_hits")
+                        ctx.cache[index_key] = _PERSISTENT
+                        index = persistent
+                    else:
+                        provider.note_rebuild(relation_name, build_paths)
+                        maybe_count(counter, "index_rebuilds")
+                if index is None:
+                    index = build_index(ctx, frame)
             if index is _NO_INDEX:
                 return loop_fn(ctx, frame)
             if not index:
@@ -1043,6 +1134,15 @@ class CompiledQuery:
         self._slot_count = compiler._slot_count
         self._elem_params = tuple(compiler._elem_params.items())
         self._bag_params = tuple(compiler._bag_params.items())
+        # Deduplicated, first-seen order: the join atoms this query probes
+        # over base relations, registrable as persistent storage indexes.
+        seen = set()
+        requirements = []
+        for requirement in compiler.index_requirements:
+            if requirement.key() not in seen:
+                seen.add(requirement.key())
+                requirements.append(requirement)
+        self.index_requirements: Tuple[IndexRequirement, ...] = tuple(requirements)
 
     # ------------------------------------------------------------------ #
     def evaluate(
@@ -1057,7 +1157,13 @@ class CompiledQuery:
         for name, slot in self._bag_params:
             if name in env.bag_vars:
                 frame[slot] = env.bag_vars[name]
-        ctx = _Ctx(env.relations, env.dictionaries, env.deltas, counter)
+        ctx = _Ctx(
+            env.relations,
+            env.dictionaries,
+            env.deltas,
+            counter,
+            getattr(env, "indexes", None),
+        )
         return self._fn(ctx, frame)
 
     def evaluate_bag(

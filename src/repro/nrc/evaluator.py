@@ -46,9 +46,17 @@ class Environment:
     All mappings are copied on construction so an environment can be shared
     safely between evaluations.  The helpers return extended copies; the
     evaluator itself mutates only private scratch copies.
+
+    ``indexes`` optionally carries a persistent-index provider
+    (:class:`repro.storage.store.IndexProvider`): the compiled pipeline
+    probes it for pre-built hash-join indexes over base relations.  The
+    provider verifies by bag identity that an index matches the relation
+    binding actually in this environment, so carrying it through copies
+    (including hand-mutated ones) is always safe — a mismatch just falls
+    back to the per-evaluation build.  The interpreter ignores it.
     """
 
-    __slots__ = ("relations", "dictionaries", "deltas", "bag_vars", "elem_vars")
+    __slots__ = ("relations", "dictionaries", "deltas", "bag_vars", "elem_vars", "indexes")
 
     def __init__(
         self,
@@ -57,16 +65,23 @@ class Environment:
         deltas: Optional[Mapping[Tuple[str, int], Value]] = None,
         bag_vars: Optional[Mapping[str, Value]] = None,
         elem_vars: Optional[Mapping[str, Any]] = None,
+        indexes: Optional[Any] = None,
     ) -> None:
         self.relations: Dict[str, Bag] = dict(relations or {})
         self.dictionaries: Dict[str, DictValue] = dict(dictionaries or {})
         self.deltas: Dict[Tuple[str, int], Value] = dict(deltas or {})
         self.bag_vars: Dict[str, Value] = dict(bag_vars or {})
         self.elem_vars: Dict[str, Any] = dict(elem_vars or {})
+        self.indexes = indexes
 
     def copy(self) -> "Environment":
         return Environment(
-            self.relations, self.dictionaries, self.deltas, self.bag_vars, self.elem_vars
+            self.relations,
+            self.dictionaries,
+            self.deltas,
+            self.bag_vars,
+            self.elem_vars,
+            self.indexes,
         )
 
     def with_deltas(self, deltas: Mapping[Tuple[str, int], Value]) -> "Environment":

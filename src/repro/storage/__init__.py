@@ -1,0 +1,36 @@
+"""Persistent storage layer: relation stores and incrementally-maintained
+join indexes.
+
+The lifecycle is *register → maintain → vacuum*: the compiled delta pipelines
+register the join atoms they probe at view-registration time
+(:meth:`repro.ivm.database.Database.register_index_requirements`), every
+update folds its delta into the affected indexes in ``O(|Δ|)``
+(:meth:`RelationStore.apply_delta`), and :meth:`repro.engine.Engine.vacuum`
+keeps the derived state tight.  See ``docs/api.md`` ("Storage layer") for the
+full contract, including when the pipeline falls back to per-evaluation
+builds.
+"""
+
+from repro.storage.index import HashIndex, IndexKeyError, index_key_of
+from repro.storage.store import (
+    REPRO_NO_INDEX,
+    DictionaryStore,
+    IndexProvider,
+    RelationStore,
+    StorageManager,
+    forced_no_index,
+    persistent_indexes_enabled,
+)
+
+__all__ = [
+    "REPRO_NO_INDEX",
+    "DictionaryStore",
+    "HashIndex",
+    "IndexKeyError",
+    "IndexProvider",
+    "RelationStore",
+    "StorageManager",
+    "forced_no_index",
+    "index_key_of",
+    "persistent_indexes_enabled",
+]

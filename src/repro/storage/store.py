@@ -1,0 +1,319 @@
+"""Relation stores: each relation's bag plus its persistent secondary indexes.
+
+The storage layer is the single owner of mutable database state.  A
+:class:`RelationStore` holds one relation's current :class:`~repro.bag.bag.Bag`
+and any :class:`~repro.storage.index.HashIndex`es registered against it; a
+:class:`StorageManager` names a family of stores (the database keeps one for
+nested relations and one for the shredded flat mirror) and hands out the
+:class:`IndexProvider` through which the compiled pipeline probes; a
+:class:`DictionaryStore` owns the shredded input dictionaries.
+
+Every mutation flows through :meth:`RelationStore.apply_delta`, which unions
+the delta into the bag *and* folds it into every index — one ``O(|Δ|)`` pass,
+so indexes never need rescanning the base.  Because bags are immutable, the
+provider can verify with a single identity check that an index still
+describes the exact bag a compiled query is reading; any mismatch (a caller
+evaluating against a hand-built post-update environment, say) silently falls
+back to the per-evaluation build, keeping the interpreter-faithful semantics.
+
+Setting the environment variable :data:`REPRO_NO_INDEX` (to any non-empty
+value) disables persistent indexes outright: no registration happens while
+it is set, and :meth:`IndexProvider.probe` answers ``None`` — so even a view
+sharing an engine with index-registering views falls back to the compiled
+pipeline's per-evaluation builds.  This is how the benchmarks measure the
+indexes' own contribution.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.bag.bag import Bag, EMPTY_BAG
+from repro.dictionaries import MaterializedDict
+from repro.storage.index import HashIndex, Paths
+
+__all__ = [
+    "REPRO_NO_INDEX",
+    "DictionaryStore",
+    "IndexProvider",
+    "RelationStore",
+    "StorageManager",
+    "forced_no_index",
+    "persistent_indexes_enabled",
+]
+
+#: Environment variable that disables persistent-index registration.
+REPRO_NO_INDEX = "REPRO_NO_INDEX"
+
+
+def persistent_indexes_enabled() -> bool:
+    """True unless the ``REPRO_NO_INDEX`` escape hatch is set."""
+    return not os.environ.get(REPRO_NO_INDEX)
+
+
+@contextmanager
+def forced_no_index(disabled: bool = True) -> Iterator[None]:
+    """Temporarily disable (or re-enable) persistent indexes.
+
+    Mirrors :func:`repro.nrc.compile.forced_interpretation`, but the hatch
+    is dynamic: views constructed inside the block register nothing, and
+    *no* view is served a persistent index while the block is active (the
+    provider declines every probe), so pre-existing registrations on a
+    shared engine cannot leak in.
+    """
+    saved = os.environ.get(REPRO_NO_INDEX)
+    try:
+        if disabled:
+            os.environ[REPRO_NO_INDEX] = "1"
+        else:
+            os.environ.pop(REPRO_NO_INDEX, None)
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(REPRO_NO_INDEX, None)
+        else:
+            os.environ[REPRO_NO_INDEX] = saved
+
+
+class RelationStore:
+    """One relation's bag and the persistent indexes registered against it."""
+
+    __slots__ = ("name", "_bag", "_indexes")
+
+    def __init__(self, name: str, bag: Bag = EMPTY_BAG) -> None:
+        self.name = name
+        self._bag = bag
+        self._indexes: Dict[Paths, HashIndex] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def bag(self) -> Bag:
+        """The current contents (immutable; replaced on every mutation)."""
+        return self._bag
+
+    def apply_delta(self, delta: Bag) -> None:
+        """Union ``delta`` into the bag and fold it into every index."""
+        if delta.is_empty():
+            return
+        self._bag = self._bag.union(delta)
+        for index in self._indexes.values():
+            index.apply(delta)
+
+    def replace(self, bag: Bag) -> None:
+        """Swap in a freshly computed bag; every index is rebuilt."""
+        self._bag = bag
+        for index in self._indexes.values():
+            index.rebuild(bag)
+
+    def vacuum(self) -> int:
+        """Re-validate poisoned indexes against the current bag.
+
+        A transient unhashable key poisons an index; once the offending
+        elements are gone, one full rebuild restores ``O(|Δ|)`` maintenance.
+        Returns the number of indexes that came back healthy (an index whose
+        bag still contains bad keys re-poisons and stays on the
+        per-evaluation fallback).
+        """
+        revalidated = 0
+        for index in self._indexes.values():
+            if index.poisoned:
+                index.rebuild(self._bag)
+                if not index.poisoned:
+                    revalidated += 1
+        return revalidated
+
+    # ------------------------------------------------------------------ #
+    # Indexes
+    # ------------------------------------------------------------------ #
+    def ensure_index(self, paths: Paths) -> HashIndex:
+        """The index keyed by ``paths``, built from the current bag if new."""
+        key = tuple(tuple(path) for path in paths)
+        index = self._indexes.get(key)
+        if index is None:
+            index = self._indexes[key] = HashIndex(key, self._bag)
+        return index
+
+    def index_for(self, paths: Paths) -> Optional[HashIndex]:
+        """Lookup by an already-normalized tuple-of-tuples key.
+
+        This sits on the compiled pipeline's per-probe path (the provider
+        re-verifies on every call), so unlike :meth:`ensure_index` it does
+        not re-normalize: the compiler always supplies tuple paths.
+        """
+        return self._indexes.get(paths)
+
+    def indexes(self) -> Tuple[HashIndex, ...]:
+        return tuple(self._indexes.values())
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "relation": self.name,
+            "cardinality": self._bag.cardinality(),
+            "distinct": self._bag.distinct_size(),
+            "indexes": [index.describe() for index in self._indexes.values()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationStore({self.name!r}, {self._bag.distinct_size()} distinct, "
+            f"{len(self._indexes)} indexes)"
+        )
+
+
+class IndexProvider:
+    """The compiled pipeline's window onto a manager's persistent indexes.
+
+    :meth:`probe` answers only when the registered index provably describes
+    the bag the query is reading (``store.bag is source_bag`` — exact for
+    immutable bags) and is not poisoned; every other case returns ``None``
+    and the pipeline rebuilds per evaluation, recording the rebuild here so
+    hit/rebuild accounting stays truthful.
+    """
+
+    __slots__ = ("_manager",)
+
+    def __init__(self, manager: "StorageManager") -> None:
+        self._manager = manager
+
+    def probe(self, name: str, paths: Paths, source_bag: Bag) -> Optional[HashIndex]:
+        if os.environ.get(REPRO_NO_INDEX):
+            return None
+        store = self._manager.get(name)
+        if store is None or store.bag is not source_bag:
+            return None
+        index = store.index_for(paths)
+        if index is None or index.poisoned:
+            return None
+        return index
+
+    def note_rebuild(self, name: str, paths: Paths) -> None:
+        """Record that the pipeline had to fall back to a per-evaluation build."""
+        store = self._manager.get(name)
+        if store is None:
+            return
+        index = store.index_for(paths)
+        if index is not None:
+            index.rebuilds += 1
+
+
+class StorageManager:
+    """A named family of relation stores sharing one index provider."""
+
+    __slots__ = ("kind", "_stores", "_provider")
+
+    def __init__(self, kind: str = "relations") -> None:
+        self.kind = kind
+        self._stores: Dict[str, RelationStore] = {}
+        self._provider = IndexProvider(self)
+
+    # ------------------------------------------------------------------ #
+    def ensure(self, name: str, bag: Bag = EMPTY_BAG) -> RelationStore:
+        store = self._stores.get(name)
+        if store is None:
+            store = self._stores[name] = RelationStore(name, bag)
+        return store
+
+    def get(self, name: str) -> Optional[RelationStore]:
+        return self._stores.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stores
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._stores))
+
+    def bag(self, name: str) -> Bag:
+        return self._stores[name].bag
+
+    def bags(self) -> Dict[str, Bag]:
+        """Name → current bag snapshot (the relations of an environment)."""
+        return {name: store.bag for name, store in self._stores.items()}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, name: str, delta: Bag) -> None:
+        self.ensure(name).apply_delta(delta)
+
+    def replace(self, name: str, bag: Bag) -> None:
+        self.ensure(name).replace(bag)
+
+    # ------------------------------------------------------------------ #
+    # Indexes
+    # ------------------------------------------------------------------ #
+    def ensure_index(self, name: str, paths: Paths) -> Optional[HashIndex]:
+        """Register a persistent index, honoring the ``REPRO_NO_INDEX`` hatch."""
+        if not persistent_indexes_enabled():
+            return None
+        store = self._stores.get(name)
+        if store is None:
+            return None
+        return store.ensure_index(paths)
+
+    def vacuum(self) -> int:
+        """Re-validate poisoned indexes in every store; returns the count healed."""
+        return sum(store.vacuum() for store in self._stores.values())
+
+    def provider(self) -> IndexProvider:
+        return self._provider
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "stores": [store.describe() for _, store in sorted(self._stores.items())],
+        }
+
+    def __repr__(self) -> str:
+        return f"StorageManager({self.kind!r}, {len(self._stores)} stores)"
+
+
+class DictionaryStore:
+    """The shredded input dictionaries, with delta-merge application.
+
+    Dictionaries are pointwise bag maps (label → bag); applying a delta adds
+    entry bags pointwise and materializes the result, the same merge the
+    database previously performed inline.
+    """
+
+    __slots__ = ("_dicts",)
+
+    def __init__(self) -> None:
+        self._dicts: Dict[str, MaterializedDict] = {}
+
+    def set(self, name: str, dictionary: MaterializedDict) -> None:
+        self._dicts[name] = dictionary
+
+    def get(self, name: str, default: Optional[MaterializedDict] = None):
+        if default is None:
+            return self._dicts.get(name)
+        return self._dicts.get(name, default)
+
+    def apply_delta(self, name: str, delta) -> None:
+        existing = self._dicts.get(name, MaterializedDict({}))
+        merged = existing.add(delta)
+        if not isinstance(merged, MaterializedDict):
+            merged = merged.materialize(merged.support() or ())
+        self._dicts[name] = merged
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._dicts
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._dicts))
+
+    def as_mapping(self) -> Dict[str, MaterializedDict]:
+        return dict(self._dicts)
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "kind": "dictionaries",
+            "stores": [
+                {"dictionary": name, "labels": len(dictionary)}
+                for name, dictionary in sorted(self._dicts.items())
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"DictionaryStore({len(self._dicts)} dictionaries)"

@@ -34,6 +34,9 @@ __all__ = [
     "SHOWTIME_SCHEMA",
     "PAPER_MOVIES",
     "PAPER_UPDATE",
+    "FEATURED_SCHEMA",
+    "featured_join_query",
+    "featured_update_stream",
     "generate_movies",
     "generate_showtimes",
     "movie_update_stream",
@@ -48,6 +51,9 @@ __all__ = [
 #: Element type of the movies relation: ⟨name, gen, dir⟩.
 MOVIE_TYPE = tuple_of(BASE, BASE, BASE)
 MOVIE_SCHEMA = BagType(MOVIE_TYPE)
+#: Featured-genre tags ⟨gen, slot⟩: a small probe-side relation for the
+#: asymmetric join of :func:`featured_join_query`.
+FEATURED_SCHEMA = BagType(tuple_of(BASE, BASE))
 MOVIE_RECORD = Record("Movie", field_types(name=STRING, gen=STRING, dir=STRING))
 SHOWTIME_SCHEMA = RelSchema(("movie", "loc", "time"))
 
@@ -236,6 +242,66 @@ def genre_selfjoin_query(relation: str = "M") -> Expr:
         condition=condition,
     )
     return build.for_in("m", source, inner)
+
+
+def featured_join_query(featured: str = "F", movies: str = "M") -> Expr:
+    """Join a small featured-picks relation against the movie catalog.
+
+    ``for f in F union for m in M union (where m.name = f.0: sng(⟨f.1,
+    m.gen⟩))`` — a selective, asymmetric equality join (movie names are
+    unique) whose build side (the catalog ``M``) is large and *never updated*
+    while the probe side ``F`` (⟨name, slot⟩ picks) receives a stream of
+    small updates.  With ``targets=("F",)`` the delta query's only term
+    probes ``M``; rebuilding its hash index per update costs ``O(|M|)``,
+    probing the storage layer's persistent index costs ``O(|Δ|)`` — the
+    workload of the repeated-small-update index micro-benchmark.
+    """
+    featured_rel = ast.Relation(featured, FEATURED_SCHEMA)
+    movie_rel = ast.Relation(movies, MOVIE_SCHEMA)
+    condition = preds.eq(preds.var_path("m", 0), preds.var_path("f", 0))
+    inner = build.for_in(
+        "m",
+        movie_rel,
+        build.tuple_bag(build.proj("f", 1), build.proj("m", 1)),
+        condition=condition,
+    )
+    return build.for_in("f", featured_rel, inner)
+
+
+def featured_update_stream(
+    num_updates: int,
+    batch_size: int = 1,
+    catalog_size: int = 300,
+    deletion_ratio: float = 0.0,
+    seed: int = 17,
+    relation: str = "F",
+) -> UpdateStream:
+    """Repeated small updates to the featured-picks relation.
+
+    Each batch inserts ⟨name, slot⟩ picks naming movies from a
+    :func:`generate_movies` catalog of ``catalog_size`` entries (so every
+    pick joins) and, with probability ``deletion_ratio``, deletes a
+    previously inserted pick instead (negative multiplicities).
+    """
+    if batch_size < 1:
+        raise WorkloadError("batch size must be at least 1")
+    rng = random.Random(seed)
+    inserted: List[Tuple[str, str]] = []
+    stream = UpdateStream()
+    tag = 0
+    for _ in range(num_updates):
+        pairs: List[Tuple[Tuple[str, str], int]] = []
+        for _ in range(batch_size):
+            if inserted and rng.random() < deletion_ratio:
+                victim = inserted.pop(rng.randrange(len(inserted)))
+                pairs.append((victim, -1))
+            else:
+                row = (f"Movie{rng.randrange(catalog_size):06d}", f"slot{tag}")
+                tag += 1
+                inserted.append(row)
+                pairs.append((row, 1))
+        stream.append(Update(relations={relation: Bag.from_pairs(pairs)}))
+    return stream
 
 
 def doz_query(movies_rel: str = "Mflat", showtimes_rel: str = "Sh"):
