@@ -1,10 +1,18 @@
 """Generalized bags with integer multiplicities and nested-value utilities."""
 
 from repro.bag.bag import Bag, EMPTY_BAG
+from repro.bag.builder import (
+    REPRO_NO_BUILDER,
+    BagBuilder,
+    forced_full_copy,
+    transients_enabled,
+)
 from repro.bag.values import (
+    intern_key,
     is_base_value,
     is_nested_value,
     iter_inner_bags,
+    key_interner_stats,
     nested_cardinalities,
     render_value,
     value_depth,
@@ -13,12 +21,18 @@ from repro.bag.values import (
 
 __all__ = [
     "Bag",
+    "BagBuilder",
     "EMPTY_BAG",
+    "REPRO_NO_BUILDER",
+    "forced_full_copy",
+    "intern_key",
     "is_base_value",
     "is_nested_value",
     "iter_inner_bags",
+    "key_interner_stats",
     "nested_cardinalities",
     "render_value",
+    "transients_enabled",
     "value_depth",
     "value_size",
 ]

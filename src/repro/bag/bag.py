@@ -35,10 +35,12 @@ class Bag:
     __slots__ = ("_data", "_hash")
 
     def __init__(self, elements: Iterable[Any] = ()) -> None:
+        # Counting occurrences only ever increments, so no zero multiplicity
+        # can arise: the dict is built once and used as-is.
         data: Dict[Any, int] = {}
         for element in elements:
             data[element] = data.get(element, 0) + 1
-        self._data: Dict[Any, int] = {e: m for e, m in data.items() if m != 0}
+        self._data: Dict[Any, int] = data
         self._hash: int | None = None
 
     # ------------------------------------------------------------------ #
@@ -57,8 +59,12 @@ class Bag:
                 raise TypeError(
                     f"multiplicity must be an int, got {type(multiplicity).__name__}"
                 )
-            data[element] = data.get(element, 0) + multiplicity
-        return cls._from_clean_dict({e: m for e, m in data.items() if m != 0})
+            updated = data.get(element, 0) + multiplicity
+            if updated == 0:
+                data.pop(element, None)
+            else:
+                data[element] = updated
+        return cls._from_clean_dict(data)
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[Any, int]) -> "Bag":
@@ -98,7 +104,8 @@ class Bag:
             return other
         # Iterate over the smaller operand: unioning two materialized bags
         # costs time proportional to the smaller one (the assumption used in
-        # the paper's Section 2.2 cost analysis).
+        # the paper's Section 2.2 cost analysis).  Cancellations are dropped
+        # in place — a single accumulation pass, no build-then-filter.
         if len(self._data) >= len(other._data):
             big, small = self._data, other._data
         else:
@@ -110,22 +117,48 @@ class Bag:
                 data.pop(element, None)
             else:
                 data[element] = updated
+        if not data:
+            return EMPTY_BAG
         return Bag._from_clean_dict(data)
 
     def negate(self) -> "Bag":
         """Return ``⊖(self)``: every multiplicity negated."""
+        if not self._data:
+            return EMPTY_BAG
         return Bag._from_clean_dict({e: -m for e, m in self._data.items()})
 
     def difference(self, other: "Bag") -> "Bag":
-        """Return ``self ⊎ ⊖(other)`` (group difference, *not* monus)."""
-        return self.union(other.negate())
+        """Return ``self ⊎ ⊖(other)`` (group difference, *not* monus).
+
+        Computed in one subtraction pass over ``other`` — the negated
+        intermediate bag of the definitional ``self ⊎ ⊖(other)`` is never
+        materialized.
+        """
+        if not isinstance(other, Bag):
+            raise TypeError(f"cannot subtract {type(other).__name__} from Bag")
+        if not other._data:
+            return self
+        if not self._data:
+            return other.negate()
+        data = dict(self._data)
+        for element, multiplicity in other._data.items():
+            updated = data.get(element, 0) - multiplicity
+            if updated == 0:
+                data.pop(element, None)
+            else:
+                data[element] = updated
+        if not data:
+            return EMPTY_BAG
+        return Bag._from_clean_dict(data)
 
     def scale(self, factor: int) -> "Bag":
         """Multiply every multiplicity by ``factor``."""
         if not isinstance(factor, int):
             raise TypeError("scale factor must be an int")
-        if factor == 0:
+        if factor == 0 or not self._data:
             return EMPTY_BAG
+        if factor == 1:
+            return self
         return Bag._from_clean_dict({e: m * factor for e, m in self._data.items()})
 
     def __add__(self, other: "Bag") -> "Bag":

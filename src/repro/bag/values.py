@@ -20,9 +20,11 @@ from typing import Any, Iterator, Tuple
 from repro.bag.bag import Bag
 
 __all__ = [
+    "intern_key",
     "is_base_value",
     "is_hashable_key",
     "is_nested_value",
+    "key_interner_stats",
     "value_depth",
     "value_size",
     "nested_cardinalities",
@@ -53,14 +55,24 @@ def is_hashable_key(value: Any) -> bool:
 
 
 def is_nested_value(value: Any) -> bool:
-    """True iff ``value`` is a well-formed nested value (recursively checked)."""
-    if is_base_value(value):
-        return True
-    if isinstance(value, tuple):
-        return all(is_nested_value(component) for component in value)
-    if isinstance(value, Bag):
-        return all(is_nested_value(element) for element in value.elements())
-    return False
+    """True iff ``value`` is a well-formed nested value.
+
+    Implemented with an explicit work stack so workload values nested deeper
+    than Python's recursion limit are still checkable.
+    """
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, _BASE_TYPES):
+            continue
+        if isinstance(current, tuple):
+            stack.extend(current)
+            continue
+        if isinstance(current, Bag):
+            stack.extend(current.elements())
+            continue
+        return False
+    return True
 
 
 def value_depth(value: Any) -> int:
@@ -68,20 +80,34 @@ def value_depth(value: Any) -> int:
 
     Base values and tuples of base values have depth 0; a flat bag has
     depth 1; a bag of bags has depth 2, and so on.  Tuples take the maximum
-    over their components.
+    over their components.  Iterative (explicit stack), so pathologically
+    deep values cannot overflow the interpreter stack.
     """
-    if is_base_value(value):
-        return 0
-    if isinstance(value, tuple):
-        if not value:
-            return 0
-        return max(value_depth(component) for component in value)
-    if isinstance(value, Bag):
-        inner = 0
-        for element in value.elements():
-            inner = max(inner, value_depth(element))
-        return 1 + inner
-    raise TypeError(f"not a nested value: {value!r}")
+    best = 0
+    stack = [(value, 0)]
+    while stack:
+        current, depth = stack.pop()
+        if isinstance(current, _BASE_TYPES):
+            if depth > best:
+                best = depth
+            continue
+        if isinstance(current, tuple):
+            if not current:
+                if depth > best:
+                    best = depth
+                continue
+            for component in current:
+                stack.append((component, depth))
+            continue
+        if isinstance(current, Bag):
+            depth += 1
+            if depth > best:
+                best = depth
+            for element in current.elements():
+                stack.append((element, depth))
+            continue
+        raise TypeError(f"not a nested value: {current!r}")
+    return best
 
 
 def value_size(value: Any) -> int:
@@ -90,19 +116,105 @@ def value_size(value: Any) -> int:
     This is the "physical size" of a value used by workload reporting and by
     the incrementality discussion in Appendix A.2 (``size(ΔR) ≪ size(R)``);
     the cost-domain ``size`` of Section 4.2 lives in :mod:`repro.cost.size`.
+    Iterative (explicit stack), so pathologically deep values cannot
+    overflow the interpreter stack.
     """
-    if is_base_value(value):
-        return 1
-    if isinstance(value, tuple):
-        if not value:
-            return 1
-        return sum(value_size(component) for component in value)
-    if isinstance(value, Bag):
-        total = 1
-        for element, multiplicity in value.items():
-            total += abs(multiplicity) * value_size(element)
-        return total
-    raise TypeError(f"not a nested value: {value!r}")
+    total = 0
+    stack = [(value, 1)]
+    while stack:
+        current, weight = stack.pop()
+        if isinstance(current, _BASE_TYPES):
+            total += weight
+            continue
+        if isinstance(current, tuple):
+            if not current:
+                total += weight
+                continue
+            for component in current:
+                stack.append((component, weight))
+            continue
+        if isinstance(current, Bag):
+            total += weight
+            for element, multiplicity in current.items():
+                stack.append((element, weight * abs(multiplicity)))
+            continue
+        raise TypeError(f"not a nested value: {current!r}")
+    return total
+
+
+# --------------------------------------------------------------------------- #
+# Compound-key interning (the hash-join / index hot path)
+# --------------------------------------------------------------------------- #
+class _KeyInterner:
+    """A small bounded interning table for compound join/index keys.
+
+    The compiled hash-joins and the storage layer's persistent indexes build
+    one key tuple per indexed element and one per probe.  Under a stream of
+    small updates the same logical keys recur over and over; interning them
+    returns one canonical tuple per distinct key, so
+
+    * every bucket dict holds (and compares against) canonical objects —
+      CPython's dict lookup then succeeds on the identity fast path without
+      re-running deep structural ``==``, and
+    * the values reachable from a canonical key (e.g. a cached-hash
+      :class:`~repro.labels.Label` inside a flat shredded tuple) keep their
+      structural hashes warm across updates instead of being recomputed for
+      every freshly-built tuple.
+
+    The table is deliberately tiny and self-limiting: when it fills up it is
+    simply cleared (an epoch reset), which bounds memory without an LRU's
+    per-hit bookkeeping.  Interning is semantically invisible — it may only
+    ever return an equal tuple.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_table")
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._table: dict = {}
+
+    def intern(self, key: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        table = self._table
+        cached = table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if len(table) >= self.capacity:
+            table.clear()
+            self.evictions += 1
+        table[key] = key
+        return key
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._table),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+#: The process-wide interner shared by ``repro.storage.index`` and the
+#: compiled pipeline's per-evaluation hash-join builds.
+_KEY_INTERNER = _KeyInterner()
+
+
+def intern_key(key: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Canonicalize a compound join/index key tuple (see :class:`_KeyInterner`)."""
+    return _KEY_INTERNER.intern(key)
+
+
+def key_interner_stats() -> dict:
+    """Hit/miss/eviction counters of the shared key interner."""
+    return _KEY_INTERNER.stats()
 
 
 def nested_cardinalities(value: Any) -> Tuple[int, ...]:

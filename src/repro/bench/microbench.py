@@ -1,6 +1,6 @@
-"""Micro-benchmarks: compiled-vs-interpreted and indexed-vs-rebuild (BENCH json).
+"""Micro-benchmarks: compiled, indexed, and O(|Δ|)-apply latency (BENCH json).
 
-Two update-latency benchmarks share this CLI:
+Three update-latency benchmarks share this CLI:
 
 * ``--benchmark compile`` (the default) maintains the selective genre
   self-join with the classic first-order strategy, once with the compiled
@@ -12,10 +12,21 @@ Two update-latency benchmarks share this CLI:
   (the default) and once with the ``REPRO_NO_INDEX`` escape hatch forcing
   the compiled pipeline's per-update index rebuild.  The dominant per-update
   cost drops from ``O(|build side|)`` to ``O(|Δ|)``.
+* ``--benchmark apply`` measures **update application** itself: one large
+  relation under a stream of small mixed insert/delete updates, once with
+  the transient-builder layer (the default) and once with the
+  ``REPRO_NO_BUILDER`` escape hatch forcing the seed's full-copy
+  ``Bag.union`` chains.  Two measurements are reported per size: the
+  *apply path* (snapshot read, store refresh, index maintenance, view-result
+  accumulation — exactly the dict rebuilds the seed paid ``O(|DB|)`` for)
+  and the *end-to-end* ``engine.apply`` latency with a maintained identity
+  view.  A size sweep shows the builder path near-flat in ``|DB|`` while the
+  full-copy path grows linearly.
 
-Both verify that the two runs produced identical view contents.  JSON
-results are written to ``benchmarks/results/compile_selfjoin.json`` /
-``benchmarks/results/storage_index.json`` by default (the committed copies
+All of them verify that the compared runs produced identical contents.
+JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
+``benchmarks/results/storage_index.json`` /
+``benchmarks/results/update_apply.json`` by default (the committed copies
 are regenerated from exactly these commands).
 """
 
@@ -29,10 +40,14 @@ import time
 from typing import Optional, Sequence
 
 from repro.bag.bag import Bag
+from repro.bag.builder import BagBuilder, forced_full_copy
+from repro.nrc import ast
+from repro.nrc import builders as build
 from repro.nrc.compile import forced_interpretation
-from repro.storage import forced_no_index
+from repro.storage import RelationStore, forced_no_index
 from repro.workloads import (
     FEATURED_SCHEMA,
+    MOVIE_SCHEMA,
     featured_join_query,
     featured_update_stream,
     generate_movies,
@@ -41,7 +56,7 @@ from repro.workloads import (
     movies_engine,
 )
 
-__all__ = ["run_selfjoin_latency", "run_index_latency", "main"]
+__all__ = ["run_selfjoin_latency", "run_index_latency", "run_apply_latency", "main"]
 
 
 def _run_once(size: int, batch: int, updates: int, interpreted: bool):
@@ -163,9 +178,170 @@ def run_index_latency(size: int = 2000, batch: int = 2, updates: int = 30) -> di
     }
 
 
+# --------------------------------------------------------------------------- #
+# --benchmark apply: O(|Δ|) update application vs the seed full-copy path
+# --------------------------------------------------------------------------- #
+def _catalog_query(relation: str = "M"):
+    """Identity view ``for x in M union sng(x)`` — its delta is exactly ΔM,
+    so every per-update cost beyond O(|Δ|) is apply-path overhead."""
+    return build.for_in("x", ast.Relation(relation, MOVIE_SCHEMA), ast.SngVar("x"))
+
+
+def _apply_path_run(size: int, batch: int, updates: int, full_copy: bool):
+    """Time the apply path in isolation: the three dict rebuilds of the seed.
+
+    Uses the storage/builder primitives exactly as ``Database.apply_update``
+    does per update: read the pre-update snapshot (what building the
+    evaluation environment costs), fold the delta into the relation store
+    (bag + persistent index), into the shredded flat mirror, and into a
+    materialized identity-view result.  The snapshot is released before the
+    mutation, as in the real flow (per-update environments die before the
+    database writes).  One warm-up update runs untimed so the one-off
+    copy-on-write un-sharing of the initial bag is not charged to the steady
+    state.
+    """
+    with forced_full_copy(full_copy):
+        movies = generate_movies(size, seed=7)
+        store = RelationStore("M", movies)
+        store.ensure_index(((1,),))  # genre index, maintained per delta
+        flat_store = RelationStore("M__F", movies)
+        result = BagBuilder.from_bag(store.bag)
+        stream = list(
+            movie_update_stream(
+                updates + 1, batch, existing=movies, deletion_ratio=0.25, seed=13
+            )
+        )
+        latencies = []
+        for position, update in enumerate(stream):
+            delta = update.relations["M"]
+            started = time.perf_counter()
+            snapshot = store.bag
+            del snapshot
+            store.apply_delta(delta)
+            flat_store.apply_delta(delta)
+            result.apply_bag(delta)
+            if position > 0:  # skip the warm-up update
+                latencies.append(time.perf_counter() - started)
+        return store, result.freeze(), latencies
+
+
+def _apply_engine_run(size: int, batch: int, updates: int, full_copy: bool):
+    """End-to-end ``engine.apply`` latency with a maintained identity view."""
+    with forced_full_copy(full_copy):
+        movies = generate_movies(size, seed=7)
+        engine = movies_engine(movies, expected_update_size=batch)
+        view = engine.view("catalog", _catalog_query(), strategy="classic")
+        stream = list(
+            movie_update_stream(
+                updates + 1, batch, existing=movies, deletion_ratio=0.25, seed=13
+            )
+        )
+        latencies = []
+        for position, update in enumerate(stream):
+            started = time.perf_counter()
+            engine.apply(update)
+            if position > 0:  # skip the warm-up update
+                latencies.append(time.perf_counter() - started)
+        return engine, view.result(), latencies
+
+
+def _latency_summary(latencies) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "mean_seconds": sum(ordered) / len(ordered),
+        "median_seconds": ordered[len(ordered) // 2],
+        "total_seconds": sum(ordered),
+    }
+
+
+def run_apply_latency(
+    size: int = 2000,
+    batch: int = 1,
+    updates: int = 60,
+    sweep: Sequence[int] = (500, 1000, 2000, 4000, 8000),
+) -> dict:
+    """Measure per-update application latency, builder vs seed full-copy.
+
+    The headline numbers are the *apply-path* latencies at ``size`` — the
+    store refresh, index maintenance and view-result accumulation this PR
+    made O(|Δ|) — plus an end-to-end ``engine.apply`` comparison and a size
+    sweep demonstrating near-flat growth in ``|DB|`` for fixed ``|Δ|``.
+    """
+    sizes = sorted(set(list(sweep) + [size]))
+    sweep_report = []
+    headline = None
+    for n in sizes:
+        b_store, b_result, b_lat = _apply_path_run(n, batch, updates, full_copy=False)
+        f_store, f_result, f_lat = _apply_path_run(n, batch, updates, full_copy=True)
+        if b_result != f_result or b_store.bag != f_store.bag:
+            raise AssertionError(
+                "builder and full-copy apply paths diverged at n=%d" % n
+            )
+        builder = _latency_summary(b_lat)
+        full = _latency_summary(f_lat)
+        entry = {
+            "n": n,
+            "builder": builder,
+            "full_copy": full,
+            "speedup": full["mean_seconds"] / builder["mean_seconds"],
+            "store": {
+                "version": b_store.version,
+                "snapshot_freezes": b_store.snapshot_freezes,
+            },
+        }
+        sweep_report.append(entry)
+        if n == size:
+            headline = entry
+
+    engine_b, result_b, lat_b = _apply_engine_run(size, batch, updates, full_copy=False)
+    engine_f, result_f, lat_f = _apply_engine_run(size, batch, updates, full_copy=True)
+    if result_b != result_f:
+        raise AssertionError("builder and full-copy engine runs diverged")
+    end_to_end = {
+        "n": size,
+        "builder": _latency_summary(lat_b),
+        "full_copy": _latency_summary(lat_f),
+    }
+    end_to_end["speedup"] = (
+        end_to_end["full_copy"]["mean_seconds"] / end_to_end["builder"]["mean_seconds"]
+    )
+
+    smallest, largest = sweep_report[0], sweep_report[-1]
+    flatness = (
+        largest["builder"]["mean_seconds"] / smallest["builder"]["mean_seconds"]
+    )
+    growth = largest["n"] / smallest["n"]
+    nested_stores = engine_b.storage_report()["nested"]["stores"]
+    return {
+        "benchmark": "update_apply_latency",
+        "workload": (
+            "one large flat relation (movies), stream of small mixed "
+            "insert/delete updates (d=%d), genre index maintained per delta, "
+            "identity-view result accumulation" % batch
+        ),
+        "n": size,
+        "d": batch,
+        "updates": updates,
+        "apply_path": headline,
+        "end_to_end_engine_apply": end_to_end,
+        "size_sweep": sweep_report,
+        "builder_flatness": {
+            "db_growth_factor": growth,
+            "builder_latency_growth_factor": flatness,
+            "full_copy_latency_growth_factor": (
+                largest["full_copy"]["mean_seconds"]
+                / smallest["full_copy"]["mean_seconds"]
+            ),
+        },
+        "storage_report_nested_stores": nested_stores,
+        "results_identical": True,
+    }
+
+
 _BENCHMARKS = {
     "compile": (run_selfjoin_latency, "benchmarks/results/compile_selfjoin.json"),
     "index": (run_index_latency, "benchmarks/results/storage_index.json"),
+    "apply": (run_apply_latency, "benchmarks/results/update_apply.json"),
 }
 
 

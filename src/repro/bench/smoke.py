@@ -13,6 +13,14 @@ unindexed (``REPRO_NO_INDEX``, PR 2's per-evaluation rebuild), and fully
 interpreted (``REPRO_NO_COMPILE``) — and all three must agree, with the
 indexed leg required to have actually served probes from a persistent index.
 
+A third battery exercises the apply path: one large relation under
+interleaved base/probe-side update streams, maintained with the
+indexed+builder path (the default), with the full-rebuild path
+(``REPRO_NO_BUILDER`` + ``REPRO_NO_INDEX`` — the seed's full-copy unions
+plus per-evaluation index rebuilds), and with the interpreter.  All three
+must produce identical view contents and the indexed+builder path must beat
+the full-rebuild path on wall-clock.
+
 Exit status is non-zero on any divergence, which is what the CI benchmark
 smoke step keys on.  Run with ``python -m repro.bench.smoke``.
 """
@@ -21,9 +29,11 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bag.bag import Bag
+from repro.bag.builder import forced_full_copy
 from repro.ivm import Update
 from repro.nrc import ast
 from repro.nrc import builders as build
@@ -33,6 +43,7 @@ from repro.shredding.shred_database import input_dict_name
 from repro.storage import forced_no_index
 from repro.workloads import (
     FEATURED_SCHEMA,
+    MOVIE_SCHEMA,
     bag_of_bags_engine,
     featured_join_query,
     featured_update_stream,
@@ -151,6 +162,85 @@ def _build_storage_checks():
     return checks
 
 
+# --------------------------------------------------------------------------- #
+# Apply-path check: indexed+builder vs full-rebuild vs interpreted
+# --------------------------------------------------------------------------- #
+def _apply_path_run(size: int = 800, updates: int = 10):
+    """One large relation, interleaved small base- and probe-side updates.
+
+    The catalog identity view accumulates an O(n) result from O(|Δ|) deltas
+    (the builder's contribution); the featured join probes the persistent
+    movie-name index over its static build side (the index's contribution).
+    Returns the engine, both view results and the wall-clock seconds spent
+    inside ``engine.apply``.
+    """
+
+    def run():
+        movies = generate_movies(size, seed=79)
+        engine = movies_engine(movies, expected_update_size=2)
+        engine.dataset("F", FEATURED_SCHEMA, Bag([("Movie000001", "seed0")]))
+        catalog_query = build.for_in(
+            "x", ast.Relation("M", MOVIE_SCHEMA), ast.SngVar("x")
+        )
+        catalog = engine.view("catalog", catalog_query, strategy="classic")
+        featured = engine.view(
+            "featured", featured_join_query(), strategy="classic", targets=("F",)
+        )
+        movie_stream = list(
+            movie_update_stream(
+                updates, 2, existing=movies, deletion_ratio=0.25, seed=83
+            )
+        )
+        featured_stream = list(
+            featured_update_stream(
+                updates, 2, catalog_size=size, deletion_ratio=0.25, seed=89
+            )
+        )
+        elapsed = 0.0
+        for movie_update, featured_update in zip(movie_stream, featured_stream):
+            started = time.perf_counter()
+            engine.apply(movie_update)
+            engine.apply(featured_update)
+            elapsed += time.perf_counter() - started
+        return engine, (catalog.result(), featured.result()), elapsed
+
+    return run
+
+
+def _run_apply_check(report: dict) -> None:
+    run = _apply_path_run()
+    with forced_interpretation(False), forced_no_index(False), forced_full_copy(False):
+        builder_engine, builder_results, builder_seconds = run()
+    with forced_interpretation(False), forced_full_copy(True), forced_no_index(True):
+        _, rebuild_results, rebuild_seconds = run()
+    with forced_interpretation(True):
+        _, interpreted_results, _ = run()
+    identical = (
+        builder_results == rebuild_results and builder_results == interpreted_results
+    )
+    faster = builder_seconds < rebuild_seconds
+    store_versions = {
+        entry["relation"]: entry["version"]
+        for entry in builder_engine.storage_report()["nested"]["stores"]
+    }
+    passed = identical and faster
+    report["checks"].append(
+        {
+            "name": "apply path / builder+indexed vs full-rebuild vs interpreted",
+            "modes": "builder+indexed / full-rebuild (REPRO_NO_BUILDER+REPRO_NO_INDEX) / interpreted",
+            "result_cardinality": builder_results[0].cardinality(),
+            "builder_apply_seconds": builder_seconds,
+            "full_rebuild_apply_seconds": rebuild_seconds,
+            "builder_beats_full_rebuild": faster,
+            "store_versions": store_versions,
+            "identical": identical,
+            "passed": passed,
+        }
+    )
+    if not passed:
+        report["divergences"] += 1
+
+
 def _in_mode(interpreted: bool, run: Callable[[], Tuple[str, Bag]]) -> Tuple[str, Bag]:
     with forced_interpretation(interpreted):
         return run()
@@ -213,6 +303,7 @@ def run_smoke() -> dict:
         )
         if not passed:
             report["divergences"] += 1
+    _run_apply_check(report)
     return report
 
 

@@ -89,6 +89,19 @@ class MaterializedDict(DictValue):
     def __init__(self, entries: Optional[Dict[Label, Bag]] = None) -> None:
         self._entries: Dict[Label, Bag] = dict(entries or {})
 
+    @classmethod
+    def _adopt(cls, entries: Dict[Label, Bag]) -> "MaterializedDict":
+        """Internal: wrap ``entries`` without copying.
+
+        The caller transfers ownership — it must copy-on-write before any
+        further mutation of ``entries`` (see
+        :class:`repro.storage.store.DictionaryStore`), exactly like
+        ``Bag._from_clean_dict``.
+        """
+        dictionary = cls.__new__(cls)
+        dictionary._entries = entries
+        return dictionary
+
     # Queries ------------------------------------------------------------
     def lookup(self, label: Label) -> Bag:
         return self._entries.get(label, EMPTY_BAG)

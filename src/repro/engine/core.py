@@ -323,7 +323,13 @@ class Engine:
         return reclaimed
 
     def storage_report(self) -> Mapping[str, object]:
-        """Sizes and index statistics of the underlying stores."""
+        """Sizes and index statistics of the underlying stores.
+
+        Each store entry also carries its mutation ``version`` counter and
+        ``snapshot_freezes`` (how many distinct immutable snapshots the
+        copy-on-write store actually materialized) — see
+        ``docs/api.md`` ("Storage internals & complexity").
+        """
         return self._database.storage_report()
 
     @staticmethod

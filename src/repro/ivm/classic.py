@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.bag.bag import Bag
+from repro.bag.builder import BagBuilder
 from repro.delta.rules import delta
 from repro.instrument import OpCounter
 from repro.ivm.database import Database, ShreddedDelta
@@ -57,7 +58,11 @@ class ClassicIVMView(View):
 
         counter = OpCounter()
         started = self._now()
-        self._result = run_bag(compiled_query, query, database.environment(), counter)
+        # The materialization lives in a transient: per-update changes fold
+        # in place (O(|Δresult|)) and result() freezes the snapshot lazily.
+        self._result = BagBuilder.from_bag(
+            run_bag(compiled_query, query, database.environment(), counter)
+        )
         self.stats.record_init(self._now() - started, counter)
         if register:
             database.register_view(self)
@@ -69,7 +74,7 @@ class ClassicIVMView(View):
         return self._delta_query
 
     def result(self) -> Bag:
-        return self._result
+        return self._result.freeze()
 
     def on_update(self, update: Update, shredded_delta: ShreddedDelta) -> None:
         counter = OpCounter()
@@ -78,7 +83,7 @@ class ClassicIVMView(View):
             (name, 1): bag for name, bag in update.relations.items() if not bag.is_empty()
         }
         if deltas:
-            environment = self._database.environment().with_deltas(deltas)
+            environment = self._database.environment(deltas)
             change = run_bag(self._compiled_delta, self._delta_query, environment, counter)
-            self._result = self._result.union(change)
+            self._result.apply_bag(change)
         self.stats.record_update(self._now() - started, counter)

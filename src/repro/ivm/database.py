@@ -19,6 +19,14 @@ notifies every registered view *before* mutating the stored instances, so
 delta queries are evaluated against the pre-update state exactly as required
 by ``h[R ⊎ ΔR] = h[R] ⊎ δ(h)[R, ΔR]``; the update is applied to the stored
 relations (and their indexes) afterwards.
+
+The whole application pass is ``O(|Δ|)``: stores fold deltas into transient
+builders in place (copy-on-write — see :mod:`repro.bag.builder` and
+:mod:`repro.storage.store`), relations without bag positions skip the
+shredder entirely (their shredded form is the delta itself), and dictionary
+deltas merge pointwise into the touched labels only.  The one deliberate
+exception is the deep-update path, which re-nests affected relations from
+the shredded mirror wholesale.
 """
 
 from __future__ import annotations
@@ -27,12 +35,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.bag.bag import Bag, EMPTY_BAG
 from repro.dictionaries import DictValue, MaterializedDict
-from repro.errors import WorkloadError
+from repro.errors import ShreddingError, WorkloadError
 from repro.ivm.updates import Update
 from repro.labels import LabelFactory
 from repro.nrc.compile import IndexRequirement
 from repro.nrc.evaluator import Environment
-from repro.nrc.types import BagType
+from repro.nrc.types import BagType, BaseType, LabelType, ProductType, Type
 from repro.shredding.shred_database import (
     flat_relation_name,
     input_context_for,
@@ -44,6 +52,35 @@ from repro.shredding.shred_values import ValueShredder
 from repro.storage import DictionaryStore, StorageManager
 
 __all__ = ["Database", "ShreddedDelta"]
+
+
+def _is_passthrough_flat(type_: Type) -> bool:
+    """True iff shredding values of this type is the identity.
+
+    Holds for base values, labels, and products thereof.  Bag positions need
+    real shredding and unit positions are *normalized* (any value becomes
+    ``()``), so both disqualify a relation from the shredder bypass.
+    """
+    if isinstance(type_, (BaseType, LabelType)):
+        return True
+    if isinstance(type_, ProductType):
+        return all(_is_passthrough_flat(component) for component in type_.components)
+    return False
+
+
+def _validate_flat_element(value: object, type_: Type) -> None:
+    """The shape validation the shredder performs, without the shredding.
+
+    Mirrors :meth:`repro.shredding.shred_values.ValueShredder.shred_value`
+    exactly for passthrough-flat types: tuple arity must match product
+    types; base and label positions are accepted as-is.
+    """
+    if isinstance(type_, ProductType):
+        if not isinstance(value, tuple) or len(value) != type_.arity:
+            raise ShreddingError(f"value {value!r} does not match type {type_.render()}")
+        for component, component_type in zip(value, type_.components):
+            if isinstance(component_type, ProductType):
+                _validate_flat_element(component, component_type)
 
 
 class ShreddedDelta:
@@ -97,6 +134,10 @@ class Database:
         # name contains the ``__D`` separator (e.g. ``user__Data``), so the
         # mapping is recorded from the schema at registration time.
         self._dict_owner: Dict[str, str] = {}
+        # Relations whose element type contains no bag positions: their
+        # shredded form is the relation itself (no labels, no dictionaries),
+        # so the update path skips the shredder for them entirely.
+        self._flat_relations: set = set()
         self._views: List[object] = []
 
     # ------------------------------------------------------------------ #
@@ -111,7 +152,10 @@ class Database:
         self._schemas[name] = schema
         self._storage.ensure(name, instance or EMPTY_BAG)
         context = input_context_for(name, schema.element)
-        for path, _ in iter_context_dicts(context):
+        dict_paths = tuple(path for path, _ in iter_context_dicts(context))
+        if not dict_paths and _is_passthrough_flat(schema.element):
+            self._flat_relations.add(name)
+        for path in dict_paths:
             self._dict_owner[input_dict_name(name, path)] = name
         self._reshred_relation(name)
 
@@ -144,17 +188,26 @@ class Database:
             names.append(input_dict_name(name, path))
         return tuple(names)
 
-    def environment(self) -> Environment:
-        """Environment for direct (nested) evaluation."""
+    def environment(self, deltas: Optional[Mapping] = None) -> Environment:
+        """Environment for direct (nested) evaluation.
+
+        ``deltas`` optionally binds the ``Δ`` symbols directly at
+        construction — one environment build instead of the
+        ``environment().with_deltas(...)`` copy-everything-twice dance the
+        views used to pay on every update.
+        """
         return Environment(
-            relations=self._storage.bags(), indexes=self._storage.provider()
+            relations=self._storage.bags(),
+            deltas=deltas,
+            indexes=self._storage.provider(),
         )
 
-    def shredded_environment(self) -> Environment:
+    def shredded_environment(self, deltas: Optional[Mapping] = None) -> Environment:
         """Environment for evaluating shredded (flat) queries."""
         return Environment(
             relations=self._flat_storage.bags(),
             dictionaries=self._dict_store.as_mapping(),
+            deltas=deltas,
             indexes=self._flat_storage.provider(),
         )
 
@@ -203,6 +256,8 @@ class Database:
                 "registered": False,
             }
             if store is not None:
+                entry["store_version"] = store.version
+                entry["snapshot_freezes"] = store.snapshot_freezes
                 index = store.index_for(requirement.paths)
                 if index is not None:
                     entry["registered"] = True
@@ -250,6 +305,16 @@ class Database:
             if name not in self._schemas:
                 raise WorkloadError(f"update touches unknown relation {name!r}")
             if bag.is_empty():
+                continue
+            if name in self._flat_relations:
+                # Flat relations shred to themselves — no inner bags, no
+                # labels, no dictionary deltas.  Skipping the shredder keeps
+                # the whole apply path O(|Δ|) for the common flat case; the
+                # shape validation the shredder would have performed is kept.
+                element_type = self._schemas[name].element
+                for element in bag.elements():
+                    _validate_flat_element(element, element_type)
+                delta.bags[flat_relation_name(name)] = bag
                 continue
             shredded = shred_relation(name, bag, self._schemas[name].element, self._shredder)
             delta.bags[flat_relation_name(name)] = shredded.flat

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bag.bag import Bag, EMPTY_BAG
+from repro.bag.builder import BagBuilder
 from repro.dictionaries import DictValue, MaterializedDict
 from repro.errors import ShreddingError
 from repro.instrument import OpCounter, maybe_count
@@ -59,12 +60,23 @@ __all__ = ["NestedIVMView"]
 
 @dataclass
 class _DictState:
-    """Maintenance state of one dictionary position of the output context."""
+    """Maintenance state of one dictionary position of the output context.
+
+    ``entries`` is the mutable label → bag map owned by this state: per
+    update only the touched labels are rewritten in place (no full-map
+    rebuild on the update path).  Readers get snapshot
+    :class:`~repro.dictionaries.MaterializedDict` copies on demand through
+    :meth:`NestedIVMView.dictionary`.
+    """
 
     path: Tuple[Any, ...]
     expression: Expr
     delta_expression: Expr
-    materialized: MaterializedDict = field(default_factory=lambda: MaterializedDict({}))
+    entries: Dict[Label, Bag] = field(default_factory=dict)
+    #: Cached read snapshot of ``entries`` (an independent copy), rebuilt
+    #: lazily by :meth:`NestedIVMView.dictionary` and invalidated whenever
+    #: maintenance touches the entries map.
+    snapshot: Optional[MaterializedDict] = None
     compiled: Optional[CompiledQuery] = None
     compiled_delta: Optional[CompiledQuery] = None
 
@@ -127,14 +139,17 @@ class NestedIVMView(View):
         counter = OpCounter()
         started = self._now()
         environment = database.shredded_environment()
-        self._flat_view = run_bag(self._compiled_flat, self._shredded.flat, environment, counter)
+        # The flat view lives in a transient builder: per-update deltas fold
+        # in place and flat_result() freezes the snapshot lazily.
+        self._flat_view = BagBuilder.from_bag(
+            run_bag(self._compiled_flat, self._shredded.flat, environment, counter)
+        )
         for state in self._dict_states:
             dictionary = self._dictionary_value(
                 state.compiled, state.expression, environment, counter
             )
             active = self._active_labels(state)
-            entries = {label: dictionary.lookup(label) for label in active}
-            state.materialized = MaterializedDict(entries)
+            state.entries = {label: dictionary.lookup(label) for label in active}
         self.stats.record_init(self._now() - started, counter)
         if register:
             database.register_view(self)
@@ -152,13 +167,20 @@ class NestedIVMView(View):
 
     def flat_result(self) -> Bag:
         """The materialized flat view ``h^F`` (labels in place of inner bags)."""
-        return self._flat_view
+        return self._flat_view.freeze()
 
     def dictionary(self, path: Tuple[Any, ...]) -> MaterializedDict:
-        """The materialized dictionary at a context path."""
+        """The materialized dictionary at a context path (a snapshot copy).
+
+        The copy is cached until the next maintenance pass touches the
+        entries, so repeated reads (``result()`` walks every dictionary
+        position) pay the copy once per update, not once per read.
+        """
         for state in self._dict_states:
             if state.path == path:
-                return state.materialized
+                if state.snapshot is None:
+                    state.snapshot = MaterializedDict(state.entries)
+                return state.snapshot
         raise KeyError(f"no dictionary at context path {path!r}")
 
     def dictionary_paths(self) -> Tuple[Tuple[Any, ...], ...]:
@@ -171,7 +193,7 @@ class NestedIVMView(View):
         """Reconstruct the nested result from the shredded materializations."""
         value_context = self._value_context(self._shredded.context, ())
         element_type = self._shredded.output_type.element  # type: ignore[union-attr]
-        return unshred_bag(self._flat_view, element_type, value_context)
+        return unshred_bag(self._flat_view.freeze(), element_type, value_context)
 
     def _value_context(self, context: Context, path: Tuple[Any, ...]) -> Context:
         if isinstance(context, (UnitContext, EmptyContext)):
@@ -200,17 +222,21 @@ class NestedIVMView(View):
         delta_env = pre_env.with_deltas(delta_symbols)
         post_env = self._post_update_environment(pre_env, shredded_delta)
 
-        # 1. Maintain the flat view with δ(h^F).
+        # 1. Maintain the flat view with δ(h^F) — folded into the transient
+        #    in place, O(|Δh^F|).
         flat_change = run_bag(self._compiled_flat_delta, self._flat_delta, delta_env, counter)
-        self._flat_view = self._flat_view.union(flat_change)
+        self._flat_view.apply_bag(flat_change)
 
         # 2. Maintain every dictionary: refresh existing definitions with
         #    δ(h^Γ)(ℓ) and initialize definitions for newly active labels.
+        #    Only the touched labels are rewritten — the entries map is
+        #    mutated in place, never rebuilt wholesale.
         for state in self._dict_states:
             delta_dictionary = self._dictionary_value(
                 state.compiled_delta, state.delta_expression, delta_env, counter
             )
-            entries: Dict[Label, Bag] = dict(state.materialized.items())
+            entries = state.entries
+            state.snapshot = None
             # When the delta dictionary has finite support (e.g. deep updates
             # arriving as explicit label deltas) only the touched labels need
             # refreshing; intensional deltas (dictionary bodies over ΔR) are
@@ -226,7 +252,7 @@ class NestedIVMView(View):
                 if not change.is_empty():
                     entries[label] = entries[label].union(change)
 
-            active = self._active_labels(state, entries_hint=entries)
+            active = self._active_labels(state)
             new_labels = [label for label in active if label not in entries]
             if new_labels:
                 full_dictionary = self._dictionary_value(
@@ -235,7 +261,6 @@ class NestedIVMView(View):
                 for label in new_labels:
                     maybe_count(counter, "dict_initializations")
                     entries[label] = full_dictionary.lookup(label)
-            state.materialized = MaterializedDict(entries)
 
         self.stats.record_update(self._now() - started, counter)
 
@@ -248,12 +273,13 @@ class NestedIVMView(View):
         """
         removed = 0
         for state in self._dict_states:
-            active = self._active_labels(state)
-            entries = {
-                label: bag for label, bag in state.materialized.items() if label in active
-            }
-            removed += len(state.materialized) - len(entries)
-            state.materialized = MaterializedDict(entries)
+            active = set(self._active_labels(state))
+            stale = [label for label in state.entries if label not in active]
+            for label in stale:
+                del state.entries[label]
+            if stale:
+                state.snapshot = None
+            removed += len(stale)
         return removed
 
     # ------------------------------------------------------------------ #
@@ -286,27 +312,23 @@ class NestedIVMView(View):
             post.dictionaries[name] = existing.add(dictionary)
         return post
 
-    def _active_labels(
-        self,
-        state: _DictState,
-        entries_hint: Optional[Dict[Label, Bag]] = None,
-    ) -> List[Label]:
+    def _active_labels(self, state: _DictState) -> List[Label]:
         """Labels that must be defined at this dictionary position.
 
         Root positions (no ``"e"`` in the path) draw their labels from the
         flat view; nested positions draw them from the entries of their
-        parent dictionary.
+        parent dictionary (already refreshed this pass — states are kept in
+        parent-before-child order).
         """
         path = state.path
         if "e" not in path:
-            carrier = self._flat_view
+            carrier = self._flat_view  # the builder iterates without freezing
             tuple_path = path
         else:
             split = max(index for index, token in enumerate(path) if token == "e")
             parent_path = path[:split]
             tuple_path = path[split + 1 :]
-            parent_entries = self._parent_entries(parent_path, entries_hint, state)
-            carrier = parent_entries
+            carrier = self._parent_entries(parent_path)
         labels: List[Label] = []
         seen: Set[Label] = set()
         for element in carrier.elements():
@@ -316,20 +338,14 @@ class NestedIVMView(View):
                 labels.append(value)
         return labels
 
-    def _parent_entries(
-        self,
-        parent_path: Tuple[Any, ...],
-        entries_hint: Optional[Dict[Label, Bag]],
-        state: _DictState,
-    ) -> Bag:
+    def _parent_entries(self, parent_path: Tuple[Any, ...]) -> Bag:
         """Union of all entries of the parent dictionary (carrier for nested labels)."""
         for candidate in self._dict_states:
             if candidate.path == parent_path:
-                parent = candidate.materialized
-                union = EMPTY_BAG
-                for _, bag in parent.items():
-                    union = union.union(bag)
-                return union
+                union = BagBuilder()
+                for bag in candidate.entries.values():
+                    union.apply_bag(bag)
+                return union.freeze()
         raise ShreddingError(f"no parent dictionary at path {parent_path!r}")
 
     @staticmethod

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bag.bag import Bag
+from repro.bag.builder import BagBuilder
 from repro.delta.rules import delta, depends_on
 from repro.instrument import OpCounter
 from repro.ivm.database import Database, ShreddedDelta
@@ -42,12 +43,17 @@ __all__ = ["RecursiveIVMView", "partially_evaluate"]
 
 @dataclass
 class _Materialization:
-    """A materialized database-dependent sub-expression and its delta."""
+    """A materialized database-dependent sub-expression and its delta.
+
+    The materialized value lives in a transient builder: its per-update
+    delta folds in place, and the immutable snapshot the residual delta
+    reads is frozen (O(1)) when the evaluation environment is assembled.
+    """
 
     name: str
     expression: Expr
     delta_expression: Expr
-    value: Bag
+    value: BagBuilder
     compiled_delta: Optional[CompiledQuery] = None
 
 
@@ -134,7 +140,9 @@ class RecursiveIVMView(View):
         counter = OpCounter()
         started = self._now()
         environment = database.environment()
-        self._result = run_bag(compiled_query, query, environment, counter)
+        self._result = BagBuilder.from_bag(
+            run_bag(compiled_query, query, environment, counter)
+        )
         self._materializations: Dict[str, _Materialization] = {}
         for name, expression in to_materialize:
             value = evaluate_bag(expression, environment, counter)
@@ -143,7 +151,7 @@ class RecursiveIVMView(View):
                 name=name,
                 expression=expression,
                 delta_expression=delta_expression,
-                value=value,
+                value=BagBuilder.from_bag(value),
                 compiled_delta=try_compile(delta_expression),
             )
         self.stats.record_init(self._now() - started, counter)
@@ -174,7 +182,7 @@ class RecursiveIVMView(View):
         return tuple(self._materializations)
 
     def result(self) -> Bag:
-        return self._result
+        return self._result.freeze()
 
     def on_update(self, update: Update, shredded_delta: ShreddedDelta) -> None:
         counter = OpCounter()
@@ -189,17 +197,21 @@ class RecursiveIVMView(View):
             # Bare relation references may survive in the residual (for
             # example non-updated relations); they are read from the
             # pre-update database, which is the state delta queries expect.
-            environment = self._database.environment().with_deltas(deltas)
+            environment = self._database.environment(deltas)
             environment.bag_vars.update(
-                {m.name: m.value for m in self._materializations.values()}
+                {m.name: m.value.freeze() for m in self._materializations.values()}
             )
             change = run_bag(self._compiled_residual, self._residual_delta, environment, counter)
-            self._result = self._result.union(change)
+            self._result.apply_bag(change)
+            # Drop the residual environment before maintenance: it holds the
+            # frozen materialization snapshots, and releasing it lets the
+            # builders below mutate in place instead of copy-on-write.
+            del environment
 
             # Maintain the materialized sub-expressions with their own deltas
             # (the higher-order step); these deltas are evaluated against the
             # pre-update database state.
-            maintenance_env = self._database.environment().with_deltas(deltas)
+            maintenance_env = self._database.environment(deltas)
             for materialization in self._materializations.values():
                 change = run_bag(
                     materialization.compiled_delta,
@@ -207,5 +219,5 @@ class RecursiveIVMView(View):
                     maintenance_env,
                     counter,
                 )
-                materialization.value = materialization.value.union(change)
+                materialization.value.apply_bag(change)
         self.stats.record_update(self._now() - started, counter)

@@ -26,12 +26,31 @@ from typing import Any, Tuple
 __all__ = ["Label", "LabelFactory"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Label:
-    """An immutable, hashable label ``⟨ι, ε⟩``."""
+    """An immutable, hashable label ``⟨ι, ε⟩``.
+
+    Labels sit inside every flat shredded tuple, so they are hashed on every
+    dict/bucket operation of the update path; the structural hash is computed
+    once and cached (``ε`` may itself contain labels, so hashing recurses).
+    """
 
     iota: str
     values: Tuple[Any, ...] = ()
+
+    def __eq__(self, other: Any) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self.iota == other.iota and self.values == other.values
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.iota, self.values))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def render(self) -> str:
         """Human-readable rendering used by the pretty printer."""

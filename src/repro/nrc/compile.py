@@ -50,7 +50,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.bag.bag import Bag, EMPTY_BAG
-from repro.bag.values import is_base_value, is_hashable_key
+from repro.bag.values import intern_key, is_base_value, is_hashable_key
 from repro.dictionaries import DictValue, EMPTY_DICT, IntensionalDict
 from repro.errors import CompileError, EvaluationError, UnboundVariableError
 from repro.instrument import OpCounter, maybe_count
@@ -844,7 +844,10 @@ class _Compiler:
                         if not hashable(value):
                             raise _UnhashableKey()
                         key_parts.append(value)
-                    built.setdefault(tuple(key_parts), []).append(
+                    # Interned: recurring keys canonicalize to one tuple, so
+                    # bucket lookups take the identity fast path (shared with
+                    # the storage layer's persistent indexes).
+                    built.setdefault(intern_key(tuple(key_parts)), []).append(
                         (element, multiplicity)
                     )
             except _UnhashableKey:
@@ -902,6 +905,10 @@ class _Compiler:
                 # NaN, or erroring operands whose error the interpreter may
                 # short-circuit away) fall back to the loop for this probe.
                 return loop_fn(ctx, frame)
+            # Probe keys are deliberately *not* interned: equality-based
+            # bucket lookup works regardless, and a scan of mostly-absent
+            # probe keys must not evict the hot build-side keys from the
+            # bounded interner.
             bucket = index.get(tuple(probe_parts))
             if not bucket:
                 return EMPTY_BAG

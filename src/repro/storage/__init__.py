@@ -11,6 +11,12 @@ full contract, including when the pipeline falls back to per-evaluation
 builds.
 """
 
+from repro.bag.builder import (
+    REPRO_NO_BUILDER,
+    BagBuilder,
+    forced_full_copy,
+    transients_enabled,
+)
 from repro.storage.index import HashIndex, IndexKeyError, index_key_of
 from repro.storage.store import (
     REPRO_NO_INDEX,
@@ -23,14 +29,18 @@ from repro.storage.store import (
 )
 
 __all__ = [
+    "REPRO_NO_BUILDER",
     "REPRO_NO_INDEX",
+    "BagBuilder",
     "DictionaryStore",
     "HashIndex",
     "IndexKeyError",
     "IndexProvider",
     "RelationStore",
     "StorageManager",
+    "forced_full_copy",
     "forced_no_index",
     "index_key_of",
     "persistent_indexes_enabled",
+    "transients_enabled",
 ]

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.bag.bag import Bag
-from repro.bag.values import is_hashable_key
+from repro.bag.values import intern_key, is_hashable_key
 
 __all__ = ["HashIndex", "IndexKeyError", "index_key_of"]
 
@@ -44,7 +44,10 @@ def index_key_of(element: Any, paths: Paths) -> Tuple[Any, ...]:
     """The index key of ``element``: one projected value per path.
 
     Raises :class:`IndexKeyError` when a projection does not apply or the
-    projected value is not faithfully hashable.
+    projected value is not faithfully hashable.  The returned tuple is
+    interned (:func:`repro.bag.values.intern_key`): recurring keys resolve
+    to one canonical object, so bucket lookups hit the identity fast path
+    and the per-update re-hashing of hot keys stops dominating profiles.
     """
     parts = []
     for path in paths:
@@ -56,7 +59,7 @@ def index_key_of(element: Any, paths: Paths) -> Tuple[Any, ...]:
         if not is_hashable_key(value):
             raise IndexKeyError(f"unhashable key part {value!r}")
         parts.append(value)
-    return tuple(parts)
+    return intern_key(tuple(parts))
 
 
 class HashIndex:
@@ -69,12 +72,25 @@ class HashIndex:
     normalization.
     """
 
-    __slots__ = ("paths", "_buckets", "_poisoned", "hits", "rebuilds", "deltas_applied")
+    __slots__ = (
+        "paths",
+        "_buckets",
+        "_poisoned",
+        "hits",
+        "rebuilds",
+        "deltas_applied",
+        "version",
+    )
 
     def __init__(self, paths: Paths, bag: Optional[Bag] = None) -> None:
         self.paths: Paths = tuple(tuple(path) for path in paths)
         self._buckets: Dict[Tuple[Any, ...], Dict[Any, int]] = {}
         self._poisoned = False
+        #: The owning store's version counter at the last maintenance pass.
+        #: The provider serves this index only while it matches the store's
+        #: current version — the version-keyed freshness check that replaced
+        #: the old reliance on one immutable bag object per store state.
+        self.version = 0
         #: Probes answered by this index — including empty-bucket answers:
         #: "no matching element" is an answer the index served, sparing the
         #: same per-evaluation rebuild a non-empty one would have.
@@ -171,6 +187,7 @@ class HashIndex:
             "rebuilds": self.rebuilds,
             "deltas_applied": self.deltas_applied,
             "poisoned": self._poisoned,
+            "version": self.version,
         }
 
     def __repr__(self) -> str:

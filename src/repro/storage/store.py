@@ -8,13 +8,23 @@ nested relations and one for the shredded flat mirror) and hands out the
 :class:`IndexProvider` through which the compiled pipeline probes; a
 :class:`DictionaryStore` owns the shredded input dictionaries.
 
-Every mutation flows through :meth:`RelationStore.apply_delta`, which unions
-the delta into the bag *and* folds it into every index — one ``O(|Δ|)`` pass,
-so indexes never need rescanning the base.  Because bags are immutable, the
-provider can verify with a single identity check that an index still
-describes the exact bag a compiled query is reading; any mismatch (a caller
-evaluating against a hand-built post-update environment, say) silently falls
-back to the per-evaluation build, keeping the interpreter-faithful semantics.
+Every mutation flows through :meth:`RelationStore.apply_delta`, which folds
+the delta into the store's transient :class:`~repro.bag.builder.BagBuilder`
+*and* into every index — one ``O(|Δ|)`` pass that never copies the base
+dict, so a one-tuple update to a million-tuple relation costs one-tuple
+work.  The store is copy-on-write: the immutable :class:`~repro.bag.bag.Bag`
+the rest of the system sees is frozen **lazily**, only when someone asks for
+:attr:`RelationStore.bag`, and freezing shares the builder's dict (O(1));
+the next delta copies the dict only if that snapshot is still referenced
+somewhere (per-update evaluation environments normally die before the store
+mutates, so the common case stays in place).  Every mutation bumps a
+**version counter**; indexes record the version they reflect, and the
+provider serves an index only when (a) the index's version matches the
+store's and (b) the caller's bag is the store's current frozen snapshot —
+the version replaces the old reliance on one immutable bag object per store
+state, and any mismatch (a hand-built post-update environment, an escaped
+evaluation context) silently falls back to the per-evaluation build,
+keeping the interpreter-faithful snapshot semantics.
 
 Setting the environment variable :data:`REPRO_NO_INDEX` (to any non-empty
 value) disables persistent indexes outright: no registration happens while
@@ -31,7 +41,9 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.bag.bag import Bag, EMPTY_BAG
+from repro.bag.builder import REPRO_NO_BUILDER, BagBuilder, _getrefcount
 from repro.dictionaries import MaterializedDict
+from repro.labels import Label
 from repro.storage.index import HashIndex, Paths
 
 __all__ = [
@@ -78,34 +90,73 @@ def forced_no_index(disabled: bool = True) -> Iterator[None]:
 
 
 class RelationStore:
-    """One relation's bag and the persistent indexes registered against it."""
+    """One relation's transient contents and its persistent indexes.
 
-    __slots__ = ("name", "_bag", "_indexes")
+    The store owns a :class:`~repro.bag.builder.BagBuilder` and applies
+    deltas to it in place (``O(|Δ|)``); :attr:`bag` lazily freezes the
+    canonical immutable snapshot (O(1), copy-on-write — see the module
+    docstring).  :attr:`version` counts mutations; every index records the
+    version it reflects, which is what the provider's freshness check keys
+    off.
+    """
+
+    __slots__ = ("name", "_builder", "_version", "_indexes")
 
     def __init__(self, name: str, bag: Bag = EMPTY_BAG) -> None:
         self.name = name
-        self._bag = bag
+        self._builder = BagBuilder.from_bag(bag)
+        self._version = 0
         self._indexes: Dict[Paths, HashIndex] = {}
 
     # ------------------------------------------------------------------ #
     @property
     def bag(self) -> Bag:
-        """The current contents (immutable; replaced on every mutation)."""
-        return self._bag
+        """The current contents as an immutable bag (lazily frozen snapshot).
+
+        Repeated reads without intervening mutation return the same object;
+        the first mutation after a read copies the dict only if the snapshot
+        is still referenced elsewhere.
+        """
+        return self._builder.freeze()
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every applied delta or replacement."""
+        return self._version
+
+    @property
+    def snapshot_freezes(self) -> int:
+        """How many distinct immutable snapshots this store materialized."""
+        return self._builder.freezes
+
+    def current_snapshot(self) -> Optional[Bag]:
+        """The live frozen snapshot, or ``None`` if the store mutated since.
+
+        Used by the provider's correspondence check; deliberately does *not*
+        force a freeze.
+        """
+        return self._builder.frozen
 
     def apply_delta(self, delta: Bag) -> None:
-        """Union ``delta`` into the bag and fold it into every index."""
+        """Fold ``delta`` into the builder and every index — ``O(|Δ|)``."""
         if delta.is_empty():
             return
-        self._bag = self._bag.union(delta)
+        self._version += 1
+        self._builder.apply_bag(delta)
         for index in self._indexes.values():
             index.apply(delta)
+            index.version = self._version
 
     def replace(self, bag: Bag) -> None:
         """Swap in a freshly computed bag; every index is rebuilt."""
-        self._bag = bag
+        self._version += 1
+        freezes = self._builder.freezes
+        self._builder = BagBuilder.from_bag(bag)
+        # The freeze counter is cumulative per store, not per builder.
+        self._builder.freezes = freezes
         for index in self._indexes.values():
             index.rebuild(bag)
+            index.version = self._version
 
     def vacuum(self) -> int:
         """Re-validate poisoned indexes against the current bag.
@@ -119,7 +170,8 @@ class RelationStore:
         revalidated = 0
         for index in self._indexes.values():
             if index.poisoned:
-                index.rebuild(self._bag)
+                index.rebuild(self.bag)
+                index.version = self._version
                 if not index.poisoned:
                     revalidated += 1
         return revalidated
@@ -132,7 +184,8 @@ class RelationStore:
         key = tuple(tuple(path) for path in paths)
         index = self._indexes.get(key)
         if index is None:
-            index = self._indexes[key] = HashIndex(key, self._bag)
+            index = self._indexes[key] = HashIndex(key, self.bag)
+            index.version = self._version
         return index
 
     def index_for(self, paths: Paths) -> Optional[HashIndex]:
@@ -150,15 +203,17 @@ class RelationStore:
     def describe(self) -> Dict[str, Any]:
         return {
             "relation": self.name,
-            "cardinality": self._bag.cardinality(),
-            "distinct": self._bag.distinct_size(),
+            "cardinality": self._builder.cardinality(),
+            "distinct": self._builder.distinct_size(),
+            "version": self._version,
+            "snapshot_freezes": self._builder.freezes,
             "indexes": [index.describe() for index in self._indexes.values()],
         }
 
     def __repr__(self) -> str:
         return (
-            f"RelationStore({self.name!r}, {self._bag.distinct_size()} distinct, "
-            f"{len(self._indexes)} indexes)"
+            f"RelationStore({self.name!r}, {self._builder.distinct_size()} distinct, "
+            f"v{self._version}, {len(self._indexes)} indexes)"
         )
 
 
@@ -166,10 +221,14 @@ class IndexProvider:
     """The compiled pipeline's window onto a manager's persistent indexes.
 
     :meth:`probe` answers only when the registered index provably describes
-    the bag the query is reading (``store.bag is source_bag`` — exact for
-    immutable bags) and is not poisoned; every other case returns ``None``
-    and the pipeline rebuilds per evaluation, recording the rebuild here so
-    hit/rebuild accounting stays truthful.
+    the bag the query is reading: the index's recorded **version** must
+    match the store's current version (freshness — the check that replaced
+    the old one-immutable-bag-per-state identity test) *and* the caller's
+    bag must be the store's current frozen snapshot (correspondence — a
+    hand-built or stale environment binding fails it).  The correspondence
+    check peeks at the live snapshot without forcing a freeze.  Every other
+    case returns ``None`` and the pipeline rebuilds per evaluation,
+    recording the rebuild here so hit/rebuild accounting stays truthful.
     """
 
     __slots__ = ("_manager",)
@@ -181,10 +240,10 @@ class IndexProvider:
         if os.environ.get(REPRO_NO_INDEX):
             return None
         store = self._manager.get(name)
-        if store is None or store.bag is not source_bag:
+        if store is None or store.current_snapshot() is not source_bag:
             return None
         index = store.index_for(paths)
-        if index is None or index.poisoned:
+        if index is None or index.poisoned or index.version != store.version:
             return None
         return index
 
@@ -270,50 +329,117 @@ class StorageManager:
 
 
 class DictionaryStore:
-    """The shredded input dictionaries, with delta-merge application.
+    """The shredded input dictionaries, with in-place delta-merge application.
 
-    Dictionaries are pointwise bag maps (label → bag); applying a delta adds
-    entry bags pointwise and materializes the result, the same merge the
-    database previously performed inline.
+    Dictionaries are pointwise bag maps (label → bag).  The store owns one
+    mutable entries dict per dictionary and folds deltas into it pointwise —
+    ``O(|Δ| labels)`` per application, never a full-map rebuild.  Readers
+    get a lazily frozen :class:`~repro.dictionaries.MaterializedDict` view
+    that adopts the entries dict without copying; the next delta after a
+    read copies the map only if that view is still referenced somewhere
+    (the same copy-on-write discipline as
+    :class:`~repro.bag.builder.BagBuilder`).
     """
 
-    __slots__ = ("_dicts",)
+    __slots__ = ("_entries", "_frozen")
 
     def __init__(self) -> None:
-        self._dicts: Dict[str, MaterializedDict] = {}
+        self._entries: Dict[str, Dict[Label, Bag]] = {}
+        self._frozen: Dict[str, Optional[MaterializedDict]] = {}
 
     def set(self, name: str, dictionary: MaterializedDict) -> None:
-        self._dicts[name] = dictionary
+        if not isinstance(dictionary, MaterializedDict):
+            raise TypeError("DictionaryStore.set requires a MaterializedDict")
+        # Adopt the given dictionary's entries as the frozen-shared state;
+        # the first delta copies only if the caller still holds it.
+        self._entries[name] = dictionary._entries
+        self._frozen[name] = dictionary
 
     def get(self, name: str, default: Optional[MaterializedDict] = None):
-        if default is None:
-            return self._dicts.get(name)
-        return self._dicts.get(name, default)
+        entries = self._entries.get(name)
+        if entries is None:
+            return default
+        return self._freeze(name, entries)
+
+    def _freeze(self, name: str, entries: Dict[Label, Bag]) -> MaterializedDict:
+        frozen = self._frozen.get(name)
+        if frozen is None:
+            frozen = self._frozen[name] = MaterializedDict._adopt(entries)
+        return frozen
+
+    def _writable(self, name: str) -> Dict[Label, Bag]:
+        entries = self._entries.get(name)
+        if entries is None:
+            entries = self._entries[name] = {}
+            self._frozen[name] = None
+            return entries
+        if os.environ.get(REPRO_NO_BUILDER):
+            # Full-copy escape hatch: reproduce the seed's rebuild-per-merge.
+            self._frozen[name] = None
+            entries = self._entries[name] = dict(entries)
+            return entries
+        frozen = self._frozen.get(name)
+        if frozen is not None:
+            self._frozen[name] = None
+            # As in BagBuilder._writable: the entries dict is checked too,
+            # so an iterator over a handed-out view keeps its snapshot
+            # (references when unshared: our _entries value slot, the frozen
+            # view's attribute, the local binding, and getrefcount's
+            # argument = 4).
+            if (
+                _getrefcount is None
+                or _getrefcount(frozen) > 2
+                or _getrefcount(entries) > 4
+            ):
+                entries = self._entries[name] = dict(entries)
+        return entries
 
     def apply_delta(self, name: str, delta) -> None:
-        existing = self._dicts.get(name, MaterializedDict({}))
-        merged = existing.add(delta)
+        if isinstance(delta, MaterializedDict):
+            if len(delta) == 0:
+                # Keep the name registered (an empty merge used to create
+                # the entry) but touch nothing.
+                if name not in self._entries:
+                    self._entries[name] = {}
+                    self._frozen[name] = None
+                return
+            entries = self._writable(name)
+            for label, bag in delta.items():
+                existing = entries.get(label)
+                # Labels stay in the support even when their bags cancel to
+                # empty (``supp([l ↦ ∅]) = {l}``), matching the pointwise
+                # ``⊎`` of Section 5.2 exactly.
+                entries[label] = bag if existing is None else existing.union(bag)
+            return
+        # Non-materialized deltas (intensional / lazy combinations) go
+        # through the dictionary algebra and re-materialize, as before.
+        existing_dict = self.get(name, MaterializedDict({}))
+        merged = existing_dict.add(delta)
         if not isinstance(merged, MaterializedDict):
             merged = merged.materialize(merged.support() or ())
-        self._dicts[name] = merged
+        self._entries[name] = merged._entries
+        self._frozen[name] = merged
 
     def __contains__(self, name: str) -> bool:
-        return name in self._dicts
+        return name in self._entries
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._dicts))
+        return tuple(sorted(self._entries))
 
     def as_mapping(self) -> Dict[str, MaterializedDict]:
-        return dict(self._dicts)
+        return {
+            name: self._freeze(name, entries)
+            for name, entries in self._entries.items()
+        }
 
     def report(self) -> Dict[str, Any]:
         return {
             "kind": "dictionaries",
             "stores": [
-                {"dictionary": name, "labels": len(dictionary)}
-                for name, dictionary in sorted(self._dicts.items())
+                {"dictionary": name, "labels": len(entries)}
+                for name, entries in sorted(self._entries.items())
             ],
         }
 
     def __repr__(self) -> str:
-        return f"DictionaryStore({len(self._dicts)} dictionaries)"
+        return f"DictionaryStore({len(self._entries)} dictionaries)"

@@ -210,3 +210,21 @@ class TestDatabase:
             flat_relation_name("R"),
             input_dict_name("R", ()),
         )
+
+
+class TestFlatDeltaValidation:
+    def test_malformed_flat_delta_is_rejected(self):
+        """The shredder bypass for flat relations must keep the shredder's
+        shape validation: a wrong-arity tuple fails at apply time, not as a
+        confusing downstream projection error."""
+        from repro.errors import ShreddingError
+
+        database = Database()
+        database.register("M", MOVIE_SCHEMA, Bag(PAPER_MOVIES))
+        with pytest.raises(ShreddingError):
+            database.apply_update(Update(relations={"M": Bag([("bad",)])}))
+        with pytest.raises(ShreddingError):
+            database.apply_update(Update(relations={"M": Bag(["not-a-tuple"])}))
+        # Well-formed deltas still pass through without the shredder.
+        database.apply_update(Update(relations={"M": Bag([("a", "g", "d")])}))
+        assert database.relation("M").multiplicity(("a", "g", "d")) == 1

@@ -132,7 +132,8 @@ class TestRecursiveIVMView:
         database.register("R", NESTED_SCHEMA, Bag([Bag(["a"])]))
         recursive = RecursiveIVMView(selfjoin_query, database)
         database.apply_update(Update(relations={"R": Bag([Bag(["b"])])}))
-        materialized = recursive._materializations["__mat0"].value
+        # The materialization lives in a transient builder; freeze to compare.
+        materialized = recursive._materializations["__mat0"].value.freeze()
         assert materialized == Bag(["a", "b"])
 
     def test_flat_query_with_no_materializations_still_works(self, movie_db):

@@ -50,6 +50,26 @@ class TestDepthAndSize:
         with pytest.raises(TypeError):
             value_size({"not": "a value"})
 
+    def test_deep_nesting_beyond_the_recursion_limit(self):
+        """Regression: the helpers are iterative (explicit stacks), so a
+        workload value nested far deeper than Python's recursion limit must
+        not raise RecursionError."""
+        import sys
+
+        depth = sys.getrecursionlimit() * 3
+        value = "leaf"
+        for _ in range(depth):
+            value = Bag([value])
+        assert is_nested_value(value)
+        assert value_depth(value) == depth
+        assert value_size(value) == depth + 1
+        # Tuples interleaved with bags stress both branches of the walk.
+        value = "leaf"
+        for _ in range(depth):
+            value = (Bag([value]),)
+        assert is_nested_value(value)
+        assert value_depth(value) == depth
+
 
 class TestNestedCardinalities:
     def test_paper_example(self):
