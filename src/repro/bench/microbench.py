@@ -1,6 +1,6 @@
-"""Micro-benchmarks: compiled, indexed, and O(|Δ|)-apply latency (BENCH json).
+"""Micro-benchmarks: compiled, indexed, O(|Δ|)-apply and shard latency (BENCH json).
 
-Three update-latency benchmarks share this CLI:
+Four update-latency benchmarks share this CLI:
 
 * ``--benchmark compile`` (the default) maintains the selective genre
   self-join with the classic first-order strategy, once with the compiled
@@ -22,11 +22,26 @@ Three update-latency benchmarks share this CLI:
   and the *end-to-end* ``engine.apply`` latency with a maintained identity
   view.  A size sweep shows the builder path near-flat in ``|DB|`` while the
   full-copy path grows linearly.
+* ``--benchmark shard`` measures **multi-view apply under concurrent
+  readers**: one relation per view, four delta-proportional views, and a
+  serving session that retains a consistent snapshot-environment pair across
+  every write (the ROADMAP's serve-while-writing scenario).  The retained
+  snapshots force the store's copy-on-write on every update: the serial
+  single-shard escape hatch (``REPRO_SHARDS=1`` + ``REPRO_PARALLEL_VIEWS=0``,
+  the pre-PR-5 behavior) re-copies each whole relation dict — ``O(|DB|)``
+  per write — while sharded stores un-share only the touched shards
+  (``O(touched · |DB|/N)``) and the scheduler shares one snapshot-frozen
+  environment family across all views.  Sweeps over shard count, worker
+  count and database size show apply latency improving with shard count;
+  worker counts > 1 document the thread-pool dispatch cost on single-CPU
+  hosts (the GIL serializes pure-Python refreshes, so overlap only pays on
+  multi-core machines).
 
 All of them verify that the compared runs produced identical contents.
 JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
 ``benchmarks/results/storage_index.json`` /
-``benchmarks/results/update_apply.json`` by default (the committed copies
+``benchmarks/results/update_apply.json`` /
+``benchmarks/results/shard_scale.json`` by default (the committed copies
 are regenerated from exactly these commands).
 """
 
@@ -41,10 +56,12 @@ from typing import Optional, Sequence
 
 from repro.bag.bag import Bag
 from repro.bag.builder import BagBuilder, forced_full_copy
+from repro.engine.scheduler import forced_parallel_views
+from repro.ivm.updates import Update
 from repro.nrc import ast
 from repro.nrc import builders as build
 from repro.nrc.compile import forced_interpretation
-from repro.storage import RelationStore, forced_no_index
+from repro.storage import RelationStore, forced_no_index, forced_shards, resolve_shard_count
 from repro.workloads import (
     FEATURED_SCHEMA,
     MOVIE_SCHEMA,
@@ -56,7 +73,13 @@ from repro.workloads import (
     movies_engine,
 )
 
-__all__ = ["run_selfjoin_latency", "run_index_latency", "run_apply_latency", "main"]
+__all__ = [
+    "run_selfjoin_latency",
+    "run_index_latency",
+    "run_apply_latency",
+    "run_shard_scale",
+    "main",
+]
 
 
 def _run_once(size: int, batch: int, updates: int, interpreted: bool):
@@ -338,10 +361,280 @@ def run_apply_latency(
     }
 
 
+# --------------------------------------------------------------------------- #
+# --benchmark shard: multi-view apply under concurrent readers
+# --------------------------------------------------------------------------- #
+def serving_apply_run(
+    shards: Optional[int],
+    workers: Optional[int],
+    size: int = 2000,
+    batch: int = 1,
+    updates: int = 80,
+    views: int = 4,
+    interpreted: bool = False,
+):
+    """The shard benchmark's serving workload; also reused by the CI smoke check.
+
+    One ``size``-row relation per view, one delta-proportional identity view
+    over each (classic and recursive strategies alternating — fully
+    independent views, the shape concurrent refresh targets), and a serving
+    session that retains a consistent environment pair (nested + shredded
+    mirror — what a read replica answers queries from) across every write.
+    Each round applies one combined update touching all relations, timed
+    end-to-end through ``engine.apply``.  Returns
+    ``(median_apply_seconds, results, engine)``.
+
+    The retained snapshots are what expose the serial single-shard path's
+    O(|DB|) term: every write must copy-on-write each touched relation's
+    whole dict (nested store and flat mirror both), while sharded stores
+    un-share only the touched shards.  The timed views are deliberately
+    delta-proportional (O(|Δ|) refreshes): a naive or intensional-nested
+    view would add an O(|DB|) refresh term of its own on *both* legs and
+    mask the apply-path signal this benchmark isolates.  Strategy
+    equivalence across all four backends is the smoke check's separate
+    battery.
+    """
+    views = max(1, views)
+    strategies = ("classic", "recursive")
+    with forced_shards(shards), forced_parallel_views(workers), forced_interpretation(
+        interpreted
+    ):
+        engine = movies_engine(generate_movies(size, seed=7), expected_update_size=batch)
+        names = ["M"] + ["M%d" % position for position in range(1, views)]
+        streams = []
+        handles = []
+        for position, name in enumerate(names):
+            # Streams derive from the generated bag, not the stored relation:
+            # store iteration order is partitioning-dependent and must not
+            # leak into the random victim selection.
+            rows = generate_movies(size, seed=7 + position)
+            if position > 0:
+                engine.dataset(name, MOVIE_SCHEMA, rows)
+            streams.append(
+                list(
+                    movie_update_stream(
+                        updates + 3,
+                        batch,
+                        existing=rows,
+                        deletion_ratio=0.25,
+                        seed=13 + position,
+                        relation=name,
+                    )
+                )
+            )
+            query = build.for_in("x", ast.Relation(name, MOVIE_SCHEMA), ast.SngVar("x"))
+            handles.append(
+                engine.view(
+                    "catalog_%s" % name,
+                    query,
+                    strategy=strategies[position % len(strategies)],
+                )
+            )
+        database = engine.database
+        reader = None
+        latencies = []
+        for round_ in range(updates + 3):
+            # The serving reader: holds the latest consistent snapshot pair
+            # across the write (and is refreshed after it, like a session
+            # cache).  Without sharding, this retention forces a full-dict
+            # copy-on-write in every store the write touches.
+            reader = (database.environment(), database.shredded_environment())
+            combined = Update(
+                relations={
+                    name: streams[position][round_].relations[name]
+                    for position, name in enumerate(names)
+                }
+            )
+            started = time.perf_counter()
+            engine.apply(combined)
+            elapsed = time.perf_counter() - started
+            if round_ > 2:  # warm-up: first rounds pay one-off COW un-sharing
+                latencies.append(elapsed)
+        del reader
+        latencies.sort()
+        results = tuple(handle.result() for handle in handles)
+        return latencies[len(latencies) // 2], results, engine
+
+
+def _best_serving_run(trials: int, *args, **kwargs):
+    """Best-of-``trials`` median apply latency for one configuration.
+
+    The host's clock speed drifts between runs (shared single-CPU boxes);
+    the *minimum* of per-run medians is the standard noise-robust estimator
+    (external load only ever adds time).  Results are also checked identical
+    across trials.
+    """
+    best_seconds = None
+    results = None
+    engine = None
+    for _ in range(max(1, trials)):
+        seconds, trial_results, trial_engine = serving_apply_run(*args, **kwargs)
+        if results is None:
+            results, engine = trial_results, trial_engine
+        elif trial_results != results:
+            raise AssertionError("serving workload diverged between identical trials")
+        if best_seconds is None or seconds < best_seconds:
+            best_seconds = seconds
+    return best_seconds, results, engine
+
+
+def run_shard_scale(
+    size: int = 2000,
+    batch: int = 1,
+    updates: int = 60,
+    views: int = 4,
+    trials: int = 3,
+    shard_sweep: Sequence[int] = (1, 2, 4, 8, 16),
+    worker_sweep: Sequence[int] = (0, 1, 2),
+    size_sweep: Sequence[int] = (500, 2000, 8000),
+) -> dict:
+    """Measure multi-view apply latency across shard count, workers and size.
+
+    The headline compares the default configuration (``REPRO_SHARDS``
+    default, auto workers) against the serial single-shard escape hatch
+    (``REPRO_SHARDS=1`` + ``REPRO_PARALLEL_VIEWS=0`` — the pre-sharding
+    behavior) on the same serving workload, and verifies every configuration
+    produces bit-identical view results, including against the interpreter.
+    """
+    serial_seconds, serial_results, _ = _best_serving_run(
+        trials, 1, 0, size=size, batch=batch, updates=updates, views=views
+    )
+    # Resolved under the same un-pinned hatch the "default" legs run with:
+    # forced_shards(None) pops REPRO_SHARDS, so an ambient setting must not
+    # leak into the label of a configuration that never used it.
+    with forced_shards(None):
+        default_shards = resolve_shard_count(None)
+    default_seconds, default_results, engine = _best_serving_run(
+        trials, None, None, size=size, batch=batch, updates=updates, views=views
+    )
+    _, interpreted_results, _ = serving_apply_run(
+        None, None, size=size, batch=batch, updates=updates, views=views, interpreted=True
+    )
+    if default_results != serial_results or default_results != interpreted_results:
+        raise AssertionError(
+            "sharded, serial single-shard and interpreted runs diverged on the shard benchmark"
+        )
+
+    shard_rows = []
+    for shards in shard_sweep:
+        seconds, results, _ = _best_serving_run(
+            trials, shards, None, size=size, batch=batch, updates=updates, views=views
+        )
+        if results != serial_results:
+            raise AssertionError(f"sharded run diverged at shards={shards}")
+        shard_rows.append(
+            {
+                "shards": shards,
+                "median_apply_seconds": seconds,
+                "speedup_vs_serial_single_shard": serial_seconds / seconds,
+            }
+        )
+
+    worker_rows = []
+    for workers in worker_sweep:
+        seconds, results, _ = _best_serving_run(
+            trials, None, workers, size=size, batch=batch, updates=updates, views=views
+        )
+        if results != serial_results:
+            raise AssertionError(f"parallel run diverged at workers={workers}")
+        worker_rows.append(
+            {
+                "workers": workers,
+                "mode": "serial-legacy" if workers == 0 else (
+                    "shared-snapshot inline" if workers == 1 else f"threads({workers})"
+                ),
+                "median_apply_seconds": seconds,
+                "speedup_vs_serial_single_shard": serial_seconds / seconds,
+            }
+        )
+
+    size_rows = []
+    for n in size_sweep:
+        base_seconds, base_results, _ = _best_serving_run(
+            trials, 1, 0, size=n, batch=batch, updates=updates, views=views
+        )
+        shard_seconds, shard_results, _ = _best_serving_run(
+            trials, None, None, size=n, batch=batch, updates=updates, views=views
+        )
+        if base_results != shard_results:
+            raise AssertionError(f"sharded run diverged at n={n}")
+        size_rows.append(
+            {
+                "n": n,
+                "serial_single_shard_median_seconds": base_seconds,
+                "sharded_median_seconds": shard_seconds,
+                "speedup": base_seconds / shard_seconds,
+            }
+        )
+
+    view_rows = []
+    for view_count in (1, 2, views):
+        base_seconds, _, _ = _best_serving_run(
+            trials, 1, 0, size=size, batch=batch, updates=updates, views=view_count
+        )
+        shard_seconds, _, _ = _best_serving_run(
+            trials, None, None, size=size, batch=batch, updates=updates, views=view_count
+        )
+        view_rows.append(
+            {
+                "views": view_count,
+                "serial_single_shard_median_seconds": base_seconds,
+                "sharded_median_seconds": shard_seconds,
+                "speedup": base_seconds / shard_seconds,
+            }
+        )
+
+    report = engine.storage_report()
+    nested_stores = {
+        entry["relation"]: {
+            "shards": entry["shards"],
+            "version": entry["version"],
+            "snapshot_freezes": entry["snapshot_freezes"],
+        }
+        for entry in report["nested"]["stores"]
+    }
+    return {
+        "benchmark": "shard_scale_multi_view_apply",
+        "workload": (
+            "one %d-row relation per view, %d delta-proportional identity views "
+            "(classic/recursive alternating), combined updates touching every "
+            "relation (d=%d per relation) with a reader session retaining a "
+            "consistent environment pair across every write" % (size, views, batch)
+        ),
+        "n": size,
+        "d": batch,
+        "updates": updates,
+        "views": views,
+        "default_shards": default_shards,
+        "serial_single_shard": {
+            "config": "REPRO_SHARDS=1 REPRO_PARALLEL_VIEWS=0 (pre-sharding behavior)",
+            "median_apply_seconds": serial_seconds,
+        },
+        "sharded_parallel": {
+            "config": "default shards, auto workers",
+            "median_apply_seconds": default_seconds,
+            "speedup_vs_serial_single_shard": serial_seconds / default_seconds,
+        },
+        "shard_sweep": shard_rows,
+        "worker_sweep": worker_rows,
+        "size_sweep": size_rows,
+        "view_sweep": view_rows,
+        "storage_report_nested_stores": nested_stores,
+        "results_identical": True,
+        "note": (
+            "single-CPU host: worker counts > 1 add thread dispatch without "
+            "overlap (GIL); the shard-count gains come from per-shard "
+            "copy-on-write under retained reader snapshots plus the shared "
+            "snapshot-environment refresh"
+        ),
+    }
+
+
 _BENCHMARKS = {
     "compile": (run_selfjoin_latency, "benchmarks/results/compile_selfjoin.json"),
     "index": (run_index_latency, "benchmarks/results/storage_index.json"),
     "apply": (run_apply_latency, "benchmarks/results/update_apply.json"),
+    "shard": (run_shard_scale, "benchmarks/results/shard_scale.json"),
 }
 
 

@@ -21,6 +21,17 @@ plus per-evaluation index rebuilds), and with the interpreter.  All three
 must produce identical view contents and the indexed+builder path must beat
 the full-rebuild path on wall-clock.
 
+A fourth battery exercises **sharded stores and concurrent multi-view
+refresh**: every strategy (naive/classic/recursive/nested) maintains its
+view under sharded stores with thread-pool refresh (``REPRO_PARALLEL_VIEWS=2``),
+under the serial single-shard escape hatch (``REPRO_SHARDS=1`` +
+``REPRO_PARALLEL_VIEWS=0`` — the pre-sharding behavior), and under the
+interpreter, and all three must agree bag-for-bag.  The perf half runs the
+shard benchmark's serving workload (n=2000, 4 views, a reader retaining
+consistent snapshots across writes) and requires the sharded+parallel
+configuration to beat the serial single-shard path on wall-clock — the
+committed ``benchmarks/results/shard_scale.json`` records the full sweep.
+
 Exit status is non-zero on any divergence, which is what the CI benchmark
 smoke step keys on.  Run with ``python -m repro.bench.smoke``.
 """
@@ -34,13 +45,14 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bag.bag import Bag
 from repro.bag.builder import forced_full_copy
+from repro.engine.scheduler import forced_parallel_views
 from repro.ivm import Update
 from repro.nrc import ast
 from repro.nrc import builders as build
 from repro.nrc.compile import forced_interpretation
 from repro.nrc.types import BASE, bag_of
 from repro.shredding.shred_database import input_dict_name
-from repro.storage import forced_no_index
+from repro.storage import forced_no_index, forced_shards
 from repro.workloads import (
     FEATURED_SCHEMA,
     MOVIE_SCHEMA,
@@ -241,6 +253,83 @@ def _run_apply_check(report: dict) -> None:
         report["divergences"] += 1
 
 
+# --------------------------------------------------------------------------- #
+# Sharded stores + concurrent refresh: sharded ≡ serial single-shard ≡ interpreter
+# --------------------------------------------------------------------------- #
+def _run_shard_checks(report: dict) -> None:
+    """Every strategy under sharded+threaded refresh vs the escape hatches.
+
+    Equivalence half: each of the four strategies maintains its view with
+    sharded stores and a two-worker refresh pool, with the serial
+    single-shard hatch, and with the interpreter — all three must agree.
+    Perf half: the shard benchmark's serving workload (n=2000, 4 views,
+    reader retaining consistent snapshots across writes) where the
+    sharded+parallel configuration must beat the serial single-shard path.
+    """
+    equivalence_runs = [
+        (f"sharded genre self-join / {strategy}", _genre_selfjoin_run(strategy))
+        for strategy in ("naive", "classic", "recursive")
+    ]
+    equivalence_runs.append(("sharded related movies / nested", _related_nested_run()))
+    for name, run in equivalence_runs:
+        with forced_shards(4), forced_parallel_views(2), forced_interpretation(False):
+            sharded_mode, sharded_result = run()
+        with forced_shards(1), forced_parallel_views(0), forced_interpretation(False):
+            serial_mode, serial_result = run()
+        with forced_shards(4), forced_parallel_views(2), forced_interpretation(True):
+            _, interpreted_result = run()
+        identical = (
+            sharded_result == serial_result and sharded_result == interpreted_result
+        )
+        passed = identical and sharded_mode == "compiled"
+        report["checks"].append(
+            {
+                "name": name,
+                "modes": "sharded+threads(2) / serial single-shard / interpreted",
+                "result_cardinality": sharded_result.cardinality(),
+                "identical": identical,
+                "passed": passed,
+            }
+        )
+        if not passed:
+            report["divergences"] += 1
+
+    from repro.bench.microbench import _best_serving_run
+
+    serial_seconds, serial_results, _ = _best_serving_run(
+        2, 1, 0, size=2000, batch=1, updates=40, views=4
+    )
+    sharded_seconds, sharded_results, engine = _best_serving_run(
+        2, None, None, size=2000, batch=1, updates=40, views=4
+    )
+    _, interpreted_results, _ = _best_serving_run(
+        1, None, None, size=2000, batch=1, updates=40, views=4, interpreted=True
+    )
+    identical = sharded_results == serial_results == interpreted_results
+    faster = sharded_seconds < serial_seconds
+    shard_counts = {
+        entry["relation"]: entry["shards"]
+        for entry in engine.storage_report()["nested"]["stores"]
+    }
+    passed = identical and faster
+    report["checks"].append(
+        {
+            "name": "shard apply / sharded+parallel vs serial single-shard vs interpreted",
+            "modes": "default shards + auto workers / REPRO_SHARDS=1 + REPRO_PARALLEL_VIEWS=0 / interpreted",
+            "workload": "serving reads retained across writes, n=2000, 4 views",
+            "serial_single_shard_median_apply_seconds": serial_seconds,
+            "sharded_median_apply_seconds": sharded_seconds,
+            "speedup": serial_seconds / sharded_seconds if sharded_seconds else None,
+            "sharded_beats_serial_single_shard": faster,
+            "store_shards": shard_counts,
+            "identical": identical,
+            "passed": passed,
+        }
+    )
+    if not passed:
+        report["divergences"] += 1
+
+
 def _in_mode(interpreted: bool, run: Callable[[], Tuple[str, Bag]]) -> Tuple[str, Bag]:
     with forced_interpretation(interpreted):
         return run()
@@ -304,6 +393,7 @@ def run_smoke() -> dict:
         if not passed:
             report["divergences"] += 1
     _run_apply_check(report)
+    _run_shard_checks(report)
     return report
 
 

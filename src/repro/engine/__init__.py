@@ -20,6 +20,12 @@ from repro.engine.registry import (
     get_backend,
     register_backend,
 )
+from repro.engine.scheduler import (
+    REPRO_PARALLEL_VIEWS,
+    ViewRefreshScheduler,
+    forced_parallel_views,
+    resolve_view_workers,
+)
 
 __all__ = [
     "Engine",
@@ -32,7 +38,11 @@ __all__ = [
     "BackendRegistry",
     "BackendSpec",
     "DEFAULT_REGISTRY",
+    "REPRO_PARALLEL_VIEWS",
+    "ViewRefreshScheduler",
     "backend_names",
+    "forced_parallel_views",
     "get_backend",
     "register_backend",
+    "resolve_view_workers",
 ]

@@ -110,8 +110,17 @@ class Engine:
         *,
         expected_update_size: int = 1,
         registry: Optional[BackendRegistry] = None,
+        shards: Optional[int] = None,
+        parallel_views: Optional[int] = None,
     ) -> None:
-        self._database = Database()
+        """``shards`` partitions every relation store (``None`` defers to
+        ``REPRO_SHARDS`` / the default; ``1`` is the unsharded escape hatch);
+        ``parallel_views`` fixes the view-refresh worker count (``None``
+        defers to ``REPRO_PARALLEL_VIEWS`` / auto, ``0`` the legacy serial
+        per-view refresh, ``N > 1`` a thread pool).  See ``docs/api.md``,
+        "Sharding & parallel apply".
+        """
+        self._database = Database(shards=shards, parallel_views=parallel_views)
         self._registry = registry if registry is not None else DEFAULT_REGISTRY
         self._expected_update_size = expected_update_size
         self._views: Dict[str, ViewHandle] = {}

@@ -86,6 +86,13 @@ class MaintenancePlan:
     #: (``"M[.1] (persistent)"``) or the pipeline rebuilds per evaluation.
     #: Filled in by the facade once the backend view exists.
     indexes: Tuple[str, ...] = ()
+    #: Relation-store shard count at planning time (``1`` = unsharded hatch).
+    shards: int = 1
+    #: How independent views are refreshed per update: ``"serial-legacy"``,
+    #: ``"shared-snapshot inline"``, or ``"threads(N)"``.
+    parallel_apply: str = "serial-legacy"
+    #: Rendered per-update application cost unit (``"O(|Δ|/N) per shard"``).
+    apply_unit: str = "O(|Δ|)"
 
     def estimate_for(self, strategy: str) -> Optional[StrategyEstimate]:
         """The estimate recorded for a given backend name (``None`` if absent)."""
@@ -105,6 +112,8 @@ class MaintenancePlan:
             f"  strategy : {self.strategy} (requested: {self.requested})",
             f"  execution: {self.execution}",
             f"  indexes  : {', '.join(self.indexes) if self.indexes else 'none'}",
+            f"  storage  : {self.shards} shard(s), apply {self.apply_unit}, "
+            f"view refresh {self.parallel_apply}",
             f"  reason   : {self.reason}",
             f"  assumed update size d = {self.expected_update_size}",
             "  candidates:",

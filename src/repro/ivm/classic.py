@@ -32,6 +32,8 @@ __all__ = ["ClassicIVMView"]
 class ClassicIVMView(View):
     """Materialized view maintained with a single, first-order delta query."""
 
+    accepts_refresh_context = True
+
     def __init__(
         self,
         query: Expr,
@@ -76,14 +78,23 @@ class ClassicIVMView(View):
     def result(self) -> Bag:
         return self._result.freeze()
 
-    def on_update(self, update: Update, shredded_delta: ShreddedDelta) -> None:
+    def on_update(self, update: Update, shredded_delta: ShreddedDelta, context=None) -> None:
         counter = OpCounter()
         started = self._now()
-        deltas = {
-            (name, 1): bag for name, bag in update.relations.items() if not bag.is_empty()
-        }
+        if context is not None:
+            deltas = context.relation_deltas
+        else:
+            deltas = {
+                (name, 1): bag for name, bag in update.relations.items() if not bag.is_empty()
+            }
         if deltas:
-            environment = self._database.environment(deltas)
+            # The shared context's environment is read-only here: the delta
+            # query binds nothing view-local.
+            environment = (
+                context.delta_environment()
+                if context is not None
+                else self._database.environment(deltas)
+            )
             change = run_bag(self._compiled_delta, self._delta_query, environment, counter)
             self._result.apply_bag(change)
         self.stats.record_update(self._now() - started, counter)

@@ -31,7 +31,8 @@ the shredded mirror wholesale.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.bag.bag import Bag, EMPTY_BAG
 from repro.dictionaries import DictValue, MaterializedDict
@@ -49,9 +50,9 @@ from repro.shredding.shred_database import (
 )
 from repro.shredding.context import iter_context_dicts
 from repro.shredding.shred_values import ValueShredder
-from repro.storage import DictionaryStore, StorageManager
+from repro.storage import DictionaryStore, StorageManager, resolve_shard_count
 
-__all__ = ["Database", "ShreddedDelta"]
+__all__ = ["Database", "RefreshContext", "ShreddedDelta"]
 
 
 def _is_passthrough_flat(type_: Type) -> bool:
@@ -120,15 +121,134 @@ class ShreddedDelta:
         return tuple(sorted(set(self.bags) | set(self.dictionaries)))
 
 
-class Database:
-    """Named nested relations with an incrementally-maintained shredded mirror."""
+class RefreshContext:
+    """Shared, read-only evaluation state for one update's view refreshes.
 
-    def __init__(self) -> None:
+    Before PR 5 every view's ``on_update`` rebuilt its own environments per
+    update; the scheduler instead builds one family of pre-update snapshot
+    environments and shares it across all views — one snapshot family per
+    update instead of one per view, and the anchor that makes concurrent
+    refresh safe.  All environments expose *pre-update* state; views must
+    treat them as read-only (copy before binding view-local variables).
+
+    The nested-relation delta environment is built eagerly on the
+    coordinating thread (every built-in strategy reads it, and building it
+    freezes the relation stores before any worker runs).  The shredded
+    environments are built lazily under a lock — only nested views read
+    them, so an engine of classic/recursive views never freezes the flat
+    mirror at all; the lock makes the one-time construction (and the store
+    freezes inside it) single-threaded.  :meth:`post_shredded_environment`
+    is the laziest of all: it costs ``O(|DB|)`` (it unions the deltas into
+    the flat mirror) and is only needed when a nested view discovers newly
+    active labels.
+    """
+
+    __slots__ = (
+        "update",
+        "shredded_delta",
+        "relation_deltas",
+        "delta_symbols",
+        "_database",
+        "_lock",
+        "_delta_environment",
+        "_shredded_environment",
+        "_shredded_delta_environment",
+        "_post_shredded_environment",
+    )
+
+    def __init__(self, database: "Database", update: Update, shredded_delta: ShreddedDelta) -> None:
+        self._database = database
+        self.update = update
+        self.shredded_delta = shredded_delta
+        self.relation_deltas: Dict[Tuple[str, int], Bag] = {
+            (name, 1): bag
+            for name, bag in update.relations.items()
+            if not bag.is_empty()
+        }
+        self.delta_symbols = shredded_delta.as_delta_symbols(order=1)
+        self._lock = threading.Lock()
+        # Built eagerly on the coordinating thread: freezing the relation
+        # stores here means worker threads only ever *read* frozen snapshots.
+        self._delta_environment = database.environment(self.relation_deltas)
+        self._shredded_environment: Optional[Environment] = None
+        self._shredded_delta_environment: Optional[Environment] = None
+        self._post_shredded_environment: Optional[Environment] = None
+
+    def delta_environment(self) -> Environment:
+        """Pre-update nested environment with the relation Δ symbols bound."""
+        return self._delta_environment
+
+    def shredded_environment(self) -> Environment:
+        """Pre-update shredded (flat) environment, no delta symbols (lazy)."""
+        with self._lock:
+            env = self._shredded_environment
+            if env is None:
+                env = self._shredded_environment = self._database.shredded_environment()
+            return env
+
+    def shredded_delta_environment(self) -> Environment:
+        """Pre-update shredded environment with the shredded Δ symbols bound (lazy)."""
+        with self._lock:
+            env = self._shredded_delta_environment
+            if env is None:
+                env = self._shredded_delta_environment = self._database.shredded_environment(
+                    self.delta_symbols
+                )
+            return env
+
+    def post_shredded_environment(self) -> Environment:
+        """Post-update shredded environment (lazy: costs ``O(|DB|)``).
+
+        Only nested views that discover newly active labels need it; updates
+        that touch no new labels skip the union entirely — one of the
+        ``O(|DB|)`` terms the pre-PR-5 per-view flow paid unconditionally.
+        """
+        pre = self.shredded_environment()
+        with self._lock:
+            post = self._post_shredded_environment
+            if post is None:
+                post = pre.copy()
+                for name, bag in self.shredded_delta.bags.items():
+                    post.relations[name] = post.relations.get(name, EMPTY_BAG).union(bag)
+                for name, dictionary in self.shredded_delta.dictionaries.items():
+                    existing = post.dictionaries.get(name, MaterializedDict({}))
+                    post.dictionaries[name] = existing.add(dictionary)
+                self._post_shredded_environment = post
+            return post
+
+
+class Database:
+    """Named nested relations with an incrementally-maintained shredded mirror.
+
+    ``shards`` fixes the shard count of every relation store (``None``
+    defers to ``REPRO_SHARDS`` / the default); ``parallel_views`` fixes the
+    view-refresh worker count (``None`` defers to ``REPRO_PARALLEL_VIEWS`` /
+    auto — ``0`` is the legacy serial per-view path, ``1`` shared-snapshot
+    inline, ``N`` a thread pool; see :mod:`repro.engine.scheduler`).
+    """
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        parallel_views: Optional[int] = None,
+    ) -> None:
+        if parallel_views is not None and (
+            not isinstance(parallel_views, int) or parallel_views < 0
+        ):
+            raise ValueError(
+                f"parallel_views must be a non-negative int, got {parallel_views!r}"
+            )
+        # Resolved once here (validating an explicit count): every store of
+        # this database partitions the same way, and the reported shard
+        # count can never drift from the stores actually created.
+        resolved_shards = resolve_shard_count(shards)
         self._schemas: Dict[str, BagType] = {}
-        self._storage = StorageManager(kind="nested")
+        self._storage = StorageManager(kind="nested", shards=resolved_shards)
         self._shredder = ValueShredder(LabelFactory(prefix="db"))
-        self._flat_storage = StorageManager(kind="flat")
+        self._flat_storage = StorageManager(kind="flat", shards=resolved_shards)
         self._dict_store = DictionaryStore()
+        self._parallel_views = parallel_views
+        self._scheduler = None  # lazily built ViewRefreshScheduler
         # Input-dictionary name → owning relation.  Resolving ownership by
         # parsing the generated names would break for relations whose own
         # name contains the ``__D`` separator (e.g. ``user__Data``), so the
@@ -275,12 +395,29 @@ class Database:
         """
         return self._storage.vacuum() + self._flat_storage.vacuum()
 
+    def storage_shards(self) -> int:
+        """The shard count this database's stores are partitioned into.
+
+        Fixed at construction (explicit argument, or the ``REPRO_SHARDS`` /
+        default resolution at that moment), so it always matches the
+        per-store ``shards`` entries in :meth:`storage_report`.
+        """
+        return self._storage.shards
+
     def storage_report(self) -> Dict[str, object]:
-        """Sizes and index statistics of every store (what ``explain`` surfaces)."""
+        """Sizes and index statistics of every store (what ``explain`` surfaces).
+
+        Store entries aggregate across shards (``cardinality``/``distinct``
+        sum the shard builders; index ``hits``/``entries`` merge the shard
+        slices) and carry per-shard breakdowns under ``shard_stats`` /
+        ``per_shard`` for multi-shard stores.
+        """
         return {
             "nested": self._storage.report(),
             "flat": self._flat_storage.report(),
             "dictionaries": self._dict_store.report(),
+            "shards": self.storage_shards(),
+            "parallel_views": self.refresh_mode(),
         }
 
     # ------------------------------------------------------------------ #
@@ -344,10 +481,7 @@ class Database:
             return ShreddedDelta()
         shredded_delta = self.shred_update(update)
 
-        for view in list(self._views):
-            on_update = getattr(view, "on_update", None)
-            if on_update is not None:
-                on_update(update, shredded_delta)
+        self._notify_views(update, shredded_delta)
 
         # Nested instances: one delta pass per store updates the bag and all
         # of its persistent indexes.
@@ -368,6 +502,86 @@ class Database:
         if update.deep:
             self._refresh_nested_from_shredded(update)
         return shredded_delta
+
+    # ------------------------------------------------------------------ #
+    # View refresh dispatch
+    # ------------------------------------------------------------------ #
+    def view_refresh_workers(self) -> int:
+        """The effective refresh worker count for the next update.
+
+        Re-resolved on every call so the ``REPRO_PARALLEL_VIEWS`` hatch is
+        dynamic, like the other escape hatches.
+        """
+        from repro.engine.scheduler import resolve_view_workers
+
+        return resolve_view_workers(self._parallel_views)
+
+    def refresh_mode(self) -> str:
+        """Human-readable refresh mode (what ``explain`` reports)."""
+        workers = self.view_refresh_workers()
+        if workers == 0:
+            return "serial-legacy"
+        if workers == 1:
+            return "shared-snapshot inline"
+        return f"threads({workers})"
+
+    def _notify_views(self, update: Update, shredded_delta: ShreddedDelta) -> None:
+        """Refresh every registered view against the pre-update state.
+
+        ``workers == 0`` reproduces the legacy flow exactly: serial, each
+        view building its own environments.  Otherwise one shared
+        :class:`RefreshContext` is built up front and the scheduler runs
+        the refreshes — inline for one worker, on a thread pool for more
+        (delta environments are snapshots, so concurrency is scheduling,
+        not semantics).  Only context-aware views go to the pool: a legacy
+        two-argument backend rebuilds its environments itself, which
+        freezes the shared store builders — unsynchronized check-then-act
+        state — so legacy refreshes always run serially on the
+        coordinating thread, *before* the pool phase (never overlapping
+        it).  The context is released before the stores mutate so
+        unretained snapshots die and the builders keep mutating in place.
+        """
+        notifiable = [
+            (view, on_update)
+            for view in list(self._views)
+            if (on_update := getattr(view, "on_update", None)) is not None
+        ]
+        if not notifiable:
+            return
+        workers = self.view_refresh_workers()
+        if workers == 0:
+            for _, on_update in notifiable:
+                on_update(update, shredded_delta)
+            return
+        # The context freezes stores eagerly; engines of purely legacy
+        # backends (no context-aware view at all) skip building it.
+        context: Optional[RefreshContext] = None
+        if any(
+            getattr(view, "accepts_refresh_context", False) for view, _ in notifiable
+        ):
+            context = RefreshContext(self, update, shredded_delta)
+        pool_tasks: List[Callable[[], None]] = []
+        for view, on_update in notifiable:
+            if getattr(view, "accepts_refresh_context", False):
+                pool_tasks.append(
+                    lambda on_update=on_update: on_update(update, shredded_delta, context)
+                )
+            else:
+                # Legacy third-party backends keep the two-argument protocol
+                # and must not run concurrently with anything (see docstring).
+                on_update(update, shredded_delta)
+        if workers > 1 and len(pool_tasks) > 1:
+            scheduler = self._scheduler
+            if scheduler is None:
+                from repro.engine.scheduler import ViewRefreshScheduler
+
+                scheduler = self._scheduler = ViewRefreshScheduler(workers)
+            else:
+                scheduler.resize(workers)
+            scheduler.run(pool_tasks)
+        else:
+            for task in pool_tasks:
+                task()
 
     def _refresh_nested_from_shredded(self, update: Update) -> None:
         """Re-nest relations whose inner bags were deep-updated.

@@ -67,6 +67,16 @@ class _DictState:
     rebuild on the update path).  Readers get snapshot
     :class:`~repro.dictionaries.MaterializedDict` copies on demand through
     :meth:`NestedIVMView.dictionary`.
+
+    ``active`` is the incrementally maintained **active-label index**: for
+    every label that must be defined at this position, the number of
+    distinct carrier elements referencing it.  Root positions count
+    references from the flat view, nested positions from their parent's
+    ``carrier`` (a transient mirroring the union of the parent's entries,
+    kept only while some child needs it).  Both are refreshed from the
+    update's presence transitions — O(|Δ|) per update — replacing the
+    per-update carrier scan that used to cost O(|flat view|);
+    :meth:`NestedIVMView.vacuum` still reconciles by re-scanning.
     """
 
     path: Tuple[Any, ...]
@@ -79,10 +89,22 @@ class _DictState:
     snapshot: Optional[MaterializedDict] = None
     compiled: Optional[CompiledQuery] = None
     compiled_delta: Optional[CompiledQuery] = None
+    #: label → number of distinct carrier elements referencing it (> 0).
+    active: Dict[Label, int] = field(default_factory=dict)
+    #: Projection from a carrier element to this position's label.
+    tuple_path: Tuple[Any, ...] = ()
+    #: The parent dictionary state for nested positions (``None`` at roots).
+    parent: Optional["_DictState"] = None
+    #: States whose labels are drawn from this state's entries.
+    children: List["_DictState"] = field(default_factory=list)
+    #: Union of all entry bags, maintained only when ``children`` is non-empty.
+    carrier: Optional[BagBuilder] = None
 
 
 class NestedIVMView(View):
     """Materialized view over a full NRC+ query, maintained in shredded form."""
+
+    accepts_refresh_context = True
 
     def __init__(
         self,
@@ -136,6 +158,22 @@ class NestedIVMView(View):
             *(state.compiled_delta for state in self._dict_states),
         )
 
+        # Wire up the dictionary-position tree (parent-before-child order is
+        # guaranteed by iter_context_dicts) for the active-label index.
+        states_by_path = {state.path: state for state in self._dict_states}
+        for state in self._dict_states:
+            path = state.path
+            if "e" in path:
+                split = max(index for index, token in enumerate(path) if token == "e")
+                parent = states_by_path.get(path[:split])
+                if parent is None:
+                    raise ShreddingError(f"no parent dictionary at path {path[:split]!r}")
+                state.parent = parent
+                state.tuple_path = path[split + 1 :]
+                parent.children.append(state)
+            else:
+                state.tuple_path = path
+
         counter = OpCounter()
         started = self._now()
         environment = database.shredded_environment()
@@ -145,11 +183,18 @@ class NestedIVMView(View):
             run_bag(self._compiled_flat, self._shredded.flat, environment, counter)
         )
         for state in self._dict_states:
+            # One full scan at construction seeds the active-label index;
+            # updates maintain it from presence transitions thereafter.
+            state.active = self._scan_active(state)
             dictionary = self._dictionary_value(
                 state.compiled, state.expression, environment, counter
             )
-            active = self._active_labels(state)
-            state.entries = {label: dictionary.lookup(label) for label in active}
+            state.entries = {label: dictionary.lookup(label) for label in state.active}
+            if state.children:
+                carrier = BagBuilder()
+                for bag in state.entries.values():
+                    carrier.apply_bag(bag)
+                state.carrier = carrier
         self.stats.record_init(self._now() - started, counter)
         if register:
             database.register_view(self)
@@ -213,30 +258,45 @@ class NestedIVMView(View):
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
-    def on_update(self, update: Update, shredded_delta: ShreddedDelta) -> None:
+    def on_update(self, update: Update, shredded_delta: ShreddedDelta, context=None) -> None:
         counter = OpCounter()
         started = self._now()
-        delta_symbols = shredded_delta.as_delta_symbols(order=1)
 
-        pre_env = self._database.shredded_environment()
-        delta_env = pre_env.with_deltas(delta_symbols)
-        post_env = self._post_update_environment(pre_env, shredded_delta)
+        if context is not None:
+            delta_env = context.shredded_delta_environment()
+        else:
+            delta_symbols = shredded_delta.as_delta_symbols(order=1)
+            delta_env = self._database.shredded_environment(delta_symbols)
+        # The post-update environment costs O(|DB|) to assemble (it unions
+        # the deltas into the flat mirror); it is built lazily below, only
+        # when some dictionary actually discovers newly active labels.
+        post_env: Optional[Environment] = None
 
         # 1. Maintain the flat view with δ(h^F) — folded into the transient
-        #    in place, O(|Δh^F|).
+        #    in place, O(|Δh^F|) — and fold the presence transitions into
+        #    the root active-label indexes (no flat-view scan).
         flat_change = run_bag(self._compiled_flat_delta, self._flat_delta, delta_env, counter)
+        transitions = self._presence_transitions(self._flat_view, flat_change)
         self._flat_view.apply_bag(flat_change)
+        if transitions:
+            for state in self._dict_states:
+                if state.parent is None:
+                    self._apply_transitions(state, transitions)
 
         # 2. Maintain every dictionary: refresh existing definitions with
         #    δ(h^Γ)(ℓ) and initialize definitions for newly active labels.
         #    Only the touched labels are rewritten — the entries map is
-        #    mutated in place, never rebuilt wholesale.
+        #    mutated in place, never rebuilt wholesale.  Entry changes
+        #    propagate into the carrier transient and from there into the
+        #    children's active-label indexes (parents precede children in
+        #    self._dict_states), again O(|change|).
         for state in self._dict_states:
             delta_dictionary = self._dictionary_value(
                 state.compiled_delta, state.delta_expression, delta_env, counter
             )
             entries = state.entries
             state.snapshot = None
+            entry_changes: Optional[List[Bag]] = [] if state.children else None
             # When the delta dictionary has finite support (e.g. deep updates
             # arriving as explicit label deltas) only the touched labels need
             # refreshing; intensional deltas (dictionary bodies over ΔR) are
@@ -251,16 +311,30 @@ class NestedIVMView(View):
                 maybe_count(counter, "dict_refreshes")
                 if not change.is_empty():
                     entries[label] = entries[label].union(change)
+                    if entry_changes is not None:
+                        entry_changes.append(change)
 
-            active = self._active_labels(state)
-            new_labels = [label for label in active if label not in entries]
+            new_labels = [label for label in state.active if label not in entries]
             if new_labels:
+                if post_env is None:
+                    if context is not None:
+                        post_env = context.post_shredded_environment()
+                    else:
+                        post_env = self._post_update_environment(
+                            self._database.shredded_environment(), shredded_delta
+                        )
                 full_dictionary = self._dictionary_value(
                     state.compiled, state.expression, post_env, counter
                 )
                 for label in new_labels:
                     maybe_count(counter, "dict_initializations")
-                    entries[label] = full_dictionary.lookup(label)
+                    definition = full_dictionary.lookup(label)
+                    entries[label] = definition
+                    if entry_changes is not None and not definition.is_empty():
+                        entry_changes.append(definition)
+
+            if entry_changes:
+                self._propagate_entry_changes(state, entry_changes)
 
         self.stats.record_update(self._now() - started, counter)
 
@@ -269,17 +343,25 @@ class NestedIVMView(View):
 
         Returns the number of entries removed.  Stale entries are harmless
         for correctness (unshredding never looks them up) but keeping the
-        dictionaries tight mirrors the space bounds of the paper.
+        dictionaries tight mirrors the space bounds of the paper.  Vacuum is
+        also the reconciliation pass of the active-label index: counts and
+        carriers are recomputed from scratch here (parents before children,
+        so a child's scan sees its parent already vacuumed).
         """
         removed = 0
         for state in self._dict_states:
-            active = set(self._active_labels(state))
-            stale = [label for label in state.entries if label not in active]
+            state.active = self._scan_active(state)
+            stale = [label for label in state.entries if label not in state.active]
             for label in stale:
                 del state.entries[label]
             if stale:
                 state.snapshot = None
             removed += len(stale)
+            if state.children:
+                carrier = BagBuilder()
+                for bag in state.entries.values():
+                    carrier.apply_bag(bag)
+                state.carrier = carrier
         return removed
 
     # ------------------------------------------------------------------ #
@@ -315,38 +397,85 @@ class NestedIVMView(View):
     def _active_labels(self, state: _DictState) -> List[Label]:
         """Labels that must be defined at this dictionary position.
 
-        Root positions (no ``"e"`` in the path) draw their labels from the
-        flat view; nested positions draw them from the entries of their
-        parent dictionary (already refreshed this pass — states are kept in
-        parent-before-child order).
+        Served from the incrementally maintained active-label index in
+        O(|active|); :meth:`_scan_active` is the O(|carrier|) scan that
+        seeds it (construction) and reconciles it (:meth:`vacuum`).
         """
-        path = state.path
-        if "e" not in path:
-            carrier = self._flat_view  # the builder iterates without freezing
-            tuple_path = path
-        else:
-            split = max(index for index, token in enumerate(path) if token == "e")
-            parent_path = path[:split]
-            tuple_path = path[split + 1 :]
-            carrier = self._parent_entries(parent_path)
-        labels: List[Label] = []
-        seen: Set[Label] = set()
-        for element in carrier.elements():
-            value = self._project(element, tuple_path)
-            if isinstance(value, Label) and value not in seen:
-                seen.add(value)
-                labels.append(value)
-        return labels
+        return list(state.active)
 
-    def _parent_entries(self, parent_path: Tuple[Any, ...]) -> Bag:
-        """Union of all entries of the parent dictionary (carrier for nested labels)."""
-        for candidate in self._dict_states:
-            if candidate.path == parent_path:
-                union = BagBuilder()
-                for bag in candidate.entries.values():
-                    union.apply_bag(bag)
-                return union.freeze()
-        raise ShreddingError(f"no parent dictionary at path {parent_path!r}")
+    def _scan_active(self, state: _DictState) -> Dict[Label, int]:
+        """Full carrier scan: label → distinct supporting carrier elements.
+
+        Root positions (no ``"e"`` in the path) draw their labels from the
+        flat view; nested positions draw them from their parent's carrier
+        (the union of the parent's entries, already up to date — states are
+        kept in parent-before-child order).
+        """
+        if state.parent is None:
+            elements = self._flat_view.elements()  # iterates without freezing
+        elif state.parent.carrier is not None:
+            elements = state.parent.carrier.elements()
+        else:
+            elements = iter(())
+        counts: Dict[Label, int] = {}
+        for element in elements:
+            value = self._project(element, state.tuple_path)
+            if isinstance(value, Label):
+                counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    @staticmethod
+    def _presence_transitions(carrier: BagBuilder, change: Bag) -> List[Tuple[Any, int]]:
+        """Elements of ``change`` that appear in / disappear from ``carrier``.
+
+        Computed *before* the change is folded in: ``(element, +1)`` when a
+        multiplicity crosses zero upward (the element joins the carrier's
+        support), ``(element, -1)`` when it cancels out.  Sign changes that
+        stay non-zero are not transitions — the element keeps supporting its
+        label either way, matching the support semantics of ``elements()``.
+        """
+        transitions: List[Tuple[Any, int]] = []
+        for element, multiplicity in change.items():
+            old = carrier.multiplicity(element)
+            if old == 0:
+                if multiplicity != 0:
+                    transitions.append((element, 1))
+            elif old + multiplicity == 0:
+                transitions.append((element, -1))
+        return transitions
+
+    def _apply_transitions(
+        self, state: _DictState, transitions: List[Tuple[Any, int]]
+    ) -> None:
+        """Fold carrier presence transitions into a state's active-label counts."""
+        active = state.active
+        for element, sign in transitions:
+            value = self._project(element, state.tuple_path)
+            if not isinstance(value, Label):
+                continue
+            count = active.get(value, 0) + sign
+            if count <= 0:
+                active.pop(value, None)
+            else:
+                active[value] = count
+
+    def _propagate_entry_changes(self, state: _DictState, changes: List[Bag]) -> None:
+        """Fold entry changes into the carrier and the children's label counts.
+
+        Each change bag is a delta to the union-of-entries carrier; the
+        per-bag transition pass keeps cross-label cancellation exact (an
+        element leaving one label's entry while entering another's nets out
+        before any child count moves).
+        """
+        carrier = state.carrier
+        if carrier is None:
+            carrier = state.carrier = BagBuilder()
+        for change in changes:
+            transitions = self._presence_transitions(carrier, change)
+            carrier.apply_bag(change)
+            if transitions:
+                for child in state.children:
+                    self._apply_transitions(child, transitions)
 
     @staticmethod
     def _project(value: Any, path: Tuple[Any, ...]) -> Any:

@@ -116,6 +116,8 @@ def partially_evaluate(
 class RecursiveIVMView(View):
     """Materialized view maintained through a tower of higher-order deltas."""
 
+    accepts_refresh_context = True
+
     def __init__(
         self,
         query: Expr,
@@ -184,12 +186,15 @@ class RecursiveIVMView(View):
     def result(self) -> Bag:
         return self._result.freeze()
 
-    def on_update(self, update: Update, shredded_delta: ShreddedDelta) -> None:
+    def on_update(self, update: Update, shredded_delta: ShreddedDelta, context=None) -> None:
         counter = OpCounter()
         started = self._now()
-        deltas = {
-            (name, 1): bag for name, bag in update.relations.items() if not bag.is_empty()
-        }
+        if context is not None:
+            deltas = context.relation_deltas
+        else:
+            deltas = {
+                (name, 1): bag for name, bag in update.relations.items() if not bag.is_empty()
+            }
         if deltas:
             # Refresh the view using the residual delta: it reads only the
             # update and the materialized sub-expressions, never the base
@@ -197,7 +202,12 @@ class RecursiveIVMView(View):
             # Bare relation references may survive in the residual (for
             # example non-updated relations); they are read from the
             # pre-update database, which is the state delta queries expect.
-            environment = self._database.environment(deltas)
+            # The shared context environment is copied before binding the
+            # view-local materialization snapshots.
+            if context is not None:
+                environment = context.delta_environment().copy()
+            else:
+                environment = self._database.environment(deltas)
             environment.bag_vars.update(
                 {m.name: m.value.freeze() for m in self._materializations.values()}
             )
@@ -211,7 +221,11 @@ class RecursiveIVMView(View):
             # Maintain the materialized sub-expressions with their own deltas
             # (the higher-order step); these deltas are evaluated against the
             # pre-update database state.
-            maintenance_env = self._database.environment(deltas)
+            maintenance_env = (
+                context.delta_environment()
+                if context is not None
+                else self._database.environment(deltas)
+            )
             for materialization in self._materializations.values():
                 change = run_bag(
                     materialization.compiled_delta,

@@ -76,7 +76,25 @@ class MaintenanceStats:
 
 
 class View:
-    """Base class for materialized views."""
+    """Base class for materialized views.
+
+    ``on_update`` may accept an optional shared
+    :class:`~repro.ivm.database.RefreshContext` holding the pre-update
+    snapshot environments of this refresh round; views that can, evaluate
+    against it instead of rebuilding their own environments (one snapshot
+    family per update instead of one per view, and the anchor that makes
+    concurrent refresh safe).  ``accepts_refresh_context`` tells the
+    database's dispatcher whether to pass it; it defaults to **false** so
+    custom backends keeping the legacy two-argument ``on_update`` —
+    whether or not they subclass this base — are still called correctly.
+    Backends that take the context set it to true (as the four built-in
+    views do).
+    """
+
+    #: The database passes a RefreshContext to ``on_update`` when true.
+    #: Deliberately false here: opting in is the subclass's declaration
+    #: that its ``on_update`` signature takes the third argument.
+    accepts_refresh_context = False
 
     def __init__(self) -> None:
         self.stats = MaintenanceStats()
@@ -85,7 +103,7 @@ class View:
     def result(self):
         raise NotImplementedError
 
-    def on_update(self, update, shredded_delta) -> None:  # pragma: no cover - interface
+    def on_update(self, update, shredded_delta, context=None) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #

@@ -18,6 +18,14 @@ from repro.bag.builder import (
     transients_enabled,
 )
 from repro.storage.index import HashIndex, IndexKeyError, index_key_of
+from repro.storage.shards import (
+    DEFAULT_SHARD_COUNT,
+    REPRO_SHARDS,
+    ShardIndexFamily,
+    ShardedBag,
+    forced_shards,
+    resolve_shard_count,
+)
 from repro.storage.store import (
     REPRO_NO_INDEX,
     DictionaryStore,
@@ -29,18 +37,24 @@ from repro.storage.store import (
 )
 
 __all__ = [
+    "DEFAULT_SHARD_COUNT",
     "REPRO_NO_BUILDER",
     "REPRO_NO_INDEX",
+    "REPRO_SHARDS",
     "BagBuilder",
     "DictionaryStore",
     "HashIndex",
     "IndexKeyError",
     "IndexProvider",
     "RelationStore",
+    "ShardIndexFamily",
+    "ShardedBag",
     "StorageManager",
     "forced_full_copy",
     "forced_no_index",
+    "forced_shards",
     "index_key_of",
     "persistent_indexes_enabled",
+    "resolve_shard_count",
     "transients_enabled",
 ]

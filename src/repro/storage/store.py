@@ -9,22 +9,29 @@ nested relations and one for the shredded flat mirror) and hands out the
 :class:`DictionaryStore` owns the shredded input dictionaries.
 
 Every mutation flows through :meth:`RelationStore.apply_delta`, which folds
-the delta into the store's transient :class:`~repro.bag.builder.BagBuilder`
+the delta into the store's transient :class:`~repro.bag.builder.BagBuilder`s
 *and* into every index — one ``O(|Δ|)`` pass that never copies the base
 dict, so a one-tuple update to a million-tuple relation costs one-tuple
-work.  The store is copy-on-write: the immutable :class:`~repro.bag.bag.Bag`
+work.  Stores are **sharded** (:mod:`repro.storage.shards`): contents are
+partitioned by a stable hash of the primary index key, the delta pass runs
+as independent ``O(|Δ|/N)`` per-shard units, and snapshots assemble the
+per-shard frozen bags into a :class:`~repro.storage.shards.ShardedBag` in
+O(N).  The store is copy-on-write: the immutable :class:`~repro.bag.bag.Bag`
 the rest of the system sees is frozen **lazily**, only when someone asks for
-:attr:`RelationStore.bag`, and freezing shares the builder's dict (O(1));
-the next delta copies the dict only if that snapshot is still referenced
-somewhere (per-update evaluation environments normally die before the store
-mutates, so the common case stays in place).  Every mutation bumps a
-**version counter**; indexes record the version they reflect, and the
-provider serves an index only when (a) the index's version matches the
-store's and (b) the caller's bag is the store's current frozen snapshot —
-the version replaces the old reliance on one immutable bag object per store
-state, and any mismatch (a hand-built post-update environment, an escaped
-evaluation context) silently falls back to the per-evaluation build,
-keeping the interpreter-faithful snapshot semantics.
+:attr:`RelationStore.bag`, and freezing shares the builders' dicts (O(1)
+each); the next delta copies only the *touched shards'* dicts, and only if
+that snapshot is still referenced somewhere (per-update evaluation
+environments normally die before the store mutates, so the common case
+stays in place — and a long-lived reader costs ``O(touched · n/N)`` per
+write, not ``O(n)``).  Every mutation bumps a **version counter**; index
+views record the version they reflect, and the provider serves one only
+when (a) its version matches the store's and (b) the caller's bag is the
+store's current frozen snapshot — the version replaces the old reliance on
+one immutable bag object per store state, and any mismatch (a hand-built
+post-update environment, an escaped evaluation context) silently falls back
+to the per-evaluation build, keeping the interpreter-faithful snapshot
+semantics.  ``REPRO_SHARDS=1`` reproduces the pre-sharding single-dict
+store exactly.
 
 Setting the environment variable :data:`REPRO_NO_INDEX` (to any non-empty
 value) disables persistent indexes outright: no registration happens while
@@ -38,13 +45,14 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.bag.bag import Bag, EMPTY_BAG
 from repro.bag.builder import REPRO_NO_BUILDER, BagBuilder, _getrefcount
 from repro.dictionaries import MaterializedDict
 from repro.labels import Label
-from repro.storage.index import HashIndex, Paths
+from repro.storage.index import HashIndex, IndexKeyError, Paths, index_key_of
+from repro.storage.shards import ShardIndexFamily, ShardedBag, resolve_shard_count
 
 __all__ = [
     "REPRO_NO_INDEX",
@@ -55,6 +63,10 @@ __all__ = [
     "forced_no_index",
     "persistent_indexes_enabled",
 ]
+
+#: What a store hands the provider / introspection per registered key:
+#: a raw index for single-shard stores, a family otherwise.
+IndexView = Union[HashIndex, ShardIndexFamily]
 
 #: Environment variable that disables persistent-index registration.
 REPRO_NO_INDEX = "REPRO_NO_INDEX"
@@ -89,24 +101,119 @@ def forced_no_index(disabled: bool = True) -> Iterator[None]:
             os.environ[REPRO_NO_INDEX] = saved
 
 
+class _Shard:
+    """One partition of a sharded store: a builder plus its index slices."""
+
+    __slots__ = ("builder", "indexes")
+
+    def __init__(self, builder: BagBuilder) -> None:
+        self.builder = builder
+        self.indexes: Dict[Paths, HashIndex] = {}
+
+
 class RelationStore:
     """One relation's transient contents and its persistent indexes.
 
-    The store owns a :class:`~repro.bag.builder.BagBuilder` and applies
-    deltas to it in place (``O(|Δ|)``); :attr:`bag` lazily freezes the
-    canonical immutable snapshot (O(1), copy-on-write — see the module
-    docstring).  :attr:`version` counts mutations; every index records the
-    version it reflects, which is what the provider's freshness check keys
+    The store is partitioned into N shards (``shards`` argument,
+    ``REPRO_SHARDS`` environment variable, or
+    :data:`~repro.storage.shards.DEFAULT_SHARD_COUNT`), each owning a
+    :class:`~repro.bag.builder.BagBuilder` and one
+    :class:`~repro.storage.index.HashIndex` slice per registered key.
+    Elements are routed by a stable hash of the **primary index key** — the
+    first key registered through :meth:`ensure_index` (whole-element hash
+    until one exists; registering the first key re-partitions once).  A
+    delta is partitioned in one O(|Δ|) pass and each touched shard folds its
+    own pairs into its builder and index slices: O(|Δ|/N) units that are
+    independent of each other.  :attr:`bag` assembles the per-shard frozen
+    snapshots into a :class:`~repro.storage.shards.ShardedBag` in O(N); a
+    retained snapshot therefore copy-on-writes only the shards the next
+    delta touches.  :attr:`version` counts mutations; index views record the
+    version they reflect, which is what the provider's freshness check keys
     off.
+
+    With ``shards=1`` (the ``REPRO_SHARDS=1`` escape hatch) all of this
+    collapses to the pre-sharding behavior: one builder, plain ``Bag``
+    snapshots, raw ``HashIndex`` objects.
     """
 
-    __slots__ = ("name", "_builder", "_version", "_indexes")
+    __slots__ = (
+        "name",
+        "_shards",
+        "_shard_count",
+        "_routing_paths",
+        "_version",
+        "_indexes",
+        "_composite",
+        "_composite_freezes",
+    )
 
-    def __init__(self, name: str, bag: Bag = EMPTY_BAG) -> None:
+    def __init__(self, name: str, bag: Bag = EMPTY_BAG, shards: Optional[int] = None) -> None:
         self.name = name
-        self._builder = BagBuilder.from_bag(bag)
+        self._shard_count = resolve_shard_count(shards)
         self._version = 0
-        self._indexes: Dict[Paths, HashIndex] = {}
+        self._routing_paths: Optional[Paths] = None
+        self._indexes: Dict[Paths, IndexView] = {}
+        self._composite: Optional[ShardedBag] = None
+        self._composite_freezes = 0
+        if self._shard_count == 1:
+            self._shards = [_Shard(BagBuilder.from_bag(bag))]
+        else:
+            self._shards = [_Shard(BagBuilder()) for _ in range(self._shard_count)]
+            if not bag.is_empty():
+                self._scatter(bag.items())
+
+    # ------------------------------------------------------------------ #
+    # Shard routing
+    # ------------------------------------------------------------------ #
+    @property
+    def shards(self) -> int:
+        return self._shard_count
+
+    @property
+    def routing_paths(self) -> Optional[Paths]:
+        """The primary index key elements are partitioned by (``None`` until
+        the first index registers; whole-element hash routing until then)."""
+        return self._routing_paths
+
+    def _shard_of(self, element: Any) -> int:
+        paths = self._routing_paths
+        if paths is not None:
+            try:
+                return hash(index_key_of(element, paths)) % self._shard_count
+            except IndexKeyError:
+                # No faithful key: route by the element itself.  Such an
+                # element poisons its shard's index slice for these paths,
+                # so probes decline store-wide and routing never lies.
+                pass
+        return hash(element) % self._shard_count
+
+    def _partition(self, pairs) -> Dict[int, List[Tuple[Any, int]]]:
+        """One O(|pairs|) routing pass: shard id → that shard's pairs.
+
+        The single partitioning primitive — initial scatter, re-sharding and
+        delta application all route through it, so contents and deltas can
+        never disagree about an element's owning shard.
+        """
+        groups: Dict[int, List[Tuple[Any, int]]] = {}
+        for element, multiplicity in pairs:
+            groups.setdefault(self._shard_of(element), []).append((element, multiplicity))
+        return groups
+
+    def _scatter(self, pairs) -> None:
+        """Partition ``pairs`` into the shard builders (no index maintenance)."""
+        for position, shard_pairs in self._partition(pairs).items():
+            self._shards[position].builder.apply_pairs(shard_pairs)
+
+    def _reshard(self) -> None:
+        """Re-partition all contents under the current routing paths."""
+        pairs = [
+            pair for shard in self._shards for pair in shard.builder.items()
+        ]
+        self._version += 1
+        self._composite = None
+        self._shards = [_Shard(BagBuilder()) for _ in range(self._shard_count)]
+        if pairs:
+            self._scatter(pairs)
 
     # ------------------------------------------------------------------ #
     @property
@@ -114,10 +221,18 @@ class RelationStore:
         """The current contents as an immutable bag (lazily frozen snapshot).
 
         Repeated reads without intervening mutation return the same object;
-        the first mutation after a read copies the dict only if the snapshot
-        is still referenced elsewhere.
+        the first mutation after a read copies only the *touched shards'*
+        dicts, and only if the snapshot is still referenced elsewhere.
         """
-        return self._builder.freeze()
+        if self._shard_count == 1:
+            return self._shards[0].builder.freeze()
+        composite = self._composite
+        if composite is None:
+            composite = self._composite = ShardedBag.of(
+                tuple(shard.builder.freeze() for shard in self._shards)
+            )
+            self._composite_freezes += 1
+        return composite
 
     @property
     def version(self) -> int:
@@ -127,7 +242,9 @@ class RelationStore:
     @property
     def snapshot_freezes(self) -> int:
         """How many distinct immutable snapshots this store materialized."""
-        return self._builder.freezes
+        if self._shard_count == 1:
+            return self._shards[0].builder.freezes
+        return self._composite_freezes
 
     def current_snapshot(self) -> Optional[Bag]:
         """The live frozen snapshot, or ``None`` if the store mutated since.
@@ -135,60 +252,145 @@ class RelationStore:
         Used by the provider's correspondence check; deliberately does *not*
         force a freeze.
         """
-        return self._builder.frozen
+        if self._shard_count == 1:
+            return self._shards[0].builder.frozen
+        return self._composite
 
     def apply_delta(self, delta: Bag) -> None:
-        """Fold ``delta`` into the builder and every index — ``O(|Δ|)``."""
+        """Fold ``delta`` into the touched shards and their indexes — ``O(|Δ|)``.
+
+        The composite snapshot reference is dropped *before* mutating, so a
+        snapshot nobody else retained dies here and the builders keep
+        mutating in place; a retained one forces per-shard copy-on-write of
+        the touched shards only.
+        """
         if delta.is_empty():
             return
         self._version += 1
-        self._builder.apply_bag(delta)
-        for index in self._indexes.values():
-            index.apply(delta)
-            index.version = self._version
+        version = self._version
+        if self._shard_count == 1:
+            shard = self._shards[0]
+            shard.builder.apply_bag(delta)
+            for index in shard.indexes.values():
+                index.apply(delta)
+                index.version = version
+            return
+        self._composite = None
+        # Per-shard O(|Δ|/N) units: builder fold plus index-slice folds.
+        # They are mutually independent — the scheduler may run them
+        # concurrently; serial application is just one ordering.
+        for position, shard_pairs in self._partition(delta.items()).items():
+            shard = self._shards[position]
+            shard.builder.apply_pairs(shard_pairs)
+            for index in shard.indexes.values():
+                index.apply_pairs(shard_pairs)
+                index.version = version
+        for family in self._indexes.values():
+            family.deltas_applied += 1
+            family.version = version
+            if not family.poisoned:
+                family.refresh_poison()
 
     def replace(self, bag: Bag) -> None:
         """Swap in a freshly computed bag; every index is rebuilt."""
         self._version += 1
-        freezes = self._builder.freezes
-        self._builder = BagBuilder.from_bag(bag)
-        # The freeze counter is cumulative per store, not per builder.
-        self._builder.freezes = freezes
-        for index in self._indexes.values():
-            index.rebuild(bag)
-            index.version = self._version
+        version = self._version
+        if self._shard_count == 1:
+            shard = self._shards[0]
+            freezes = shard.builder.freezes
+            shard.builder = BagBuilder.from_bag(bag)
+            # The freeze counter is cumulative per store, not per builder.
+            shard.builder.freezes = freezes
+            for index in shard.indexes.values():
+                index.rebuild(bag)
+                index.version = version
+            return
+        self._composite = None
+        self._shards = [_Shard(BagBuilder()) for _ in range(self._shard_count)]
+        if not bag.is_empty():
+            self._scatter(bag.items())
+        for paths, family in self._indexes.items():
+            shard_indexes = []
+            for shard in self._shards:
+                index = HashIndex(paths, shard.builder.freeze())
+                index.version = version
+                shard.indexes[paths] = index
+                shard_indexes.append(index)
+            family.shard_indexes = tuple(shard_indexes)
+            family.rebuilds += 1
+            family.version = version
+            family.refresh_poison()
 
     def vacuum(self) -> int:
-        """Re-validate poisoned indexes against the current bag.
+        """Re-validate poisoned indexes against the current bags, per shard.
 
-        A transient unhashable key poisons an index; once the offending
-        elements are gone, one full rebuild restores ``O(|Δ|)`` maintenance.
-        Returns the number of indexes that came back healthy (an index whose
-        bag still contains bad keys re-poisons and stays on the
-        per-evaluation fallback).
+        A transient unhashable key poisons only the owning shard's index
+        slice; once the offending elements are gone, rebuilding *that shard*
+        restores ``O(|Δ|)`` maintenance — healthy shards keep their
+        incrementally-maintained state untouched.  Returns the number of
+        index views that came back healthy (a shard whose bag still contains
+        bad keys re-poisons and the view stays on the per-evaluation
+        fallback).
         """
         revalidated = 0
-        for index in self._indexes.values():
-            if index.poisoned:
-                index.rebuild(self.bag)
-                index.version = self._version
-                if not index.poisoned:
+        for view in self._indexes.values():
+            if not view.poisoned:
+                continue
+            if isinstance(view, HashIndex):
+                view.rebuild(self.bag)
+                view.version = self._version
+                if not view.poisoned:
                     revalidated += 1
+                continue
+            view.revalidate(
+                tuple(shard.builder.freeze() for shard in self._shards),
+                self._version,
+            )
+            if not view.poisoned:
+                revalidated += 1
         return revalidated
 
     # ------------------------------------------------------------------ #
     # Indexes
     # ------------------------------------------------------------------ #
-    def ensure_index(self, paths: Paths) -> HashIndex:
-        """The index keyed by ``paths``, built from the current bag if new."""
-        key = tuple(tuple(path) for path in paths)
-        index = self._indexes.get(key)
-        if index is None:
-            index = self._indexes[key] = HashIndex(key, self.bag)
-            index.version = self._version
-        return index
+    def ensure_index(self, paths: Paths) -> IndexView:
+        """The index view keyed by ``paths``, built from the current bags if new.
 
-    def index_for(self, paths: Paths) -> Optional[HashIndex]:
+        The first registered key becomes the store's primary **routing**
+        key: contents are re-partitioned once so that equal keys co-locate,
+        which is what lets the provider answer primary-key probes from a
+        single shard.
+        """
+        key = tuple(tuple(path) for path in paths)
+        view = self._indexes.get(key)
+        if view is not None:
+            return view
+        if self._shard_count == 1:
+            shard = self._shards[0]
+            index = HashIndex(key, self.bag)
+            index.version = self._version
+            shard.indexes[key] = index
+            self._indexes[key] = index
+            return index
+        if self._routing_paths is None:
+            self._routing_paths = key
+            self._reshard()
+        shard_indexes = []
+        for shard in self._shards:
+            index = HashIndex(key, shard.builder.freeze())
+            index.version = self._version
+            shard.indexes[key] = index
+            shard_indexes.append(index)
+        family = ShardIndexFamily(
+            key,
+            tuple(shard_indexes),
+            routed=(key == self._routing_paths),
+            version=self._version,
+        )
+        self._indexes[key] = family
+        return family
+
+    def index_for(self, paths: Paths) -> Optional[IndexView]:
         """Lookup by an already-normalized tuple-of-tuples key.
 
         This sits on the compiled pipeline's per-probe path (the provider
@@ -197,23 +399,38 @@ class RelationStore:
         """
         return self._indexes.get(paths)
 
-    def indexes(self) -> Tuple[HashIndex, ...]:
+    def indexes(self) -> Tuple[IndexView, ...]:
         return tuple(self._indexes.values())
 
     def describe(self) -> Dict[str, Any]:
-        return {
+        description = {
             "relation": self.name,
-            "cardinality": self._builder.cardinality(),
-            "distinct": self._builder.distinct_size(),
+            "cardinality": sum(shard.builder.cardinality() for shard in self._shards),
+            "distinct": sum(shard.builder.distinct_size() for shard in self._shards),
             "version": self._version,
-            "snapshot_freezes": self._builder.freezes,
-            "indexes": [index.describe() for index in self._indexes.values()],
+            "snapshot_freezes": self.snapshot_freezes,
+            "shards": self._shard_count,
+            "indexes": [view.describe() for view in self._indexes.values()],
         }
+        if self._shard_count > 1:
+            description["routing_paths"] = self._routing_paths
+            description["shard_stats"] = [
+                {
+                    "shard": position,
+                    "distinct": shard.builder.distinct_size(),
+                    "cardinality": shard.builder.cardinality(),
+                    "snapshot_freezes": shard.builder.freezes,
+                }
+                for position, shard in enumerate(self._shards)
+            ]
+        return description
 
     def __repr__(self) -> str:
+        distinct = sum(shard.builder.distinct_size() for shard in self._shards)
         return (
-            f"RelationStore({self.name!r}, {self._builder.distinct_size()} distinct, "
-            f"v{self._version}, {len(self._indexes)} indexes)"
+            f"RelationStore({self.name!r}, {distinct} distinct, "
+            f"{self._shard_count} shards, v{self._version}, "
+            f"{len(self._indexes)} indexes)"
         )
 
 
@@ -236,7 +453,15 @@ class IndexProvider:
     def __init__(self, manager: "StorageManager") -> None:
         self._manager = manager
 
-    def probe(self, name: str, paths: Paths, source_bag: Bag) -> Optional[HashIndex]:
+    def probe(self, name: str, paths: Paths, source_bag: Bag) -> Optional[IndexView]:
+        """Serve the index view for ``(name, paths)`` if it describes ``source_bag``.
+
+        For multi-shard stores the returned
+        :class:`~repro.storage.shards.ShardIndexFamily` routes primary-key
+        probes to the single owning shard and merges the (disjoint) shard
+        buckets for secondary keys; the compiled pipeline probes it exactly
+        like a raw :class:`~repro.storage.index.HashIndex`.
+        """
         if os.environ.get(REPRO_NO_INDEX):
             return None
         store = self._manager.get(name)
@@ -258,20 +483,30 @@ class IndexProvider:
 
 
 class StorageManager:
-    """A named family of relation stores sharing one index provider."""
+    """A named family of relation stores sharing one index provider.
 
-    __slots__ = ("kind", "_stores", "_provider")
+    ``shards`` fixes the shard count of every store this manager creates
+    (``None`` defers to ``REPRO_SHARDS`` / the default at creation time).
+    """
 
-    def __init__(self, kind: str = "relations") -> None:
+    __slots__ = ("kind", "_stores", "_provider", "_shards")
+
+    def __init__(self, kind: str = "relations", shards: Optional[int] = None) -> None:
         self.kind = kind
         self._stores: Dict[str, RelationStore] = {}
         self._provider = IndexProvider(self)
+        self._shards = shards
+
+    @property
+    def shards(self) -> Optional[int]:
+        """The pinned shard count, or ``None`` when stores resolve it themselves."""
+        return self._shards
 
     # ------------------------------------------------------------------ #
     def ensure(self, name: str, bag: Bag = EMPTY_BAG) -> RelationStore:
         store = self._stores.get(name)
         if store is None:
-            store = self._stores[name] = RelationStore(name, bag)
+            store = self._stores[name] = RelationStore(name, bag, shards=self._shards)
         return store
 
     def get(self, name: str) -> Optional[RelationStore]:
