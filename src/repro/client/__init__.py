@@ -1,0 +1,29 @@
+"""Client SDK for the serving layer: ``APIClient`` + per-resource clients.
+
+    from repro.client import APIClient, DatasetsClient, UpdatesClient, ViewsClient
+
+    api = APIClient("http://127.0.0.1:8765")
+    DatasetsClient(api, tenant="team-a").create("M", ["name", "gen", "dir"])
+    UpdatesClient(api, tenant="team-a").insert("M", [["Drive", "Drama", "Refn"]])
+
+The SDK is pure standard library; retries and 429 backoff live in
+:class:`~repro.client.api.APIClient`.  ``repro-cli`` (the console script,
+:mod:`repro.client.cli`) layers table-rendering commands on top.
+"""
+
+from repro.client.api import APIClient, APIError
+from repro.client.resources import (
+    DatasetsClient,
+    ServerClient,
+    UpdatesClient,
+    ViewsClient,
+)
+
+__all__ = [
+    "APIClient",
+    "APIError",
+    "DatasetsClient",
+    "ServerClient",
+    "UpdatesClient",
+    "ViewsClient",
+]

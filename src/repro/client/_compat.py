@@ -1,0 +1,72 @@
+"""Optional ``rich`` rendering with a pure-stdlib fallback.
+
+The CLI renders tables through this module: when the ``[cli]`` extra is
+installed, real :mod:`rich` consoles and tables are used; otherwise the
+minimal plain-text implementations below keep ``repro-cli`` fully
+functional on a dependency-free interpreter (the container/CI constraint).
+Both paths expose the same tiny surface: ``Console().print(...)`` and
+``Table(title=...)`` with ``add_column``/``add_row``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+try:  # pragma: no cover - exercised only when rich is installed
+    from rich.console import Console  # type: ignore
+    from rich.table import Table  # type: ignore
+
+    HAVE_RICH = True
+except ImportError:
+    HAVE_RICH = False
+
+    class Table:  # type: ignore[no-redef]
+        """Plain-text stand-in for ``rich.table.Table``."""
+
+        def __init__(self, title: str = "", show_lines: bool = False, **_: Any) -> None:
+            self.title = title
+            self.columns: List[str] = []
+            self.rows: List[List[str]] = []
+
+        def add_column(self, header: str, **_: Any) -> None:
+            self.columns.append(header)
+
+        def add_row(self, *cells: Any) -> None:
+            self.rows.append([str(cell) for cell in cells])
+
+        def render(self) -> str:
+            headers = self.columns or (
+                [f"c{i}" for i in range(len(self.rows[0]))] if self.rows else []
+            )
+            widths = [len(header) for header in headers]
+            for row in self.rows:
+                for index, cell in enumerate(row):
+                    while index >= len(widths):
+                        widths.append(0)
+                    widths[index] = max(widths[index], len(cell))
+
+            def line(cells: List[str]) -> str:
+                return "  ".join(
+                    cell.ljust(widths[index]) for index, cell in enumerate(cells)
+                ).rstrip()
+
+            parts = []
+            if self.title:
+                parts.append(self.title)
+            if headers:
+                parts.append(line(headers))
+                parts.append(line(["-" * width for width in widths]))
+            parts.extend(line(row) for row in self.rows)
+            return "\n".join(parts)
+
+    class Console:  # type: ignore[no-redef]
+        """Plain-text stand-in for ``rich.console.Console``."""
+
+        def print(self, renderable: Any = "", **_: Any) -> None:  # noqa: A003
+            if isinstance(renderable, Table):
+                print(renderable.render())
+            else:
+                print(renderable)
+
+
+__all__ = ["Console", "Table", "HAVE_RICH"]

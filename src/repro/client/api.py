@@ -1,0 +1,148 @@
+"""The base HTTP client: one connection policy shared by every resource.
+
+:class:`APIClient` speaks the server's JSON protocol over the standard
+library (:mod:`urllib.request` — no third-party HTTP dependency) and owns
+the retry policy:
+
+* **429 backpressure** — honored via the server's ``Retry-After`` header
+  (capped at :attr:`APIClient.max_retry_after`), retried up to
+  ``max_retries`` times.  This is the client half of the admission-control
+  contract: a well-behaved writer backs off exactly as long as the server's
+  ingest queue predicts.
+* **connection errors** (refused, reset, timeout) — retried with
+  exponential backoff ``backoff_base * 2**attempt`` plus ±25% jitter, for
+  servers that are restarting.
+* every other HTTP error surfaces immediately as :class:`APIError` with the
+  server's structured ``{"error": {"code", "message"}}`` body decoded.
+
+Resource clients (:mod:`repro.client.resources`) compose on top of this,
+mirroring the ``APIClient`` + per-resource-client layering of typical
+service CLIs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = ["APIClient", "APIError", "DEFAULT_SERVER", "DEFAULT_TENANT"]
+
+#: Environment variables the CLI and SDK default from.
+DEFAULT_SERVER = "REPRO_SERVER"
+DEFAULT_TENANT = "REPRO_TENANT"
+
+
+class APIError(Exception):
+    """A non-retryable (or retries-exhausted) API failure."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class APIClient:
+    """JSON-over-HTTP client with 429/connection retries."""
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 5,
+        backoff_base: float = 0.05,
+        max_retry_after: float = 5.0,
+        sleep=time.sleep,
+    ) -> None:
+        if base_url is None:
+            base_url = os.environ.get(DEFAULT_SERVER, "http://127.0.0.1:8765")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.max_retry_after = max_retry_after
+        self._sleep = sleep
+        # Observability for tests and the CLI's --verbose mode.
+        self.retries_performed = 0
+
+    # ------------------------------------------------------------------ #
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """One logical request; transparently retries 429s and dead sockets."""
+        url = f"{self.base_url}/{path.lstrip('/')}"
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                url,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    payload = response.read()
+                    return json.loads(payload.decode("utf-8")) if payload else {}
+            except urllib.error.HTTPError as error:
+                raw = error.read()
+                code, message = self._decode_error(raw, error)
+                if error.status == 429 and attempt < self.max_retries:
+                    retry_after = self._retry_after_of(error)
+                    self.retries_performed += 1
+                    attempt += 1
+                    self._sleep(retry_after)
+                    continue
+                raise APIError(error.status, code, message) from None
+            except (urllib.error.URLError, ConnectionError, socket.timeout) as error:
+                if attempt < self.max_retries:
+                    self.retries_performed += 1
+                    delay = self.backoff_base * (2 ** attempt)
+                    delay *= 1.0 + random.uniform(-0.25, 0.25)
+                    attempt += 1
+                    self._sleep(min(delay, self.max_retry_after))
+                    continue
+                reason = getattr(error, "reason", error)
+                raise APIError(0, "connection", f"{url}: {reason}") from None
+
+    def _retry_after_of(self, error: urllib.error.HTTPError) -> float:
+        header = error.headers.get("Retry-After") if error.headers else None
+        try:
+            retry_after = float(header) if header is not None else self.backoff_base
+        except ValueError:
+            retry_after = self.backoff_base
+        return min(max(retry_after, 0.0), self.max_retry_after)
+
+    @staticmethod
+    def _decode_error(raw: bytes, error: urllib.error.HTTPError):
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+            details = decoded.get("error", {})
+            return (
+                str(details.get("code", "http_error")),
+                str(details.get("message", error.reason)),
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+            return "http_error", str(error.reason)
+
+    # ------------------------------------------------------------------ #
+    # Convenience verbs
+    # ------------------------------------------------------------------ #
+    def get(self, path: str) -> Any:
+        return self.request("GET", path)
+
+    def post(self, path: str, body: Optional[Dict[str, Any]] = None) -> Any:
+        return self.request("POST", path, body or {})
+
+    def __repr__(self) -> str:
+        return f"APIClient({self.base_url!r})"

@@ -1,0 +1,125 @@
+"""Per-resource clients over :class:`~repro.client.api.APIClient`.
+
+One thin client per wire resource — datasets, views, updates, server admin —
+so SDK users compose exactly what they need::
+
+    api = APIClient("http://127.0.0.1:8765")
+    datasets = DatasetsClient(api, tenant="team-a")
+    datasets.create("M", fields=["name", "gen", "dir"], rows=[...])
+    UpdatesClient(api, tenant="team-a").apply({"M": {"rows": [[...]]}})
+    print(ViewsClient(api, tenant="team-a").show("dramas")["pairs"])
+
+All methods return the decoded JSON response bodies; wire values come back
+in protocol encoding (tuples as lists, inner bags as ``{"bag": pairs}`` —
+see :mod:`repro.serve.protocol`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.client.api import APIClient
+
+__all__ = [
+    "DatasetsClient",
+    "ServerClient",
+    "UpdatesClient",
+    "ViewsClient",
+]
+
+
+class _TenantClient:
+    def __init__(self, api: APIClient, tenant: str = "default") -> None:
+        self.api = api
+        self.tenant = tenant
+
+    def _path(self, suffix: str) -> str:
+        return f"v1/{self.tenant}/{suffix}"
+
+
+class DatasetsClient(_TenantClient):
+    """``/v1/{tenant}/datasets``."""
+
+    def list(self) -> Dict[str, Any]:
+        return self.api.get(self._path("datasets"))
+
+    def create(
+        self,
+        name: str,
+        fields: List[Any],
+        rows: Optional[List[Any]] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"name": name, "fields": fields}
+        if rows is not None:
+            body["rows"] = rows
+        return self.api.post(self._path("datasets"), body)
+
+    def show(self, name: str) -> Dict[str, Any]:
+        return self.api.get(self._path(f"datasets/{name}"))
+
+
+class ViewsClient(_TenantClient):
+    """``/v1/{tenant}/views``."""
+
+    def list(self) -> Dict[str, Any]:
+        return self.api.get(self._path("views"))
+
+    def create(
+        self, name: str, query: Dict[str, Any], strategy: str = "auto"
+    ) -> Dict[str, Any]:
+        return self.api.post(
+            self._path("views"),
+            {"name": name, "query": query, "strategy": strategy},
+        )
+
+    def show(self, name: str, since_version: Optional[int] = None) -> Dict[str, Any]:
+        suffix = f"views/{name}"
+        if since_version is not None:
+            suffix += f"?since_version={since_version}"
+        return self.api.get(self._path(suffix))
+
+    def explain(self, name: str) -> Dict[str, Any]:
+        return self.api.get(self._path(f"views/{name}/explain"))
+
+    def indexes(self, name: str) -> Dict[str, Any]:
+        return self.api.get(self._path(f"views/{name}/indexes"))
+
+
+class UpdatesClient(_TenantClient):
+    """``/v1/{tenant}/apply`` and storage maintenance."""
+
+    def apply(
+        self, *updates: Dict[str, Any], mode: str = "sync"
+    ) -> Dict[str, Any]:
+        """Apply updates; each is a ``{relation: {"rows"|"pairs": ...}}`` map."""
+        return self.api.post(
+            self._path("apply"), {"updates": list(updates), "mode": mode}
+        )
+
+    def insert(self, relation: str, rows: List[Any], mode: str = "sync") -> Dict[str, Any]:
+        return self.apply({relation: {"rows": rows}}, mode=mode)
+
+    def vacuum(self) -> Dict[str, Any]:
+        return self.api.post(self._path("vacuum"))
+
+    def snapshot(self, since_version: Optional[int] = None) -> Dict[str, Any]:
+        suffix = "snapshot"
+        if since_version is not None:
+            suffix += f"?since_version={since_version}"
+        return self.api.get(self._path(suffix))
+
+    def storage(self) -> Dict[str, Any]:
+        return self.api.get(self._path("storage"))
+
+
+class ServerClient:
+    """Server-wide endpoints (no tenant)."""
+
+    def __init__(self, api: APIClient) -> None:
+        self.api = api
+
+    def health(self) -> Dict[str, Any]:
+        return self.api.get("health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.api.get("stats")

@@ -9,7 +9,7 @@ registry keeps the strategy set open for new engines.
 """
 
 from repro.engine import backends as _backends  # noqa: F401 — installs built-ins
-from repro.engine.core import Engine, Session, ViewHandle
+from repro.engine.core import Engine, EngineSnapshot, Session, ViewHandle
 from repro.engine.plan import MaintenancePlan, StrategyEstimate
 from repro.engine.planner import PlanningInputs, plan_view
 from repro.engine.registry import (
@@ -29,6 +29,7 @@ from repro.engine.scheduler import (
 
 __all__ = [
     "Engine",
+    "EngineSnapshot",
     "Session",
     "ViewHandle",
     "MaintenancePlan",

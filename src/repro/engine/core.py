@@ -40,7 +40,7 @@ from repro.nrc.types import BagType
 from repro.surface.dsl import Dataset, Query
 from repro.surface.schema import Record
 
-__all__ = ["Engine", "Session", "ViewHandle"]
+__all__ = ["Engine", "EngineSnapshot", "Session", "ViewHandle"]
 
 #: What ``Engine.view`` accepts as a query.
 QueryLike = Union[Query, Expr]
@@ -81,15 +81,17 @@ class ViewHandle:
         mode = getattr(self.view, "execution_mode", None)
         return mode() if callable(mode) else "interpreted"
 
-    def indexes(self) -> Tuple[Mapping, ...]:
+    def indexes(self) -> list:
         """Live state of the persistent storage indexes behind this view.
 
         One entry per join atom of the view's compiled queries: relation,
         key paths, whether a persistent index is registered for it, and —
-        when registered — its size plus hit/rebuild counts.
+        when registered — its size plus hit/rebuild counts.  The report is
+        plain data (dicts/lists/scalars), so ``json.dumps`` accepts it
+        unchanged — what the serving layer's wire protocol relies on.
         """
         report = getattr(self.view, "index_report", None)
-        return tuple(report()) if callable(report) else ()
+        return list(report()) if callable(report) else []
 
     def explain(self) -> MaintenancePlan:
         return self.plan
@@ -99,6 +101,43 @@ class ViewHandle:
             f"<View {self.name!r} strategy={self.strategy} "
             f"execution={self.execution} "
             f"updates={self.stats.updates_applied}>"
+        )
+
+
+class EngineSnapshot:
+    """A consistent, immutable picture of an engine at one state version.
+
+    Captures the frozen store snapshots of every dataset and the current
+    materialization of every view, stamped with the database's
+    ``state_version`` at capture time.  The bags are the storage layer's
+    copy-on-write snapshots: retaining one costs nothing until the next
+    write, which then un-shares only the touched shards (see ``docs/api.md``,
+    "Storage internals & complexity").  The serving layer publishes one of
+    these per applied batch; readers pin it and never block behind an
+    in-flight apply.
+
+    Consistency contract: a snapshot must be captured while no update is in
+    flight (the capturing thread is the applying thread, or externally
+    synchronized with it).  Given that, all bags in one snapshot reflect
+    exactly the state after the same update.
+    """
+
+    __slots__ = ("version", "datasets", "views")
+
+    def __init__(
+        self,
+        version: int,
+        datasets: Mapping[str, Bag],
+        views: Mapping[str, Bag],
+    ) -> None:
+        self.version = version
+        self.datasets = dict(datasets)
+        self.views = dict(views)
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineSnapshot(version={self.version}, "
+            f"datasets={sorted(self.datasets)}, views={sorted(self.views)})"
         )
 
 
@@ -125,6 +164,51 @@ class Engine:
         self._expected_update_size = expected_update_size
         self._views: Dict[str, ViewHandle] = {}
         self._datasets: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the engine down deterministically.
+
+        Joins the view-refresh scheduler's worker threads (which otherwise
+        live until garbage collection) and closes the database: further
+        ``dataset``/``apply`` calls raise, already-frozen snapshots and view
+        results stay readable.  Idempotent; also runs on context-manager
+        exit, so ``with Engine() as engine: ...`` never leaks threads.
+        """
+        self._database.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._database.closed
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def state_version(self) -> int:
+        """Monotone counter of committed state transitions (see
+        :meth:`~repro.ivm.database.Database.state_version`)."""
+        return self._database.state_version
+
+    def snapshot(self) -> EngineSnapshot:
+        """Pin a consistent :class:`EngineSnapshot` at the current version.
+
+        Must be called while no update is in flight (from the applying
+        thread, or synchronized with it) — the serving layer's single-writer
+        ingest loop satisfies this by construction.  The returned bags are
+        lazily-frozen copy-on-write snapshots, so capture is O(shards) per
+        dataset plus O(1) per already-materialized view result.
+        """
+        return EngineSnapshot(
+            version=self._database.state_version,
+            datasets={name: self._database.relation(name) for name in self.dataset_names()},
+            views={handle.name: handle.result() for handle in self._views.values()},
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.nrc.ast import Expr
+from repro.nrc.pretty import render as render_expr
 
 __all__ = ["StrategyEstimate", "MaintenancePlan"]
 
@@ -43,6 +44,18 @@ class StrategyEstimate:
         if self.tcost is None:
             return None
         return self.tcost + (self.scan_cost or 0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-serializable: dicts/lists/scalars only)."""
+        return {
+            "strategy": self.strategy,
+            "eligible": self.eligible,
+            "reason": self.reason,
+            "tcost": self.tcost,
+            "scan_cost": self.scan_cost,
+            "total": self.total,
+            "artifacts": dict(self.artifacts),
+        }
 
     def render(self) -> str:
         marker = "ok " if self.eligible else "-- "
@@ -104,6 +117,30 @@ class MaintenancePlan:
     @property
     def chosen_estimate(self) -> Optional[StrategyEstimate]:
         return self.estimate_for(self.strategy)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form of the plan for wire protocols and CLI tables.
+
+        Everything is JSON-serializable without a bespoke encoder: the query
+        is rendered to its calculus string, estimates become plain dicts,
+        and no ``Expr``/``Label``/dataclass objects leak through.  Round-trips
+        ``json.loads(json.dumps(plan.to_dict())) == plan.to_dict()``.
+        """
+        return {
+            "view": self.view_name,
+            "query": render_expr(self.query),
+            "strategy": self.strategy,
+            "requested": self.requested,
+            "reason": self.reason,
+            "execution": self.execution,
+            "indexes": list(self.indexes),
+            "shards": self.shards,
+            "parallel_apply": self.parallel_apply,
+            "apply_unit": self.apply_unit,
+            "expected_update_size": self.expected_update_size,
+            "estimates": [estimate.to_dict() for estimate in self.estimates],
+            "artifacts": dict(self.artifacts),
+        }
 
     def render(self) -> str:
         """Human-readable multi-line explanation (what ``explain`` prints)."""

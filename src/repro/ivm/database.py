@@ -259,12 +259,18 @@ class Database:
         # so the update path skips the shredder for them entirely.
         self._flat_relations: set = set()
         self._views: List[object] = []
+        # Monotone counter of state transitions (registrations and applied
+        # non-empty updates).  The serving layer stamps reader snapshots
+        # with it: two reads with equal versions saw identical state.
+        self._state_version = 0
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Schema and data registration
     # ------------------------------------------------------------------ #
     def register(self, name: str, schema: BagType, instance: Optional[Bag] = None) -> None:
         """Register a relation with its schema and optional initial instance."""
+        self._check_open()
         if name in self._schemas:
             raise WorkloadError(f"relation {name!r} is already registered")
         if not isinstance(schema, BagType):
@@ -278,6 +284,7 @@ class Database:
         for path in dict_paths:
             self._dict_owner[input_dict_name(name, path)] = name
         self._reshred_relation(name)
+        self._state_version += 1
 
     def _reshred_relation(self, name: str) -> None:
         schema = self._schemas[name]
@@ -372,7 +379,7 @@ class Database:
                 store = self._flat_storage.get(name)
             entry: Dict[str, object] = {
                 "relation": name,
-                "key_paths": requirement.paths,
+                "key_paths": [list(path) for path in requirement.paths],
                 "registered": False,
             }
             if store is not None:
@@ -426,6 +433,7 @@ class Database:
     def register_view(self, view: object) -> None:
         """Register a view to be notified on every update (pre-mutation)."""
         self._views.append(view)
+        self._state_version += 1
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -474,6 +482,7 @@ class Database:
         written.  Relation names are still validated first, so a typo'd name
         fails loudly even when its delta bag happens to be empty.
         """
+        self._check_open()
         for name in update.relations:
             if name not in self._schemas:
                 raise WorkloadError(f"update touches unknown relation {name!r}")
@@ -501,7 +510,46 @@ class Database:
         # shredded mirror (see repro.ivm.nested).
         if update.deep:
             self._refresh_nested_from_shredded(update)
+        self._state_version += 1
         return shredded_delta
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def state_version(self) -> int:
+        """Monotone counter of committed state transitions.
+
+        Bumps once per registration and once per applied non-empty update
+        (after the stores mutated), so a reader that pairs a snapshot with
+        the version current at snapshot time can tell staleness apart from
+        divergence.  No-op updates leave it untouched.
+        """
+        return self._state_version
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WorkloadError("database is closed")
+
+    def close(self) -> None:
+        """Deterministically release scheduler resources.
+
+        Shuts down the view-refresh thread pool (worker threads otherwise
+        live until garbage collection) and marks the database closed:
+        further registrations and updates raise, while reads of the frozen
+        stores remain valid.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.shutdown()
+            self._scheduler = None
 
     # ------------------------------------------------------------------ #
     # View refresh dispatch

@@ -1,0 +1,49 @@
+"""IVM-as-a-service: the concurrent serving layer over the engine.
+
+``repro.serve`` wraps :class:`~repro.engine.Engine` sessions in a
+long-running threaded HTTP service with named per-tenant datasets and
+views, a JSON wire protocol, coalescing single-writer ingest queues with
+backpressure (HTTP 429 + ``Retry-After``), and per-request consistent
+reader snapshots.  See ``docs/serve.md`` for the wire protocol and the
+concurrency contract, and :mod:`repro.client` for the SDK/CLI.
+
+    from repro.serve import ReproServer
+
+    with ReproServer(port=0) as server:          # port 0 → ephemeral
+        print(server.url)
+        ...
+
+The server is pure standard library; the optional ``[cli]`` extra only
+affects client-side table rendering.
+"""
+
+from repro.serve.ingest import BackpressureError, Command, IngestStats, IngestWorker
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_update,
+    decode_value,
+    encode_bag,
+    encode_value,
+    query_from_spec,
+    record_from_spec,
+)
+from repro.serve.server import ReproServer, ServerConfig
+from repro.serve.sessions import SessionManager, TenantSession
+
+__all__ = [
+    "BackpressureError",
+    "Command",
+    "IngestStats",
+    "IngestWorker",
+    "ProtocolError",
+    "ReproServer",
+    "ServerConfig",
+    "SessionManager",
+    "TenantSession",
+    "decode_update",
+    "decode_value",
+    "encode_bag",
+    "encode_value",
+    "query_from_spec",
+    "record_from_spec",
+]

@@ -1,0 +1,491 @@
+"""The threaded HTTP server: IVM-as-a-service over the JSON wire protocol.
+
+Pure standard library (:mod:`http.server` + :mod:`socketserver` threading
+mix-in): every request runs on its own handler thread, writes funnel into
+the per-tenant single-writer ingest queues, reads serve from pinned
+snapshots.  Routes (all bodies JSON; ``{t}`` is the tenant name):
+
+========  =====================================  ==================================
+method    path                                   meaning
+========  =====================================  ==================================
+GET       ``/health``                            liveness + uptime
+GET       ``/stats``                             server + per-tenant admission stats
+GET       ``/v1/{t}/datasets``                   list datasets
+POST      ``/v1/{t}/datasets``                   create (``name``/``fields``/``rows``)
+GET       ``/v1/{t}/datasets/{name}``            contents at the pinned snapshot
+GET       ``/v1/{t}/views``                      list views
+POST      ``/v1/{t}/views``                      create (``name``/``query``/``strategy``)
+GET       ``/v1/{t}/views/{name}``               result at the pinned snapshot
+GET       ``/v1/{t}/views/{name}/explain``       the maintenance plan, as plain JSON
+GET       ``/v1/{t}/views/{name}/indexes``       live index report
+GET       ``/v1/{t}/snapshot``                   all datasets+views at one version
+GET       ``/v1/{t}/storage``                    the engine's storage report
+POST      ``/v1/{t}/apply``                      enqueue updates (``mode`` sync/async)
+POST      ``/v1/{t}/vacuum``                     reclaim + re-validate indexes
+========  =====================================  ==================================
+
+Error bodies are ``{"error": {"code": ..., "message": ...}}``.  A full
+ingest queue answers **429** with a ``Retry-After`` header (seconds, float)
+estimated from the tenant's observed batch latency.
+
+Read consistency: every ``GET`` under ``/v1/{t}/`` loads the tenant's
+published snapshot exactly once and answers entirely from it, so the
+``version`` field in the response identifies one consistent engine state —
+even while writers are storming.  ``?since_version=N`` on view/snapshot
+reads short-circuits to ``{"unchanged": true}`` when nothing advanced
+(what the CLI's ``watch`` polls).
+
+Shutdown: :meth:`ReproServer.close` stops accepting connections, drains
+every tenant's ingest queue, and closes every engine (joining scheduler
+threads via ``Engine.close``).  :meth:`install_signal_handlers` wires
+SIGTERM/SIGINT to exactly that, so a supervised server exits cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import EngineError, NotInFragmentError, ReproError
+from repro.serve.ingest import BackpressureError
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_update,
+    encode_bag,
+    fields_spec_of,
+)
+from repro.serve.sessions import SessionManager, TenantSession
+
+__all__ = ["ReproServer", "ServerConfig"]
+
+
+class ServerConfig:
+    """Knobs of one server instance (see ``docs/serve.md``)."""
+
+    __slots__ = (
+        "host",
+        "port",
+        "queue_depth",
+        "coalesce",
+        "auto_create_tenants",
+        "sync_timeout",
+        "engine_options",
+        "quiet",
+    )
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        queue_depth: int = 256,
+        coalesce: int = 64,
+        auto_create_tenants: bool = True,
+        sync_timeout: float = 30.0,
+        engine_options: Optional[Dict[str, Any]] = None,
+        quiet: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.queue_depth = queue_depth
+        self.coalesce = coalesce
+        self.auto_create_tenants = auto_create_tenants
+        self.sync_timeout = sync_timeout
+        self.engine_options = dict(engine_options or {})
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; all state lives on ``self.server.repro``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.repro.config.quiet:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, payload: Any, status: int = 200, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_json(
+            {"error": {"code": code, "message": message}}, status=status, headers=headers
+        )
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"request body is not valid JSON: {error}") from None
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        server: "ReproServer" = self.server.repro  # type: ignore[attr-defined]
+        server.requests_served += 1
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = {key: values[-1] for key, values in parse_qs(url.query).items()}
+        try:
+            self._route(server, method, parts, query)
+        except BackpressureError as error:
+            self._send_error_json(
+                429,
+                "backpressure",
+                str(error),
+                headers={"Retry-After": f"{error.retry_after:.3f}"},
+            )
+        except ProtocolError as error:
+            status = 404 if error.code == "not_found" else 400
+            self._send_error_json(status, error.code, str(error))
+        except NotInFragmentError as error:
+            self._send_error_json(400, "not_in_fragment", str(error))
+        except (EngineError, ReproError) as error:
+            self._send_error_json(400, "engine_error", str(error))
+        except TimeoutError as error:
+            self._send_error_json(503, "apply_timeout", str(error))
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(500, "internal", f"{type(error).__name__}: {error}")
+
+    def _route(
+        self,
+        server: "ReproServer",
+        method: str,
+        parts: list,
+        query: Dict[str, str],
+    ) -> None:
+        if parts == ["health"]:
+            self._send_json(
+                {
+                    "status": "ok",
+                    "uptime_seconds": time.time() - server.started_at,
+                    "tenants": list(server.sessions.names()),
+                }
+            )
+            return
+        if parts == ["stats"]:
+            self._send_json(server.stats())
+            return
+        if len(parts) >= 2 and parts[0] == "v1":
+            session = server.sessions.get(parts[1])
+            rest = parts[2:]
+            if method == "GET":
+                self._route_tenant_get(session, rest, query)
+            else:
+                self._route_tenant_post(session, rest)
+            return
+        raise ProtocolError(f"no route for {method} {self.path!r}", code="not_found")
+
+    # ------------------------------------------------------------------ #
+    # Tenant reads: answer entirely from one pinned snapshot
+    # ------------------------------------------------------------------ #
+    def _route_tenant_get(
+        self, session: TenantSession, rest: list, query: Dict[str, str]
+    ) -> None:
+        snapshot = session.snapshot  # pinned once per request
+        since = query.get("since_version")
+        if rest == ["datasets"]:
+            self._send_json(
+                {
+                    "version": snapshot.version,
+                    "datasets": [
+                        {
+                            "name": name,
+                            "fields": fields_spec_of(session.records[name])
+                            if name in session.records
+                            else [],
+                            "distinct": snapshot.datasets[name].distinct_size(),
+                            "cardinality": snapshot.datasets[name].cardinality(),
+                        }
+                        for name in sorted(snapshot.datasets)
+                    ],
+                }
+            )
+            return
+        if len(rest) == 2 and rest[0] == "datasets":
+            name = rest[1]
+            bag = snapshot.datasets.get(name)
+            if bag is None:
+                raise ProtocolError(f"no dataset named {name!r}", code="not_found")
+            self._send_json(
+                {"version": snapshot.version, "dataset": name, **encode_bag(bag)}
+            )
+            return
+        if rest == ["views"]:
+            self._send_json(
+                {
+                    "version": snapshot.version,
+                    "views": [
+                        {
+                            "name": handle.name,
+                            "strategy": handle.strategy,
+                            "execution": handle.execution,
+                            "updates_applied": handle.stats.updates_applied,
+                            "distinct": snapshot.views[handle.name].distinct_size()
+                            if handle.name in snapshot.views
+                            else 0,
+                        }
+                        for handle in session.engine.views()
+                    ],
+                }
+            )
+            return
+        if len(rest) >= 2 and rest[0] == "views":
+            name = rest[1]
+            if len(rest) == 2:
+                bag = snapshot.views.get(name)
+                if bag is None:
+                    raise ProtocolError(f"no view named {name!r}", code="not_found")
+                if since is not None and since.isdigit() and int(since) == snapshot.version:
+                    self._send_json({"version": snapshot.version, "unchanged": True})
+                    return
+                handle = session.view_handle(name)
+                self._send_json(
+                    {
+                        "version": snapshot.version,
+                        "view": name,
+                        "strategy": handle.strategy,
+                        **encode_bag(bag),
+                    }
+                )
+                return
+            if rest[2:] == ["explain"]:
+                handle = session.view_handle(name)
+                self._send_json(
+                    {"version": snapshot.version, "plan": handle.plan.to_dict()}
+                )
+                return
+            if rest[2:] == ["indexes"]:
+                handle = session.view_handle(name)
+                self._send_json(
+                    {"version": snapshot.version, "indexes": handle.indexes()}
+                )
+                return
+        if rest == ["snapshot"]:
+            if since is not None and since.isdigit() and int(since) == snapshot.version:
+                self._send_json({"version": snapshot.version, "unchanged": True})
+                return
+            self._send_json(
+                {
+                    "version": snapshot.version,
+                    "datasets": {
+                        name: encode_bag(bag)
+                        for name, bag in sorted(snapshot.datasets.items())
+                    },
+                    "views": {
+                        name: encode_bag(bag)
+                        for name, bag in sorted(snapshot.views.items())
+                    },
+                }
+            )
+            return
+        if rest == ["storage"]:
+            self._send_json(
+                {
+                    "version": snapshot.version,
+                    "storage": session.engine.storage_report(),
+                }
+            )
+            return
+        raise ProtocolError(f"no route for GET {self.path!r}", code="not_found")
+
+    # ------------------------------------------------------------------ #
+    # Tenant writes: funnel through the single-writer ingest queue
+    # ------------------------------------------------------------------ #
+    def _route_tenant_post(self, session: TenantSession, rest: list) -> None:
+        body = self._read_body()
+        if rest == ["datasets"]:
+            if not isinstance(body, dict) or "name" not in body:
+                raise ProtocolError("dataset creation needs {'name', 'fields', 'rows'?}")
+            result = session.create_dataset(
+                str(body["name"]), body.get("fields"), body.get("rows")
+            )
+            self._send_json(result, status=201)
+            return
+        if rest == ["views"]:
+            if not isinstance(body, dict) or "name" not in body or "query" not in body:
+                raise ProtocolError("view creation needs {'name', 'query', 'strategy'?}")
+            result = session.create_view(
+                str(body["name"]), body["query"], str(body.get("strategy", "auto"))
+            )
+            self._send_json(result, status=201)
+            return
+        if rest == ["apply"]:
+            if not isinstance(body, dict) or "updates" not in body:
+                raise ProtocolError("apply needs {'updates': [...], 'mode'?}")
+            updates_payload = body["updates"]
+            if not isinstance(updates_payload, list) or not updates_payload:
+                raise ProtocolError("'updates' must be a non-empty list")
+            mode = body.get("mode", "sync")
+            if mode not in ("sync", "async"):
+                raise ProtocolError(f"apply mode must be 'sync' or 'async', got {mode!r}")
+            updates = [decode_update(entry) for entry in updates_payload]
+            known = session.snapshot.datasets
+            for update in updates:
+                for relation in update.relations:
+                    if relation not in known:
+                        raise ProtocolError(
+                            f"no dataset named {relation!r}", code="not_found"
+                        )
+            if mode == "async":
+                commands = [session.submit_apply(update) for update in updates]
+                self._send_json(
+                    {
+                        "accepted": len(commands),
+                        "queue_depth": session.worker.depth(),
+                    },
+                    status=202,
+                )
+                return
+            results = [session.apply_sync(update) for update in updates]
+            self._send_json({"applied": len(results), "results": results})
+            return
+        if rest == ["vacuum"]:
+            self._send_json(session.vacuum())
+            return
+        raise ProtocolError(f"no route for POST {self.path!r}", code="not_found")
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    repro: "ReproServer"
+
+
+class ReproServer:
+    """Owns the listening socket, the tenants, and the shutdown sequence."""
+
+    def __init__(self, config: Optional[ServerConfig] = None, **kwargs: Any) -> None:
+        self.config = config or ServerConfig(**kwargs)
+        self.sessions = SessionManager(
+            engine_options=self.config.engine_options,
+            queue_depth=self.config.queue_depth,
+            coalesce=self.config.coalesce,
+            auto_create=self.config.auto_create_tenants,
+            sync_timeout=self.config.sync_timeout,
+        )
+        self.started_at = time.time()
+        self.requests_served = 0
+        self._httpd = _HTTPServer((self.config.host, self.config.port), _Handler)
+        self._httpd.repro = self
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port resolved even when configured as 0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "server": {
+                "url": self.url,
+                "uptime_seconds": time.time() - self.started_at,
+                "requests_served": self.requests_served,
+                "queue_depth_bound": self.config.queue_depth,
+                "coalesce_bound": self.config.coalesce,
+                "active_threads": threading.active_count(),
+            },
+            "tenants": self.sessions.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ReproServer":
+        """Serve on a background thread (tests, benchmarks, embedding)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (what ``repro-cli serve`` runs)."""
+        self._httpd.serve_forever()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful close (drain ingest, join schedulers).
+
+        Only callable from the main thread (a CPython signal constraint);
+        embedded servers call :meth:`close` themselves instead.
+        """
+
+        def _handle(signum: int, frame: Any) -> None:  # noqa: ARG001
+            self.close(drain=True)
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, drain every tenant, close every engine.
+
+        ``drain=True`` (the SIGTERM path) applies everything already queued
+        before exiting, so acknowledged synchronous writes are never lost;
+        ``drain=False`` abandons queued work (pending waiters get errors).
+        Idempotent and thread-safe.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+        self.sessions.close_all(drain=drain)
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<ReproServer {self.url} {state} tenants={list(self.sessions.names())}>"

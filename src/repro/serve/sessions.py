@@ -1,0 +1,242 @@
+"""Tenant sessions: one engine, one writer, one published snapshot.
+
+A :class:`TenantSession` is the serving layer's unit of isolation, in the
+spirit of pod-per-workload serving: each named tenant owns a private
+:class:`~repro.engine.Engine` (its own stores, views, label space and
+scheduler), so tenants can never observe — or corrupt — each other's state,
+and admission control applies per tenant.
+
+Concurrency contract (the load-bearing version of ``docs/api.md``'s
+thread-safety notes):
+
+* **writes** are serialized through the session's
+  :class:`~repro.serve.ingest.IngestWorker`; nothing mutates the engine on
+  any other thread.
+* **reads** never touch the engine.  After every batch the worker publishes
+  an immutable :class:`~repro.engine.EngineSnapshot` (frozen copy-on-write
+  store snapshots + view materializations, stamped with the database's
+  ``state_version``); readers load :attr:`TenantSession.snapshot` — a single
+  attribute read, atomic in CPython — and serve the whole request from that
+  pinned object.  A reader therefore observes one consistent version and
+  never blocks behind an in-flight apply; the cost is the documented
+  ``O(touched shards)`` copy-on-write the next write pays for the retained
+  snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine import Engine, EngineSnapshot
+from repro.errors import EngineError
+from repro.ivm.updates import Update
+from repro.serve.ingest import Command, IngestWorker
+from repro.serve.protocol import (
+    ProtocolError,
+    fields_spec_of,
+    query_from_spec,
+    record_from_spec,
+)
+from repro.surface.dsl import Dataset
+from repro.surface.schema import Record
+
+__all__ = ["SessionManager", "TenantSession"]
+
+
+class TenantSession:
+    """One tenant's engine plus its single-writer ingest pipeline."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        engine_options: Optional[Dict[str, Any]] = None,
+        queue_depth: int = 256,
+        coalesce: int = 64,
+        sync_timeout: float = 30.0,
+    ) -> None:
+        self.name = name
+        self.engine = Engine(**(engine_options or {}))
+        self.sync_timeout = sync_timeout
+        # Registered surface records, readable from handler threads.  Only
+        # the writer thread mutates it, and Python dict reads are atomic.
+        self.records: Dict[str, Record] = {}
+        self.snapshot: EngineSnapshot = self.engine.snapshot()
+        self.worker = IngestWorker(
+            name,
+            capacity=queue_depth,
+            coalesce=coalesce,
+            apply_batch=self._apply_batch,
+            on_batch=self.publish_snapshot,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Writer-thread internals
+    # ------------------------------------------------------------------ #
+    def publish_snapshot(self) -> None:
+        """Capture and publish a fresh consistent snapshot (worker thread)."""
+        self.snapshot = self.engine.snapshot()
+
+    def _apply_batch(self, updates: List[Update]) -> Dict[str, Any]:
+        applied = self.engine.apply_stream(updates, batched=True)
+        return {"applied": applied, "version": self.engine.state_version}
+
+    def _create_dataset(self, name: str, fields: Any, rows: Any) -> Dict[str, Any]:
+        record = record_from_spec(name, fields)
+        initial = None
+        if rows is not None:
+            from repro.serve.protocol import decode_value
+
+            if not isinstance(rows, list):
+                raise ProtocolError("dataset rows must be a list")
+            initial = [decode_value(row) for row in rows]
+        self.engine.dataset(name, record, rows=initial)
+        self.records[name] = record
+        return {
+            "dataset": name,
+            "fields": fields_spec_of(record),
+            "version": self.engine.state_version,
+        }
+
+    def _create_view(self, name: str, query_spec: Any, strategy: str) -> Dict[str, Any]:
+        datasets = {
+            dataset_name: self.engine.dataset_handle(dataset_name)
+            for dataset_name in self.engine.dataset_names()
+            if isinstance(self.engine.dataset_handle(dataset_name), Dataset)
+        }
+        query = query_from_spec(query_spec, datasets)
+        handle = self.engine.view(name, query, strategy=strategy)
+        return {
+            "view": name,
+            "strategy": handle.strategy,
+            "execution": handle.execution,
+            "version": self.engine.state_version,
+        }
+
+    def _vacuum(self) -> Dict[str, Any]:
+        return {"reclaimed": self.engine.vacuum(), "version": self.engine.state_version}
+
+    # ------------------------------------------------------------------ #
+    # Handler-thread API (enqueue + wait)
+    # ------------------------------------------------------------------ #
+    def submit_apply(self, update: Update) -> Command:
+        """Enqueue one update; raises BackpressureError when at capacity."""
+        return self.worker.submit(Command("apply", run=lambda: None, payload=update))
+
+    def apply_sync(self, update: Update) -> Dict[str, Any]:
+        return self.submit_apply(update).result(self.sync_timeout)
+
+    def create_dataset(self, name: str, fields: Any, rows: Any = None) -> Dict[str, Any]:
+        command = Command(
+            "dataset", run=lambda: self._create_dataset(name, fields, rows)
+        )
+        return self.worker.submit(command).result(self.sync_timeout)
+
+    def create_view(
+        self, name: str, query_spec: Any, strategy: str = "auto"
+    ) -> Dict[str, Any]:
+        command = Command(
+            "view", run=lambda: self._create_view(name, query_spec, strategy)
+        )
+        return self.worker.submit(command).result(self.sync_timeout)
+
+    def vacuum(self) -> Dict[str, Any]:
+        return self.worker.submit(Command("vacuum", run=self._vacuum)).result(
+            self.sync_timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    # Read-side API (snapshot only — never blocks behind a write)
+    # ------------------------------------------------------------------ #
+    def view_handle(self, name: str):
+        try:
+            return self.engine[name]
+        except EngineError:
+            raise ProtocolError(f"no view named {name!r}", code="not_found") from None
+
+    def dataset_record(self, name: str) -> Record:
+        record = self.records.get(name)
+        if record is None:
+            raise ProtocolError(f"no dataset named {name!r}", code="not_found")
+        return record
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot = self.snapshot
+        return {
+            "tenant": self.name,
+            "state_version": snapshot.version,
+            "datasets": len(snapshot.datasets),
+            "views": len(snapshot.views),
+            "queue_depth": self.worker.depth(),
+            "queue_capacity": self.worker.capacity,
+            "coalesce_bound": self.worker.coalesce,
+            "retry_after_hint": self.worker.retry_after(),
+            "ingest": self.worker.stats.to_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True) -> None:
+        """Drain the ingest queue (optionally) and close the engine."""
+        if self._closed:
+            return
+        self._closed = True
+        if drain:
+            self.worker.drain_and_stop()
+        else:
+            self.worker.stop_now()
+        self.engine.close()
+
+
+class SessionManager:
+    """The named tenants of one server."""
+
+    def __init__(
+        self,
+        *,
+        engine_options: Optional[Dict[str, Any]] = None,
+        queue_depth: int = 256,
+        coalesce: int = 64,
+        auto_create: bool = True,
+        sync_timeout: float = 30.0,
+    ) -> None:
+        self._engine_options = dict(engine_options or {})
+        self._queue_depth = queue_depth
+        self._coalesce = coalesce
+        self._auto_create = auto_create
+        self._sync_timeout = sync_timeout
+        self._sessions: Dict[str, TenantSession] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> TenantSession:
+        if not name or "/" in name:
+            raise ProtocolError(f"bad tenant name {name!r}")
+        session = self._sessions.get(name)
+        if session is not None:
+            return session
+        if not self._auto_create:
+            raise ProtocolError(f"unknown tenant {name!r}", code="not_found")
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is None:
+                session = self._sessions[name] = TenantSession(
+                    name,
+                    engine_options=self._engine_options,
+                    queue_depth=self._queue_depth,
+                    coalesce=self._coalesce,
+                    sync_timeout=self._sync_timeout,
+                )
+            return session
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._sessions))
+
+    def stats(self) -> Dict[str, Any]:
+        return {name: self._sessions[name].stats() for name in self.names()}
+
+    def close_all(self, drain: bool = True) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close(drain=drain)

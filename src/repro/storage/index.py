@@ -203,8 +203,9 @@ class HashIndex:
         return sum(len(bucket) for bucket in self._buckets.values())
 
     def describe(self) -> Dict[str, Any]:
+        # Lists, not tuples: the serving layer json-encodes this as-is.
         return {
-            "key_paths": self.paths,
+            "key_paths": [list(path) for path in self.paths],
             "distinct_keys": len(self._buckets),
             "entries": self.entry_count(),
             "hits": self.hits,

@@ -326,7 +326,7 @@ class ShardIndexFamily:
 
     def describe(self) -> Dict[str, Any]:
         return {
-            "key_paths": self.paths,
+            "key_paths": [list(path) for path in self.paths],
             "distinct_keys": len(self),
             "entries": self.entry_count(),
             "hits": self.hits,

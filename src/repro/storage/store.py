@@ -413,7 +413,10 @@ class RelationStore:
             "indexes": [view.describe() for view in self._indexes.values()],
         }
         if self._shard_count > 1:
-            description["routing_paths"] = self._routing_paths
+            paths = self._routing_paths
+            description["routing_paths"] = (
+                None if paths is None else [list(path) for path in paths]
+            )
             description["shard_stats"] = [
                 {
                     "shard": position,

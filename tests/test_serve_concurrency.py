@@ -1,0 +1,323 @@
+"""Concurrent serving: many writers, many readers, one consistent engine.
+
+The load-bearing guarantees of the serving layer, exercised with real
+threads against a live server:
+
+* **snapshot consistency** — every read observes one engine version: an
+  identity view and its base dataset, fetched in a single ``/snapshot``
+  response, are always equal as multisets, even mid-storm, and the versions
+  a reader observes never go backwards.
+* **serial equivalence** — after the writers finish and the ingest queue
+  drains, the served state equals a serial replay of the same updates on a
+  local engine, for views maintained under **all four strategies** (naive,
+  classic, recursive, nested) plus the paper's nested ``related`` query.
+* **admission control** — writers storming a bounded queue see 429s, yet
+  every synchronous ack corresponds to an applied update (counted in
+  ``/stats``), and rejected updates are really not applied.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bag import Bag
+from repro.client.api import APIClient, APIError
+from repro.engine import Engine
+from repro.serve import ReproServer, ServerConfig
+from repro.serve.protocol import decode_value, record_from_spec, query_from_spec
+
+WRITERS = 4
+READERS = 4
+UPDATES_PER_WRITER = 10
+
+GENRES = ("Drama", "Action", "Comedy")
+
+DRAMAS_SPEC = {
+    "from": "M",
+    "var": "m",
+    "where": ["eq", ["field", "m", "gen"], ["const", "Drama"]],
+    "select": [["field", "m", "name"]],
+}
+
+CATALOG_SPEC = {"from": "M", "var": "m", "select": [["row", "m"]]}
+
+RELATED_SPEC = {
+    "from": "M",
+    "var": "m",
+    "select": [
+        ["field", "m", "name"],
+        [
+            "nest",
+            {
+                "from": "M",
+                "var": "m2",
+                "where": [
+                    "and",
+                    ["ne", ["field", "m", "name"], ["field", "m2", "name"]],
+                    ["eq", ["field", "m", "gen"], ["field", "m2", "gen"]],
+                ],
+                "select": [["field", "m2", "name"]],
+            },
+        ],
+    ],
+}
+
+STRATEGY_VIEWS = {
+    "dramas_naive": ("naive", DRAMAS_SPEC),
+    "dramas_classic": ("classic", DRAMAS_SPEC),
+    "dramas_recursive": ("recursive", DRAMAS_SPEC),
+    "dramas_nested": ("nested", DRAMAS_SPEC),
+    "catalog": ("auto", CATALOG_SPEC),
+    "related": ("nested", RELATED_SPEC),
+}
+
+INITIAL_ROWS = [["Drive", "Drama", "Refn"], ["Skyfall", "Action", "Mendes"]]
+
+
+def _writer_rows(writer: int):
+    return [
+        [f"W{writer}U{update:02d}", GENRES[(writer + update) % len(GENRES)], f"D{update % 3}"]
+        for update in range(UPDATES_PER_WRITER)
+    ]
+
+
+def _decode_pairs(payload) -> Bag:
+    return Bag.from_pairs(
+        [(decode_value(element), mult) for element, mult in payload["pairs"]]
+    )
+
+
+def _seed(api: APIClient, tenant: str = "t") -> None:
+    api.post(
+        f"v1/{tenant}/datasets",
+        {"name": "M", "fields": ["name", "gen", "dir"], "rows": INITIAL_ROWS},
+    )
+    for view_name, (strategy, spec) in STRATEGY_VIEWS.items():
+        api.post(
+            f"v1/{tenant}/views",
+            {"name": view_name, "query": spec, "strategy": strategy},
+        )
+
+
+def _serial_replay() -> dict:
+    """The same workload applied serially on a local engine."""
+    engine = Engine()
+    engine.dataset(
+        "M",
+        record_from_spec("M", ["name", "gen", "dir"]),
+        [tuple(row) for row in INITIAL_ROWS],
+    )
+    datasets = {"M": engine.dataset_handle("M")}
+    handles = {
+        view_name: engine.view(
+            view_name, query_from_spec(spec, datasets), strategy=strategy
+        )
+        for view_name, (strategy, spec) in STRATEGY_VIEWS.items()
+    }
+    for writer in range(WRITERS):
+        for row in _writer_rows(writer):
+            engine.insert("M", [tuple(row)])
+    results = {name: handle.result() for name, handle in handles.items()}
+    results["M"] = engine.relation("M")
+    engine.close()
+    return results
+
+
+def test_concurrent_writers_and_readers_match_serial_replay():
+    with ReproServer(ServerConfig(port=0, coalesce=8)) as server:
+        _seed(APIClient(server.url, max_retries=2))
+
+        errors = []
+        stop_readers = threading.Event()
+        inconsistencies = []
+        versions_seen = [[] for _ in range(READERS)]
+
+        def write(writer: int) -> None:
+            api = APIClient(server.url, max_retries=8)
+            try:
+                for row in _writer_rows(writer):
+                    api.post("v1/t/apply", {"updates": [{"M": {"rows": [row]}}]})
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def read(reader: int) -> None:
+            api = APIClient(server.url, max_retries=8)
+            try:
+                while not stop_readers.is_set():
+                    snapshot = api.get("v1/t/snapshot")
+                    versions_seen[reader].append(snapshot["version"])
+                    catalog = _decode_pairs(snapshot["views"]["catalog"])
+                    dataset = _decode_pairs(snapshot["datasets"]["M"])
+                    if catalog != dataset:
+                        inconsistencies.append(
+                            (snapshot["version"], catalog, dataset)
+                        )
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=write, args=(writer,)) for writer in range(WRITERS)
+        ]
+        readers = [
+            threading.Thread(target=read, args=(reader,)) for reader in range(READERS)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(60.0)
+        stop_readers.set()
+        for thread in readers:
+            thread.join(10.0)
+
+        assert not errors, errors
+        assert not inconsistencies, inconsistencies[:1]
+        for observed in versions_seen:
+            assert observed, "every reader made progress"
+            assert observed == sorted(observed), "versions never went backwards"
+
+        # Post-drain: the served state equals the serial replay, for every
+        # strategy.  All writer rows are distinct inserts, so any
+        # interleaving is serially equivalent.
+        api = APIClient(server.url, max_retries=2)
+        expected = _serial_replay()
+        # The last sync ack can race the worker's snapshot publication by a
+        # hair; poll until the published snapshot caught up.
+        deadline = time.monotonic() + 10.0
+        while True:
+            final = api.get("v1/t/snapshot")
+            if _decode_pairs(final["datasets"]["M"]) == expected["M"]:
+                break
+            assert time.monotonic() < deadline, "snapshot never caught up"
+            time.sleep(0.01)
+        for view_name in STRATEGY_VIEWS:
+            assert _decode_pairs(final["views"][view_name]) == expected[view_name], (
+                f"view {view_name!r} diverged from the serial replay"
+            )
+
+        stats = api.get("stats")["tenants"]["t"]
+        assert stats["ingest"]["applied_updates"] == WRITERS * UPDATES_PER_WRITER
+        assert stats["ingest"]["errors"] == 0
+        assert stats["queue_depth"] == 0
+
+        # The storm actually coalesced somewhere, or at least every sync
+        # writer got an individual ack; both are fine — what matters is
+        # accounting adds up: every accepted apply was applied.
+        assert (
+            stats["ingest"]["accepted"]
+            == WRITERS * UPDATES_PER_WRITER + 1 + len(STRATEGY_VIEWS)
+        )
+
+
+def test_storm_against_bounded_queue_rejects_but_never_corrupts():
+    config = ServerConfig(port=0, queue_depth=4, coalesce=4)
+    with ReproServer(config) as server:
+        seed_api = APIClient(server.url, max_retries=2)
+        seed_api.post(
+            "v1/t/datasets", {"name": "M", "fields": ["name", "gen", "dir"]}
+        )
+
+        accepted_rows = []
+        rejected = []
+        lock = threading.Lock()
+
+        def storm(writer: int) -> None:
+            # max_retries=0: rejections surface instead of being absorbed.
+            api = APIClient(server.url, max_retries=0)
+            for update in range(UPDATES_PER_WRITER):
+                row = [f"S{writer}x{update:02d}", "Drama", "D"]
+                try:
+                    api.post(
+                        "v1/t/apply",
+                        {"updates": [{"M": {"rows": [row]}}], "mode": "async"},
+                    )
+                    with lock:
+                        accepted_rows.append(tuple(row))
+                except APIError as error:
+                    assert error.status == 429
+                    assert error.code == "backpressure"
+                    with lock:
+                        rejected.append(error)
+
+        threads = [
+            threading.Thread(target=storm, args=(writer,)) for writer in range(WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+
+        # Drain: close applies everything accepted before answering.
+        session = server.sessions.get("t")
+        engine = session.engine
+        server.close(drain=True)
+
+        final = engine.snapshot().datasets["M"]
+        assert final == Bag(accepted_rows)
+        stats = session.stats()["ingest"]
+        assert stats["applied_updates"] == len(accepted_rows)
+        assert stats["rejected_backpressure"] == len(rejected)
+        if rejected:
+            assert all(error.status == 429 for error in rejected)
+
+
+@pytest.mark.parametrize("strategy", ["naive", "classic", "recursive", "nested"])
+def test_single_strategy_storm_matches_serial_replay(strategy):
+    """Each strategy independently survives a concurrent write storm."""
+    with ReproServer(ServerConfig(port=0, coalesce=16)) as server:
+        api = APIClient(server.url, max_retries=4)
+        api.post(
+            "v1/t/datasets",
+            {"name": "M", "fields": ["name", "gen", "dir"], "rows": INITIAL_ROWS},
+        )
+        api.post(
+            "v1/t/views",
+            {"name": "dramas", "query": DRAMAS_SPEC, "strategy": strategy},
+        )
+
+        errors = []
+
+        def write(writer: int) -> None:
+            client = APIClient(server.url, max_retries=8)
+            try:
+                for row in _writer_rows(writer):
+                    client.post("v1/t/apply", {"updates": [{"M": {"rows": [row]}}]})
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=write, args=(writer,)) for writer in range(WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert not errors, errors
+
+        engine = Engine()
+        engine.dataset(
+            "M",
+            record_from_spec("M", ["name", "gen", "dir"]),
+            [tuple(row) for row in INITIAL_ROWS],
+        )
+        handle = engine.view(
+            "dramas",
+            query_from_spec(DRAMAS_SPEC, {"M": engine.dataset_handle("M")}),
+            strategy=strategy,
+        )
+        for writer in range(WRITERS):
+            for row in _writer_rows(writer):
+                engine.insert("M", [tuple(row)])
+
+        deadline = time.monotonic() + 10.0
+        while True:
+            shown = api.get("v1/t/views/dramas")
+            if _decode_pairs(shown) == handle.result():
+                break
+            assert time.monotonic() < deadline, (
+                f"{strategy} view never converged to the serial replay"
+            )
+            time.sleep(0.01)
+        engine.close()
