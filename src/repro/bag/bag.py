@@ -309,6 +309,25 @@ class Bag:
         return {key: Bag._from_clean_dict(data) for key, data in groups.items()}
 
     # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[Any, int]:
+        """Pickle only the multiplicity dict.
+
+        The cached structural hash is deliberately dropped: ``hash(str)`` is
+        seeded per interpreter, so a hash captured in one process would be a
+        lie in another.  ``__setstate__`` restores the lazy-recompute state,
+        which is what makes bag snapshots *sendable* — a round-trip through
+        ``pickle`` preserves equality, and re-hashing in the receiving
+        process is consistent with every other hash computed there.
+        """
+        return self._data
+
+    def __setstate__(self, state: Dict[Any, int]) -> None:
+        self._data = state
+        self._hash = None
+
+    # ------------------------------------------------------------------ #
     # Equality / hashing / display
     # ------------------------------------------------------------------ #
     def __eq__(self, other: Any) -> bool:

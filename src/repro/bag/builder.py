@@ -222,6 +222,30 @@ class BagBuilder:
         self._data = {}
         self._frozen = None
 
+    def adopt_dict(self, data: Dict[Any, int]) -> None:
+        """Become ``data`` (an already-normalized multiplicity dict), in O(1).
+
+        This is the fold-back half of shard ownership transfer
+        (:meth:`repro.storage.store.RelationStore.adopt_shard`): a worker
+        returns the folded shard dict and the store installs it wholesale.
+        Replacing the dict reference — instead of mutating in place — leaves
+        any retained frozen snapshot untouched, so no copy-on-write pass is
+        needed; the cumulative ``freezes`` counter survives.
+        """
+        self._data = data
+        self._frozen = None
+
+    # ------------------------------------------------------------------ #
+    # Pickling (sendable execution state)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"data": self._data, "freezes": self.freezes}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._data = state["data"]
+        self._frozen = None
+        self.freezes = state["freezes"]
+
     # ------------------------------------------------------------------ #
     # Freezing
     # ------------------------------------------------------------------ #

@@ -32,6 +32,15 @@ consistent snapshots across writes) and requires the sharded+parallel
 configuration to beat the serial single-shard path on wall-clock — the
 committed ``benchmarks/results/shard_scale.json`` records the full sweep.
 
+A fifth battery exercises **execution backends**: every strategy
+(naive/classic/recursive/nested) maintains its view with the shard-apply
+path pinned to each available execution backend (``serial``, ``threads:2``,
+``processes:2`` where ``fork`` exists, ``subinterpreters:2`` where PEP 734
+exists), and all legs must agree bag-for-bag.  A final check applies
+offload-sized deltas under ``processes:2`` and requires the execution
+report to show the process backend actually performed applies — comparing
+a silently fallen-back leg against serial would be vacuous.
+
 Exit status is non-zero on any divergence, which is what the CI benchmark
 smoke step keys on.  Run with ``python -m repro.bench.smoke``.
 """
@@ -45,7 +54,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bag.bag import Bag
 from repro.bag.builder import forced_full_copy
-from repro.engine.scheduler import forced_parallel_views
+from repro.engine.scheduler import (
+    backend_availability,
+    forced_backend,
+    forced_parallel_views,
+)
 from repro.ivm import Update
 from repro.nrc import ast
 from repro.nrc import builders as build
@@ -330,6 +343,94 @@ def _run_shard_checks(report: dict) -> None:
         report["divergences"] += 1
 
 
+# --------------------------------------------------------------------------- #
+# Execution backends: serial ≡ threads ≡ processes (≡ subinterpreters)
+# --------------------------------------------------------------------------- #
+def _run_execution_backend_checks(report: dict) -> None:
+    """Every strategy with the shard-apply path pinned to each backend.
+
+    Equivalence half: the four strategies' views must agree bag-for-bag
+    whichever execution backend applies the deltas (stores pinned to 4
+    shards so the backends have shard units to schedule).  Offload half:
+    offload-sized deltas under ``processes:2`` must show up in the
+    execution report as process-backend applies — otherwise the process
+    leg silently degraded to threads and the equivalence half proved
+    nothing about the worker protocol.
+    """
+    availability = backend_availability()
+    specs = ["serial", "threads:2"]
+    if availability["processes"]["available"]:
+        specs.append("processes:2")
+    if availability["subinterpreters"]["available"]:
+        specs.append("subinterpreters:2")
+
+    equivalence_runs = [
+        (f"backend genre self-join / {strategy}", _genre_selfjoin_run(strategy))
+        for strategy in ("naive", "classic", "recursive")
+    ]
+    equivalence_runs.append(("backend related movies / nested", _related_nested_run()))
+    for name, run in equivalence_runs:
+        results = {}
+        for spec in specs:
+            with forced_shards(4), forced_backend(spec), forced_interpretation(False):
+                _, results[spec] = run()
+        baseline = results["serial"]
+        identical = all(result == baseline for result in results.values())
+        report["checks"].append(
+            {
+                "name": name,
+                "modes": " / ".join(specs),
+                "result_cardinality": baseline.cardinality(),
+                "identical": identical,
+                "passed": identical,
+            }
+        )
+        if not identical:
+            report["divergences"] += 1
+
+    if not availability["processes"]["available"]:
+        report["checks"].append(
+            {
+                "name": "backend offload / processes:2 applies",
+                "skipped": availability["processes"]["reason"],
+                "passed": True,
+            }
+        )
+        return
+    with forced_shards(4), forced_backend("processes:2"):
+        movies = generate_movies(600, seed=97)
+        engine = movies_engine(movies, expected_update_size=150)
+        query = build.for_in("x", ast.Relation("M", MOVIE_SCHEMA), ast.SngVar("x"))
+        view = engine.view("catalog", query, strategy="classic")
+        try:
+            engine.apply_stream(
+                movie_update_stream(
+                    4, 150, existing=movies, deletion_ratio=0.25, seed=101
+                )
+            )
+            execution = engine.database.execution_report()
+            result_cardinality = view.result().cardinality()
+        finally:
+            engine.close()
+    process_applies = execution["applies"].get("processes", 0)
+    fallback_applies = {
+        name: count for name, count in execution["applies"].items() if name != "processes"
+    }
+    passed = process_applies > 0 and not fallback_applies
+    report["checks"].append(
+        {
+            "name": "backend offload / processes:2 applies",
+            "modes": "processes:2 pinned, offload-sized deltas",
+            "result_cardinality": result_cardinality,
+            "process_applies": process_applies,
+            "fallback_applies": fallback_applies,
+            "passed": passed,
+        }
+    )
+    if not passed:
+        report["divergences"] += 1
+
+
 def _in_mode(interpreted: bool, run: Callable[[], Tuple[str, Bag]]) -> Tuple[str, Bag]:
     with forced_interpretation(interpreted):
         return run()
@@ -394,6 +495,7 @@ def run_smoke() -> dict:
             report["divergences"] += 1
     _run_apply_check(report)
     _run_shard_checks(report)
+    _run_execution_backend_checks(report)
     return report
 
 

@@ -128,7 +128,7 @@ def _cmd_stats(api: APIClient, args: argparse.Namespace) -> int:
     table = Table(title="Tenants", show_lines=False)
     for header in (
         "tenant", "version", "datasets", "views", "queue",
-        "accepted", "429s", "batches", "coalesced", "batch ms",
+        "accepted", "429s", "batches", "coalesced", "batch ms", "backend",
     ):
         table.add_column(header)
     for name, tenant in sorted(payload["tenants"].items()):
@@ -144,9 +144,26 @@ def _cmd_stats(api: APIClient, args: argparse.Namespace) -> int:
             str(ingest["applied_batches"]),
             str(ingest["coalesced_updates"]),
             f"{1000 * ingest['ewma_batch_seconds']:.2f}",
+            _render_backend(tenant),
         )
     console.print(table)
     return 0
+
+
+def _render_backend(tenant: Dict[str, Any]) -> str:
+    """``requested: name×count,...`` — active backend plus per-backend applies.
+
+    Older servers omit the fields; render a dash so the CLI stays usable
+    against them.
+    """
+    backend = tenant.get("backend")
+    if backend is None:
+        return "-"
+    applies = tenant.get("backend_applies") or {}
+    if not applies:
+        return str(backend)
+    counts = ",".join(f"{name}×{count}" for name, count in sorted(applies.items()))
+    return f"{backend}: {counts}"
 
 
 def _cmd_datasets(api: APIClient, args: argparse.Namespace) -> int:

@@ -21,9 +21,17 @@ from repro.engine.registry import (
     register_backend,
 )
 from repro.engine.scheduler import (
+    EXECUTION_BACKENDS,
+    REPRO_BACKEND,
     REPRO_PARALLEL_VIEWS,
+    ExecutionBackend,
     ViewRefreshScheduler,
+    backend_availability,
+    create_execution_backend,
+    forced_backend,
     forced_parallel_views,
+    recommend_backend,
+    resolve_backend_spec,
     resolve_view_workers,
 )
 
@@ -39,11 +47,19 @@ __all__ = [
     "BackendRegistry",
     "BackendSpec",
     "DEFAULT_REGISTRY",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "REPRO_BACKEND",
     "REPRO_PARALLEL_VIEWS",
     "ViewRefreshScheduler",
+    "backend_availability",
     "backend_names",
+    "create_execution_backend",
+    "forced_backend",
     "forced_parallel_views",
     "get_backend",
+    "recommend_backend",
     "register_backend",
+    "resolve_backend_spec",
     "resolve_view_workers",
 ]

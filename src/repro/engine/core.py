@@ -151,15 +151,22 @@ class Engine:
         registry: Optional[BackendRegistry] = None,
         shards: Optional[int] = None,
         parallel_views: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """``shards`` partitions every relation store (``None`` defers to
         ``REPRO_SHARDS`` / the default; ``1`` is the unsharded escape hatch);
         ``parallel_views`` fixes the view-refresh worker count (``None``
         defers to ``REPRO_PARALLEL_VIEWS`` / auto, ``0`` the legacy serial
-        per-view refresh, ``N > 1`` a thread pool).  See ``docs/api.md``,
-        "Sharding & parallel apply".
+        per-view refresh, ``N > 1`` a thread pool); ``backend`` pins the
+        execution backend shard-apply work units run on
+        (``"serial"``/``"threads"``/``"processes"``/``"subinterpreters"``,
+        optionally ``"processes:4"``; ``None`` defers to ``REPRO_BACKEND`` /
+        the per-delta cost model).  See ``docs/api.md``, "Sharding &
+        parallel apply" and "Execution backends".
         """
-        self._database = Database(shards=shards, parallel_views=parallel_views)
+        self._database = Database(
+            shards=shards, parallel_views=parallel_views, backend=backend
+        )
         self._registry = registry if registry is not None else DEFAULT_REGISTRY
         self._expected_update_size = expected_update_size
         self._views: Dict[str, ViewHandle] = {}

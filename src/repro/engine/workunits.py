@@ -1,0 +1,217 @@
+"""Backend-agnostic shard-apply work units: pure folds over sendable state.
+
+A shard-apply unit is a self-contained description — *(shard data, delta
+pairs, index key paths)* — rather than a closure over live engine state.
+This module is everything a worker needs to execute one:
+
+* :func:`fold_pairs` replicates :meth:`repro.bag.builder.BagBuilder.
+  apply_pairs`' cancel-at-zero fold over a plain multiplicity dict;
+* :func:`index_triples` performs the ``index_key_of`` projections that
+  dominate index maintenance, returning ``(key, element, multiplicity)``
+  triples the parent folds back via ``HashIndex.apply_keyed_pairs`` — or
+  ``None`` when a key is unhashable, which the parent translates into the
+  same poisoning an in-process fold would have caused;
+* :func:`fold_shard_unit` composes the two: one complete work unit;
+* :func:`shard_worker_loop` is the stateful process-backend worker — it
+  owns a cache of adopted shard dicts keyed by ``(store key, shard)`` and
+  executes units against it, so steady-state messages carry only deltas;
+* :func:`run_unit_payload` is the stateless single-shot form used by the
+  subinterpreter backend (and usable by any future remote executor): one
+  pickled payload in, one pickled result out, no retained state.
+
+Payload bags travel through :mod:`repro.bag.codec`'s compact binary
+encoding in both directions.  The codec doubles as the **sendability
+contract**: it refuses ``NaN`` (hashed by identity since CPython 3.10, so
+a pickled copy would silently diverge from the parent's dict folds) and
+unknown types, raising :class:`~repro.bag.codec.UnsendableValueError` —
+the signal that poisons a process-backend apply back to the local path.
+
+Everything here is module-level and importable by name, so forked workers
+and pickled payloads can always resolve it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.bag.codec import decode_pairs, encode_pairs
+from repro.storage.index import IndexKeyError, index_key_of
+
+__all__ = [
+    "decode_triples",
+    "encode_triples",
+    "fold_pairs",
+    "fold_shard_unit",
+    "index_triples",
+    "run_unit_payload",
+    "shard_worker_loop",
+]
+
+#: One key part per equality atom: the projection path into the element.
+Paths = Tuple[Tuple[int, ...], ...]
+#: A keyed index delta entry: ``(index key, element, multiplicity)``.
+Triple = Tuple[Tuple[Any, ...], Any, int]
+
+
+# --------------------------------------------------------------------------- #
+# Pure fold primitives
+# --------------------------------------------------------------------------- #
+def fold_pairs(data: Dict[Any, int], pairs: Iterable[Tuple[Any, int]]) -> None:
+    """Fold ``(element, multiplicity)`` pairs into a multiplicity dict.
+
+    The exact cancel-at-zero arithmetic of ``BagBuilder.apply_pairs``,
+    without the builder's copy-on-write machinery — worker-side dicts are
+    never shared with a frozen snapshot.
+    """
+    for element, multiplicity in pairs:
+        updated = data.get(element, 0) + multiplicity
+        if updated == 0:
+            data.pop(element, None)
+        else:
+            data[element] = updated
+
+
+def index_triples(
+    pairs: Iterable[Tuple[Any, int]], paths: Paths
+) -> Optional[List[Triple]]:
+    """The keyed index delta for one healthy slice, or ``None`` on poison.
+
+    Mirrors ``HashIndex._fold``'s failure behavior: the first unhashable
+    key abandons the whole slice (the serial fold poisons and clears its
+    buckets at that point), so a partial triple list is never returned.
+    """
+    triples: List[Triple] = []
+    try:
+        for element, multiplicity in pairs:
+            triples.append((index_key_of(element, paths), element, multiplicity))
+    except IndexKeyError:
+        return None
+    return triples
+
+
+def fold_shard_unit(
+    data: Dict[Any, int],
+    pairs: List[Tuple[Any, int]],
+    paths_list: Iterable[Paths],
+) -> Dict[Paths, Optional[List[Triple]]]:
+    """Execute one shard-apply unit: fold ``pairs`` into ``data`` (in place)
+    and compute the keyed index deltas for every healthy slice.
+
+    Returns the per-paths index delta summaries; ``data`` afterwards holds
+    the shard's post-fold contents (the frozen result bag the parent
+    adopts).
+    """
+    fold_pairs(data, pairs)
+    return {paths: index_triples(pairs, paths) for paths in paths_list}
+
+
+# --------------------------------------------------------------------------- #
+# Wire encoding of index delta summaries
+# --------------------------------------------------------------------------- #
+def encode_triples(triples: List[Triple]) -> bytes:
+    """Encode keyed triples through the bag-pair codec.
+
+    A triple ``(key, element, m)`` rides as the pair ``((key, element), m)``
+    — both components are codec values, so the summary shares the compact
+    binary transport (and the sendability contract) of the bag payloads.
+    """
+    return encode_pairs(
+        ((key, element), multiplicity) for key, element, multiplicity in triples
+    )
+
+
+def decode_triples(blob: bytes) -> List[Triple]:
+    return [
+        (key, element, multiplicity)
+        for (key, element), multiplicity in decode_pairs(blob)
+    ]
+
+
+def _encode_summaries(
+    deltas: Dict[Paths, Optional[List[Triple]]]
+) -> Dict[Paths, Optional[bytes]]:
+    return {
+        paths: None if triples is None else encode_triples(triples)
+        for paths, triples in deltas.items()
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Stateless unit execution (subinterpreters, one-shot executors)
+# --------------------------------------------------------------------------- #
+def run_unit_payload(payload: bytes) -> bytes:
+    """Execute one fully self-contained unit: ``pickle`` in, ``pickle`` out.
+
+    The payload is ``(data blob, pairs blob, paths list)`` — the shard's
+    pre-fold contents, its partitioned delta pairs, and the healthy index
+    keys — all codec-encoded.  The result is ``(folded data blob,
+    {paths: triples blob | None})``.  No state survives the call, which is
+    what makes it safe for executors without a sendable-cache protocol.
+    """
+    data_blob, pairs_blob, paths_list = pickle.loads(payload)
+    data = dict(decode_pairs(data_blob))
+    pairs = decode_pairs(pairs_blob)
+    deltas = fold_shard_unit(data, pairs, paths_list)
+    return pickle.dumps((encode_pairs(data.items()), _encode_summaries(deltas)))
+
+
+# --------------------------------------------------------------------------- #
+# Stateful worker (process backend)
+# --------------------------------------------------------------------------- #
+def shard_worker_loop(conn) -> None:
+    """The process-backend worker: own shards, fold deltas, ship results.
+
+    Runs in a forked child.  The cache maps ``(store key, shard position)``
+    to the adopted multiplicity dict; the parent keeps shard→worker
+    ownership stable and re-sends an ``adopt`` whenever its routing token
+    bookkeeping says the worker's copy went stale, so the worker itself
+    never validates freshness.  Messages:
+
+    * ``("adopt", store_key, position, data_blob)`` — install shard state;
+    * ``("apply", store_key, position, pairs_blob, paths_list)`` — fold and
+      reply ``("ok", position, data_blob, {paths: triples_blob | None})``;
+    * ``("drop", store_key)`` — forget every shard of one store;
+    * ``("exit",)`` — terminate.
+
+    Any per-message failure is reported as ``("error", position, repr)``
+    and leaves the loop alive; the parent recovers that unit locally and
+    invalidates the worker's copy of the shard.
+    """
+    cache: Dict[Tuple[str, int], Dict[Any, int]] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "exit":
+            break
+        position = -1
+        try:
+            if kind == "adopt":
+                _, store_key, position, data_blob = message
+                cache[(store_key, position)] = dict(decode_pairs(data_blob))
+            elif kind == "drop":
+                _, store_key = message
+                for key in [key for key in cache if key[0] == store_key]:
+                    del cache[key]
+            elif kind == "apply":
+                _, store_key, position, pairs_blob, paths_list = message
+                data = cache[(store_key, position)]
+                pairs = decode_pairs(pairs_blob)
+                deltas = fold_shard_unit(data, pairs, paths_list)
+                conn.send(
+                    ("ok", position, encode_pairs(data.items()), _encode_summaries(deltas))
+                )
+            else:
+                conn.send(("error", position, f"unknown message kind {kind!r}"))
+        except Exception as error:  # noqa: BLE001 - worker must outlive bad units
+            try:
+                conn.send(("error", position, repr(error)))
+            except (OSError, ValueError):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass

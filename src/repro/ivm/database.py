@@ -51,6 +51,7 @@ from repro.shredding.shred_database import (
 from repro.shredding.context import iter_context_dicts
 from repro.shredding.shred_values import ValueShredder
 from repro.storage import DictionaryStore, StorageManager, resolve_shard_count
+from repro.storage.shards import SMALL_RELATION_SHARD_THRESHOLD, shards_pinned
 
 __all__ = ["Database", "RefreshContext", "ShreddedDelta"]
 
@@ -225,12 +226,17 @@ class Database:
     view-refresh worker count (``None`` defers to ``REPRO_PARALLEL_VIEWS`` /
     auto — ``0`` is the legacy serial per-view path, ``1`` shared-snapshot
     inline, ``N`` a thread pool; see :mod:`repro.engine.scheduler`).
+    ``backend`` pins the execution backend deltas are applied on
+    (``"serial"``/``"threads"``/``"processes"``/``"subinterpreters"``,
+    optionally with a worker count as in ``"processes:4"``; ``None`` defers
+    to ``REPRO_BACKEND`` / the per-delta cost model).
     """
 
     def __init__(
         self,
         shards: Optional[int] = None,
         parallel_views: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if parallel_views is not None and (
             not isinstance(parallel_views, int) or parallel_views < 0
@@ -238,6 +244,10 @@ class Database:
             raise ValueError(
                 f"parallel_views must be a non-negative int, got {parallel_views!r}"
             )
+        if backend is not None:
+            from repro.engine.scheduler import parse_backend_spec
+
+            parse_backend_spec(backend)  # validate eagerly; resolved per apply
         # Resolved once here (validating an explicit count): every store of
         # this database partitions the same way, and the reported shard
         # count can never drift from the stores actually created.
@@ -249,6 +259,17 @@ class Database:
         self._dict_store = DictionaryStore()
         self._parallel_views = parallel_views
         self._scheduler = None  # lazily built ViewRefreshScheduler
+        # Whether the shard count was pinned (constructor argument or the
+        # REPRO_SHARDS hatch): pinned databases never adapt per relation.
+        self._shards_pinned = shards_pinned(shards)
+        self._backend_spec = backend
+        # One ExecutionBackend instance per (name, workers) actually used,
+        # created lazily — most sessions only ever touch one.
+        self._exec_backends: Dict[Tuple[str, Optional[int]], object] = {}
+        # Effective backend name → deltas applied through it (stats).
+        self._backend_applies: Dict[str, int] = {}
+        # Degradations recorded at resolution time (first occurrence each).
+        self._backend_notes: List[str] = []
         # Input-dictionary name → owning relation.  Resolving ownership by
         # parsing the generated names would break for relations whose own
         # name contains the ``__D`` separator (e.g. ``user__Data``), so the
@@ -276,7 +297,24 @@ class Database:
         if not isinstance(schema, BagType):
             raise TypeError("relation schemas must be bag types")
         self._schemas[name] = schema
-        self._storage.ensure(name, instance or EMPTY_BAG)
+        instance_bag = instance or EMPTY_BAG
+        # Small relations default to one shard: the shard_scale.json size
+        # sweep shows partitioning overhead eating the win below ~500 rows
+        # (n=500 barely breaks even where n=2000 speeds up 3×).  A pinned
+        # count (constructor argument / REPRO_SHARDS) always wins; the
+        # choice is made once, at registration time.
+        adaptive: Optional[int] = None
+        if (
+            not self._shards_pinned
+            and instance_bag.cardinality() < SMALL_RELATION_SHARD_THRESHOLD
+        ):
+            adaptive = 1
+        self._storage.ensure(name, instance_bag, shards=adaptive)
+        # The flat mirror follows the nested relation's decision so both
+        # sides of a small relation stay on the single-shard fast path
+        # (replace() in _reshred_relation would otherwise create it with
+        # the manager default).
+        self._flat_storage.ensure(flat_relation_name(name), shards=adaptive)
         context = input_context_for(name, schema.element)
         dict_paths = tuple(path for path, _ in iter_context_dicts(context))
         if not dict_paths and _is_passthrough_flat(schema.element):
@@ -425,6 +463,7 @@ class Database:
             "dictionaries": self._dict_store.report(),
             "shards": self.storage_shards(),
             "parallel_views": self.refresh_mode(),
+            "execution": self.execution_report(),
         }
 
     # ------------------------------------------------------------------ #
@@ -493,13 +532,15 @@ class Database:
         self._notify_views(update, shredded_delta)
 
         # Nested instances: one delta pass per store updates the bag and all
-        # of its persistent indexes.
+        # of its persistent indexes.  Each store's delta runs on the resolved
+        # execution backend (serial/threads/processes/subinterpreters) —
+        # interchangeable bit-for-bit, so the choice is pure scheduling.
         for name, bag in update.relations.items():
-            self._storage.apply_delta(name, bag)
+            self._apply_store_delta(self._storage, name, bag)
 
         # Shredded mirror: flat relations and dictionaries.
         for flat_name, bag in shredded_delta.bags.items():
-            self._flat_storage.apply_delta(flat_name, bag)
+            self._apply_store_delta(self._flat_storage, flat_name, bag)
         for dict_name, dictionary in shredded_delta.dictionaries.items():
             self._dict_store.apply_delta(dict_name, dictionary)
 
@@ -512,6 +553,109 @@ class Database:
             self._refresh_nested_from_shredded(update)
         self._state_version += 1
         return shredded_delta
+
+    # ------------------------------------------------------------------ #
+    # Execution backends
+    # ------------------------------------------------------------------ #
+    def _apply_store_delta(self, manager: StorageManager, name: str, delta: Bag) -> None:
+        """Apply one store's delta on the resolved execution backend.
+
+        Empty deltas stay a strict no-op (matching ``RelationStore.
+        apply_delta``'s early return) and are not counted.  The requested
+        backend degrades along the documented chain when unavailable
+        (``subinterpreters``/``processes`` → ``threads``); the effective
+        backend name — which a backend may further narrow mid-flight — is
+        what the per-backend apply counters record.
+        """
+        if delta.is_empty():
+            manager.apply_delta(name, delta)
+            return
+        store = manager.ensure(name)
+        backend = self._resolve_execution_backend(store, delta)
+        effective = backend.apply_delta(store, delta)
+        self._backend_applies[effective] = self._backend_applies.get(effective, 0) + 1
+
+    def _resolve_execution_backend(self, store, delta: Bag):
+        from repro.engine.scheduler import (
+            _auto_workers,
+            availability_fallback,
+            create_execution_backend,
+            recommend_backend,
+            resolve_backend_spec,
+        )
+
+        name, workers = resolve_backend_spec(self._backend_spec)
+        if name == "auto":
+            name = recommend_backend(
+                delta.distinct_size(),
+                store.shards,
+                workers if workers is not None else _auto_workers(),
+            )
+        effective, note = availability_fallback(name)
+        if note and note not in self._backend_notes:
+            self._backend_notes.append(note)
+        key = (effective, workers)
+        backend = self._exec_backends.get(key)
+        if backend is None:
+            backend = self._exec_backends[key] = create_execution_backend(
+                effective, workers
+            )
+        return backend
+
+    def execution_report(self) -> Dict[str, object]:
+        """The active execution backend and per-backend apply counts.
+
+        ``requested`` is the resolution input (``"auto"`` unless pinned by
+        the constructor or ``REPRO_BACKEND``); ``applies`` counts non-empty
+        store deltas per *effective* backend; ``backends`` carries each
+        instantiated backend's own state (workers, recorded fallbacks);
+        ``notes`` lists availability degradations seen this session.
+        Everything is plain data — the serving layer json-encodes it as-is.
+        """
+        from repro.engine.scheduler import backend_availability, resolve_backend_spec
+
+        requested, workers = resolve_backend_spec(self._backend_spec)
+        report: Dict[str, object] = {
+            "requested": requested,
+            "workers": workers,
+            "applies": dict(self._backend_applies),
+            "availability": backend_availability(),
+            "backends": [
+                backend.describe() for backend in self._exec_backends.values()
+            ],
+        }
+        if self._backend_notes:
+            report["notes"] = list(self._backend_notes)
+        return report
+
+    def execution_plan(self, delta_size: int = 1) -> str:
+        """The backend a delta of ``delta_size`` would run on (for explain).
+
+        Renders the resolution: a pinned name stays as-is (with the
+        degradation arrow when this runtime lacks it), ``auto`` shows the
+        cost model's pick for the assumed delta size.
+        """
+        from repro.engine.scheduler import (
+            _auto_workers,
+            availability_fallback,
+            recommend_backend,
+            resolve_backend_spec,
+        )
+
+        name, workers = resolve_backend_spec(self._backend_spec)
+        resolved_workers = workers if workers is not None else _auto_workers()
+        if name == "auto":
+            recommended = recommend_backend(
+                delta_size, self.storage_shards(), resolved_workers
+            )
+            effective, _ = availability_fallback(recommended)
+            return f"auto({effective})"
+        effective, _ = availability_fallback(name)
+        if effective != name:
+            return f"{name}->{effective}"
+        if workers is not None:
+            return f"{name}({workers})"
+        return name
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -550,6 +694,9 @@ class Database:
         if scheduler is not None:
             scheduler.shutdown()
             self._scheduler = None
+        for backend in self._exec_backends.values():
+            backend.shutdown()
+        self._exec_backends.clear()
 
     # ------------------------------------------------------------------ #
     # View refresh dispatch
@@ -597,6 +744,15 @@ class Database:
         if not notifiable:
             return
         workers = self.view_refresh_workers()
+        # A pinned serial execution backend means "single-threaded": clamp
+        # multi-worker refresh down to the shared-snapshot inline mode (the
+        # 0 legacy per-view path is preserved untouched).
+        if workers > 1:
+            from repro.engine.scheduler import resolve_backend_spec
+
+            requested, _ = resolve_backend_spec(self._backend_spec)
+            if requested == "serial":
+                workers = 1
         if workers == 0:
             for _, on_update in notifiable:
                 on_update(update, shredded_delta)

@@ -52,6 +52,20 @@ class Label:
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __getstate__(self):
+        """Pickle without the cached hash: string hashing is seeded per
+        process, so a captured hash would be stale in the receiving one.
+        Equality is structural (``iota`` + ``values``), so labels survive a
+        pickle round-trip — the property the sendable execution state relies
+        on when shredded flat deltas move to worker processes."""
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def render(self) -> str:
         """Human-readable rendering used by the pretty printer."""
         if not self.values:

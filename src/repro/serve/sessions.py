@@ -164,6 +164,7 @@ class TenantSession:
 
     def stats(self) -> Dict[str, Any]:
         snapshot = self.snapshot
+        execution = self.engine.database.execution_report()
         return {
             "tenant": self.name,
             "state_version": snapshot.version,
@@ -174,6 +175,11 @@ class TenantSession:
             "coalesce_bound": self.worker.coalesce,
             "retry_after_hint": self.worker.retry_after(),
             "ingest": self.worker.stats.to_dict(),
+            # The execution backend the ingest worker's applies run on, plus
+            # per-backend apply counts (see docs/serve.md, "Execution
+            # backends under the ingest worker").
+            "backend": execution["requested"],
+            "backend_applies": execution["applies"],
         }
 
     # ------------------------------------------------------------------ #

@@ -49,10 +49,12 @@ from repro.storage.index import HashIndex, Paths
 __all__ = [
     "DEFAULT_SHARD_COUNT",
     "REPRO_SHARDS",
+    "SMALL_RELATION_SHARD_THRESHOLD",
     "ShardIndexFamily",
     "ShardedBag",
     "forced_shards",
     "resolve_shard_count",
+    "shards_pinned",
 ]
 
 #: Environment variable fixing the shard count of newly created stores.
@@ -62,6 +64,27 @@ REPRO_SHARDS = "REPRO_SHARDS"
 
 #: Shard count used when neither the constructor nor the environment pins one.
 DEFAULT_SHARD_COUNT = 8
+
+#: Relations registered with fewer distinct rows than this default to a
+#: single shard when nothing pins a count.  The committed
+#: ``benchmarks/results/shard_scale.json`` size sweep puts the crossover
+#: where sharding overhead (routing + composite assembly) beats its COW
+#: benefit at roughly n=500: the n=500 row shows only a 1.26× gain against
+#: a 3.06× gain at n=2000, and the view sweep shows single-view engines
+#: losing outright.  Small lookup relations are exactly the
+#: read-rarely/write-rarely case the docs told users to hand-tune; the
+#: registration path now applies the rule itself.
+SMALL_RELATION_SHARD_THRESHOLD = 500
+
+
+def shards_pinned(shards: Optional[int] = None) -> bool:
+    """True when an explicit argument or ``REPRO_SHARDS`` pins the count.
+
+    Adaptive defaults (the small-relation rule above) apply only when
+    nothing is pinned: a user or test that forces a count gets exactly that
+    count, as before.
+    """
+    return shards is not None or bool(os.environ.get(REPRO_SHARDS))
 
 
 def resolve_shard_count(shards: Optional[int] = None) -> int:
@@ -119,7 +142,7 @@ class ShardedBag(Bag):
     they see this object only as an identity token plus an iteration source.
     """
 
-    __slots__ = ("_shard_bags", "_merged")
+    __slots__ = ("_shard_bags", "_merged", "_merged_bag")
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:  # pragma: no cover
         raise TypeError("ShardedBag is built by RelationStore; use ShardedBag.of")
@@ -129,6 +152,7 @@ class ShardedBag(Bag):
         composite = object.__new__(cls)
         composite._shard_bags = shard_bags
         composite._merged = None
+        composite._merged_bag = None
         composite._hash = None
         return composite
 
@@ -144,6 +168,50 @@ class ShardedBag(Bag):
                 merged.update(shard._data)
             self._merged = merged
         return merged
+
+    def merged(self) -> Bag:
+        """The merged contents as one plain :class:`Bag`, materialized once.
+
+        Structural operations used to hand each caller a *fresh* plain bag
+        over the (memoized) merged dict — so two identical calls produced
+        two result objects and identity-keyed caches (the index provider's
+        snapshot-correspondence check, compiled build-side memos) never hit.
+        The merged view is now a memoized sibling snapshot: repeated calls
+        return the same object, sharing the merged dict with this bag.
+        """
+        bag = self._merged_bag
+        if bag is None:
+            bag = self._merged_bag = Bag._from_clean_dict(self._data)
+        return bag
+
+    # -------------------------------------------------------------- #
+    # Structural group operations: delegate to the memoized merged bag,
+    # so calling the same operation twice reuses one materialization
+    # (and ``x.union(EMPTY)``-style fast paths return a stable object).
+    # -------------------------------------------------------------- #
+    def union(self, other: Bag) -> Bag:
+        if isinstance(other, Bag) and not other._data:
+            return self  # identity fast path, as before — no merge forced
+        return self.merged().union(other)
+
+    def difference(self, other: Bag) -> Bag:
+        if isinstance(other, Bag) and not other._data:
+            return self
+        return self.merged().difference(other)
+
+    def scale(self, factor: int) -> Bag:
+        if factor == 1:
+            return self
+        return self.merged().scale(factor)
+
+    # -------------------------------------------------------------- #
+    # Pickling: preserve the shard structure (the whole point of a
+    # sendable shard snapshot); per-shard bags re-merge lazily on the
+    # receiving side.  The default slot pickling would trip over the
+    # ``_data`` property (no setter), so the reduction is explicit.
+    # -------------------------------------------------------------- #
+    def __reduce__(self):
+        return (ShardedBag.of, (self._shard_bags,))
 
     # -------------------------------------------------------------- #
     # Point queries and iteration: shard-direct, never merge.
