@@ -1,6 +1,6 @@
-"""Micro-benchmarks: compiled, indexed, O(|Δ|)-apply, shard and serve latency (BENCH json).
+"""Micro-benchmarks: compiled, indexed, O(|Δ|)-apply, shard, serve and read latency (BENCH json).
 
-Five update-latency benchmarks share this CLI:
+Seven benchmarks share this CLI:
 
 * ``--benchmark compile`` (the default) maintains the selective genre
   self-join with the classic first-order strategy, once with the compiled
@@ -52,6 +52,16 @@ Five update-latency benchmarks share this CLI:
   batch size.  Reported p50/p99 apply and read latencies are
   client-observed wall times through the full HTTP + single-writer ingest
   queue + engine stack; the run verifies no accepted update was lost.
+* ``--benchmark read`` measures the **delta-bounded read path**: a
+  retained-reader sweep over shard count × result size (the reader keeps
+  every snapshot, so per-update apply latency is the result store's
+  copy-on-write — whole-dict at one shard, dirty shards only at ``N``,
+  and must improve monotonically with shard count); the nested view's
+  footprint-bounded dictionary probes against the ``REPRO_NO_FOOTPRINT``
+  all-labels sweep with the probe counters committed as proof; and
+  client-observed p50/p99 serve-read latency for full, paged
+  (``limit``/``offset``) and ETag-304 reads, with a paged ≡ full
+  differential check.
 
 All of them verify that the compared runs produced identical contents.
 JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
@@ -59,7 +69,8 @@ JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
 ``benchmarks/results/update_apply.json`` /
 ``benchmarks/results/shard_scale.json`` /
 ``benchmarks/results/core_scale.json`` /
-``benchmarks/results/serve_latency.json`` by default (the committed copies
+``benchmarks/results/serve_latency.json`` /
+``benchmarks/results/read_path.json`` by default (the committed copies
 are regenerated from exactly these commands).
 """
 
@@ -102,6 +113,7 @@ __all__ = [
     "run_shard_scale",
     "run_core_scale",
     "run_serve_latency",
+    "run_read_latency",
     "main",
 ]
 
@@ -1011,6 +1023,278 @@ def run_serve_latency(
     }
 
 
+# --------------------------------------------------------------------------- #
+# --benchmark read: the delta-bounded read path
+# --------------------------------------------------------------------------- #
+def _retained_reader_run(shards: Optional[int], size: int, batch: int, updates: int):
+    """Apply + first-read latency with a reader that retains every snapshot.
+
+    The reader holds on to the view result across each write, so every
+    update pays the result store's copy-on-write: one whole-dict copy per
+    update at one shard, only the dirty shards at ``N``.  The first read
+    after each apply measures the composite snapshot freeze.
+    """
+    from repro.engine import Engine
+
+    movies = generate_movies(size, seed=7)
+    # An explicit shard count pins the store layout, so the result store is
+    # really sharded even when the result is small.  The serial backend and
+    # in-line view refresh keep thread dispatch out of the measurement: the
+    # per-update latency difference across shard counts is then the result
+    # store's copy-on-write, which is what this sweep isolates.
+    engine = Engine(shards=shards, parallel_views=0, backend="serial")
+    engine.dataset("M", MOVIE_SCHEMA, rows=movies)
+    handle = engine.view("catalog", _catalog_query(), strategy="classic")
+    stream = list(
+        movie_update_stream(
+            updates + 1, batch, existing=movies, deletion_ratio=0.25, seed=13
+        )
+    )
+    retained = [handle.result()]  # the reader never lets go
+    apply_laps, read_laps = [], []
+    for position, update in enumerate(stream):
+        started = time.perf_counter()
+        engine.apply(update)
+        applied = time.perf_counter()
+        retained.append(handle.result())
+        finished = time.perf_counter()
+        if position > 0:  # skip the warm-up update
+            apply_laps.append(applied - started)
+            read_laps.append(finished - applied)
+    store = handle.view.result_store()
+    return handle.result(), apply_laps, read_laps, store.describe()
+
+
+def _footprint_probe_run(size: int, batch: int, updates: int, disabled: bool):
+    """The nested ``related`` view under a relation-update stream, with the
+    footprint probes either live or disabled (the §2.2 all-labels sweep)."""
+    from repro.engine import Engine
+    from repro.ivm.footprint import forced_no_footprint
+    from repro.workloads import related_query
+
+    movies = generate_movies(size, seed=7)
+    with forced_no_footprint(disabled):
+        engine = Engine()
+        engine.dataset("M", MOVIE_SCHEMA, rows=movies)
+        handle = engine.view("related", related_query(), strategy="nested")
+        stream = list(
+            movie_update_stream(
+                updates, batch, existing=movies, deletion_ratio=0.25, seed=13
+            )
+        )
+        laps = []
+        for update in stream:
+            started = time.perf_counter()
+            engine.apply(update)
+            laps.append(time.perf_counter() - started)
+        entry = next(
+            entry
+            for entry in engine.storage_report()["read_path"]
+            if "probes" in entry
+        )
+        return handle.result(), laps, entry["probes"], entry["footprint"]
+
+
+def _serve_read_run(size: int, reads: int, page: int):
+    """Client-observed read latency against a live server: full result,
+    paged windows, and ETag-304 polls; verifies paged tiling ≡ full."""
+    from repro.client.api import APIClient
+    from repro.serve import ReproServer, ServerConfig
+
+    with ReproServer(ServerConfig(port=0)) as server:
+        api = APIClient(server.url, max_retries=8)
+        api.post(
+            "v1/read/datasets",
+            {
+                "name": "M",
+                "fields": ["name", "gen", "dir"],
+                "rows": [list(row) for row in generate_movies(size, seed=7)],
+            },
+        )
+        api.post(
+            "v1/read/views",
+            {
+                "name": "catalog",
+                "query": {"from": "M", "var": "m", "select": [["row", "m"]]},
+                "strategy": "classic",
+            },
+        )
+        full = api.get("v1/read/views/catalog")
+        version = full["version"]
+
+        full_laps, paged_laps, etag_laps = [], [], []
+        for _ in range(reads):
+            started = time.perf_counter()
+            api.get("v1/read/views/catalog")
+            full_laps.append(time.perf_counter() - started)
+        offsets = list(range(0, max(size, 1), page)) or [0]
+        for index in range(reads):
+            offset = offsets[index % len(offsets)]
+            started = time.perf_counter()
+            api.get(f"v1/read/views/catalog?limit={page}&offset={offset}")
+            paged_laps.append(time.perf_counter() - started)
+        for _ in range(reads):
+            started = time.perf_counter()
+            unchanged = api.get(
+                "v1/read/views/catalog", headers={"If-None-Match": f'"{version}"'}
+            )
+            etag_laps.append(time.perf_counter() - started)
+            if not unchanged.get("unchanged"):
+                raise AssertionError("ETag poll of an idle view was not a 304")
+
+        tiled = []
+        offset = 0
+        while True:
+            window = api.get(f"v1/read/views/catalog?limit={page}&offset={offset}")
+            if window["version"] != version:
+                raise AssertionError("view version moved during the paged read")
+            tiled.extend(window["pairs"])
+            if window["page"]["returned"] == 0:
+                break
+            offset += window["page"]["returned"]
+        if tiled != full["pairs"]:
+            raise AssertionError("paged reads did not tile the full result")
+    return {
+        "n": size,
+        "reads": reads,
+        "page": page,
+        "full": _percentile_summary(full_laps),
+        "paged": _percentile_summary(paged_laps),
+        "etag_304": _percentile_summary(etag_laps),
+        "paged_equals_full": True,
+    }
+
+
+def run_read_latency(
+    size: int = 2000,
+    batch: int = 1,
+    updates: int = 40,
+    shard_sweep: Sequence[int] = (1, 4, 8),
+    size_sweep: Sequence[int] = (4000, 8000),
+    trials: int = 5,
+    nested_size: int = 240,
+    serve_reads: int = 120,
+    serve_page: int = 200,
+) -> dict:
+    """Measure the delta-bounded read path end to end.
+
+    Three legs: (1) a retained-reader sweep over shard count × result size
+    — the reader keeps every snapshot, so per-update apply latency is
+    dominated by the result store's copy-on-write and must improve
+    monotonically with shard count; (2) the nested view's
+    footprint-bounded dictionary probes against the ``REPRO_NO_FOOTPRINT``
+    all-labels sweep, probe counters included; (3) client-observed
+    p50/p99 serve-read latency for full, paged and ETag-304 reads with a
+    paged ≡ full differential check.
+    """
+    sizes = sorted(set(size_sweep))
+    retained_sweep = []
+    monotone_overall = True
+    for n in sizes:
+        cells = []
+        reference = None
+        for shards in shard_sweep:
+            best = None
+            for _ in range(trials):
+                result, apply_laps, read_laps, store = _retained_reader_run(
+                    shards, n, batch, updates
+                )
+                candidate = (
+                    _latency_summary(apply_laps),
+                    _latency_summary(read_laps),
+                    store,
+                    result,
+                )
+                if best is None or (
+                    candidate[0]["median_seconds"] < best[0]["median_seconds"]
+                ):
+                    best = candidate
+            apply_summary, read_summary, store, result = best
+            if reference is None:
+                reference = result
+            elif result != reference:
+                raise AssertionError(
+                    "sharded and single-shard read paths diverged at n=%d" % n
+                )
+            cells.append(
+                {
+                    "shards": store["shards"],
+                    "requested_shards": shards,
+                    "n": n,
+                    "apply": apply_summary,
+                    "first_read": read_summary,
+                    "store": store,
+                }
+            )
+        monotone = all(
+            later["apply"]["median_seconds"] <= earlier["apply"]["median_seconds"]
+            for earlier, later in zip(cells, cells[1:])
+        )
+        monotone_overall = monotone_overall and monotone
+        retained_sweep.append(
+            {
+                "n": n,
+                "cells": cells,
+                "monotone_with_shards": monotone,
+                "speedup_max_shards": (
+                    cells[0]["apply"]["median_seconds"]
+                    / cells[-1]["apply"]["median_seconds"]
+                ),
+            }
+        )
+
+    fast_result, fast_laps, fast_probes, fast_plan = _footprint_probe_run(
+        nested_size, batch=2, updates=max(8, updates // 4), disabled=False
+    )
+    slow_result, slow_laps, slow_probes, _ = _footprint_probe_run(
+        nested_size, batch=2, updates=max(8, updates // 4), disabled=True
+    )
+    if fast_result != slow_result:
+        raise AssertionError("footprint-probed and all-labels refreshes diverged")
+    if fast_probes["dict_probes"] >= slow_probes["dict_probes"]:
+        raise AssertionError(
+            "footprint probes did not beat the all-labels sweep: %r vs %r"
+            % (fast_probes, slow_probes)
+        )
+    footprint_report = {
+        "n": nested_size,
+        "footprint": {
+            "latency": _latency_summary(fast_laps),
+            "probes": fast_probes,
+            "planner": fast_plan,
+        },
+        "all_labels": {
+            "latency": _latency_summary(slow_laps),
+            "probes": slow_probes,
+        },
+        "probe_reduction": slow_probes["dict_probes"] / max(1, fast_probes["dict_probes"]),
+        "probes_bounded_by_footprint": fast_probes["full_sweeps"] == 0
+        and fast_probes["dict_probes"] == fast_probes["footprint_probes"],
+        "results_identical": True,
+    }
+
+    serve_report = _serve_read_run(size, serve_reads, serve_page)
+
+    return {
+        "benchmark": "read_path",
+        "workload": (
+            "retained-reader identity view (classic, d=%d) over shard sweep "
+            "%s x size sweep %s; nested related view (n=%d) footprint vs "
+            "REPRO_NO_FOOTPRINT all-labels sweep; live-server read latency "
+            "(full / limit=%d pages / ETag-304)"
+            % (batch, list(shard_sweep), sizes, nested_size, serve_page)
+        ),
+        "n": size,
+        "d": batch,
+        "updates": updates,
+        "retained_reader_sweep": retained_sweep,
+        "monotone_with_shards": monotone_overall,
+        "footprint_probes": footprint_report,
+        "serve_reads": serve_report,
+        "results_identical": True,
+    }
+
+
 _BENCHMARKS = {
     "compile": (run_selfjoin_latency, "benchmarks/results/compile_selfjoin.json"),
     "index": (run_index_latency, "benchmarks/results/storage_index.json"),
@@ -1018,6 +1302,7 @@ _BENCHMARKS = {
     "shard": (run_shard_scale, "benchmarks/results/shard_scale.json"),
     "cores": (run_core_scale, "benchmarks/results/core_scale.json"),
     "serve": (run_serve_latency, "benchmarks/results/serve_latency.json"),
+    "read": (run_read_latency, "benchmarks/results/read_path.json"),
 }
 
 

@@ -32,7 +32,14 @@ consistent snapshots across writes) and requires the sharded+parallel
 configuration to beat the serial single-shard path on wall-clock — the
 committed ``benchmarks/results/shard_scale.json`` records the full sweep.
 
-A fifth battery exercises **execution backends**: every strategy
+A fifth battery exercises the **read path**: the nested ``related``
+workload is refreshed once with the key-footprint dictionary probes (the
+default) and once with ``REPRO_NO_FOOTPRINT`` forcing the paper's
+all-labels sweep.  Both must agree bag-for-bag, and the footprint leg's
+probe counters must show strictly fewer dictionary probes with no
+full-sweep fallback — untouched labels provably never visited.
+
+A sixth battery exercises **execution backends**: every strategy
 (naive/classic/recursive/nested) maintains its view with the shard-apply
 path pinned to each available execution backend (``serial``, ``threads:2``,
 ``processes:2`` where ``fork`` exists, ``subinterpreters:2`` where PEP 734
@@ -344,6 +351,65 @@ def _run_shard_checks(report: dict) -> None:
 
 
 # --------------------------------------------------------------------------- #
+# Read path: footprint-bounded nested probes vs the all-labels sweep
+# --------------------------------------------------------------------------- #
+def _run_read_checks(report: dict) -> None:
+    """The nested workload refreshed with footprint probes and without.
+
+    The same instance and update stream run twice: with the key-footprint
+    probe path (the default) and with ``REPRO_NO_FOOTPRINT`` forcing the
+    paper's all-labels sweep.  The results must agree bag-for-bag, the
+    footprint leg must never have fallen back to a full sweep, every probe
+    it made must be accounted for by the delta's key footprint, and its
+    probe counter must be strictly smaller than the sweep's — the
+    dictionary entries outside the footprint were provably never visited.
+    """
+    from repro.ivm.footprint import forced_no_footprint
+
+    def run():
+        movies = generate_movies(120, seed=59)
+        engine = movies_engine(movies, expected_update_size=3)
+        view = engine.view("related", related_query(), strategy="nested")
+        engine.apply_stream(
+            movie_update_stream(4, 3, existing=movies, deletion_ratio=0.3, seed=61)
+        )
+        probes = next(
+            entry
+            for entry in engine.storage_report()["read_path"]
+            if "probes" in entry
+        )["probes"]
+        return view.result(), probes
+
+    with forced_no_footprint(False):
+        footprint_result, footprint_probes = run()
+    with forced_no_footprint(True):
+        sweep_result, sweep_probes = run()
+    identical = footprint_result == sweep_result
+    bounded = (
+        footprint_probes["full_sweeps"] == 0
+        and footprint_probes["footprint_sweeps"] > 0
+        and footprint_probes["dict_probes"] == footprint_probes["footprint_probes"]
+    )
+    fewer = footprint_probes["dict_probes"] < sweep_probes["dict_probes"]
+    passed = identical and bounded and fewer
+    report["checks"].append(
+        {
+            "name": "read path / footprint probes vs all-labels sweep",
+            "modes": "footprint-bounded probes / REPRO_NO_FOOTPRINT full sweep",
+            "workload": "nested related view, n=120, 4 mixed updates",
+            "footprint_probes": footprint_probes,
+            "all_labels_probes": sweep_probes,
+            "probes_bounded_by_footprint": bounded,
+            "footprint_beats_sweep": fewer,
+            "identical": identical,
+            "passed": passed,
+        }
+    )
+    if not passed:
+        report["divergences"] += 1
+
+
+# --------------------------------------------------------------------------- #
 # Execution backends: serial ≡ threads ≡ processes (≡ subinterpreters)
 # --------------------------------------------------------------------------- #
 def _run_execution_backend_checks(report: dict) -> None:
@@ -495,6 +561,7 @@ def run_smoke() -> dict:
             report["divergences"] += 1
     _run_apply_check(report)
     _run_shard_checks(report)
+    _run_read_checks(report)
     _run_execution_backend_checks(report)
     return report
 

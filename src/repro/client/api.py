@@ -12,6 +12,11 @@ the retry policy:
 * **connection errors** (refused, reset, timeout) — retried with
   exponential backoff ``backoff_base * 2**attempt`` plus ±25% jitter, for
   servers that are restarting.
+* **304 Not Modified** — the success path of a conditional read (an
+  ``If-None-Match`` ETag matched); decoded to
+  ``{"unchanged": True, "not_modified": True, "etag", "version"}`` rather
+  than raised, so pollers treat it like the legacy ``since_version``
+  short-circuit.
 * every other HTTP error surfaces immediately as :class:`APIError` with the
   server's structured ``{"error": {"code", "message"}}`` body decoded.
 
@@ -78,23 +83,37 @@ class APIClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Any:
-        """One logical request; transparently retries 429s and dead sockets."""
+        """One logical request; transparently retries 429s and dead sockets.
+
+        Extra ``headers`` merge over the defaults (conditional reads pass
+        ``If-None-Match``).  A **304 Not Modified** answer is not an error:
+        it decodes to ``{"unchanged": True, "not_modified": True}`` — plus
+        the server's ``etag`` and the ``version`` parsed from it — so
+        polling callers branch on ``payload.get("unchanged")`` exactly as
+        they do for the legacy ``since_version`` short-circuit.
+        """
         url = f"{self.base_url}/{path.lstrip('/')}"
         data = None if body is None else json.dumps(body).encode("utf-8")
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         attempt = 0
         while True:
             request = urllib.request.Request(
                 url,
                 data=data,
                 method=method,
-                headers={"Content-Type": "application/json"},
+                headers=dict(request_headers),
             )
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
                     payload = response.read()
                     return json.loads(payload.decode("utf-8")) if payload else {}
             except urllib.error.HTTPError as error:
+                if error.status == 304:
+                    return self._decode_not_modified(error)
                 raw = error.read()
                 code, message = self._decode_error(raw, error)
                 if error.status == 429 and attempt < self.max_retries:
@@ -114,6 +133,20 @@ class APIClient:
                     continue
                 reason = getattr(error, "reason", error)
                 raise APIError(0, "connection", f"{url}: {reason}") from None
+
+    @staticmethod
+    def _decode_not_modified(error: urllib.error.HTTPError) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"unchanged": True, "not_modified": True}
+        etag = error.headers.get("ETag") if error.headers else None
+        if etag:
+            payload["etag"] = etag
+            stripped = etag.strip()
+            if stripped.startswith("W/"):
+                stripped = stripped[2:]
+            stripped = stripped.strip('"')
+            if stripped.isdigit():
+                payload["version"] = int(stripped)
+        return payload
 
     def _retry_after_of(self, error: urllib.error.HTTPError) -> float:
         header = error.headers.get("Retry-After") if error.headers else None
@@ -138,8 +171,8 @@ class APIClient:
     # ------------------------------------------------------------------ #
     # Convenience verbs
     # ------------------------------------------------------------------ #
-    def get(self, path: str) -> Any:
-        return self.request("GET", path)
+    def get(self, path: str, headers: Optional[Dict[str, str]] = None) -> Any:
+        return self.request("GET", path, headers=headers)
 
     def post(self, path: str, body: Optional[Dict[str, Any]] = None) -> Any:
         return self.request("POST", path, body or {})

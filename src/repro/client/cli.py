@@ -318,11 +318,14 @@ def _cmd_vacuum(api: APIClient, args: argparse.Namespace) -> int:
 
 
 def _cmd_watch(api: APIClient, args: argparse.Namespace) -> int:
+    """Poll with ``If-None-Match``: an unchanged view costs a body-less 304
+    (the server never encodes the result), and the table redraws only when
+    the version actually advanced."""
     client = ViewsClient(api, tenant=args.tenant)
     version: Optional[int] = None
     remaining = args.count
     while remaining != 0:
-        payload = client.show(args.name, since_version=version)
+        payload = client.show(args.name, etag=version)
         if not payload.get("unchanged"):
             version = payload["version"]
             console.print(

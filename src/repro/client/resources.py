@@ -16,7 +16,7 @@ see :mod:`repro.serve.protocol`).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.client.api import APIClient
 
@@ -26,6 +26,30 @@ __all__ = [
     "UpdatesClient",
     "ViewsClient",
 ]
+
+
+def _etag_header(etag: Union[int, str]) -> str:
+    """Normalize an ETag argument: an int version becomes ``"<version>"``."""
+    if isinstance(etag, int):
+        return f'"{etag}"'
+    tag = etag.strip()
+    return tag if tag.startswith('"') or tag.startswith("W/") else f'"{tag}"'
+
+
+def _read_suffix(
+    base: str,
+    since_version: Optional[int],
+    limit: Optional[int],
+    offset: Optional[int],
+) -> str:
+    params = []
+    if since_version is not None:
+        params.append(f"since_version={since_version}")
+    if limit is not None:
+        params.append(f"limit={limit}")
+    if offset is not None:
+        params.append(f"offset={offset}")
+    return base + (("?" + "&".join(params)) if params else "")
 
 
 class _TenantClient:
@@ -54,8 +78,21 @@ class DatasetsClient(_TenantClient):
             body["rows"] = rows
         return self.api.post(self._path("datasets"), body)
 
-    def show(self, name: str) -> Dict[str, Any]:
-        return self.api.get(self._path(f"datasets/{name}"))
+    def show(
+        self,
+        name: str,
+        *,
+        etag: Optional[Union[int, str]] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Dataset contents; ``etag`` makes the read conditional (may come
+        back ``{"unchanged": True}``), ``limit``/``offset`` page the pairs."""
+        headers = {"If-None-Match": _etag_header(etag)} if etag is not None else None
+        return self.api.get(
+            self._path(_read_suffix(f"datasets/{name}", None, limit, offset)),
+            headers=headers,
+        )
 
 
 class ViewsClient(_TenantClient):
@@ -72,11 +109,28 @@ class ViewsClient(_TenantClient):
             {"name": name, "query": query, "strategy": strategy},
         )
 
-    def show(self, name: str, since_version: Optional[int] = None) -> Dict[str, Any]:
-        suffix = f"views/{name}"
-        if since_version is not None:
-            suffix += f"?since_version={since_version}"
-        return self.api.get(self._path(suffix))
+    def show(
+        self,
+        name: str,
+        since_version: Optional[int] = None,
+        *,
+        etag: Optional[Union[int, str]] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """View result at the pinned snapshot.
+
+        ``etag`` (an int version or the ETag string from a prior read)
+        sends ``If-None-Match`` — an unchanged view answers a body-less 304
+        that decodes to ``{"unchanged": True, ...}``.  ``since_version`` is
+        the legacy in-body equivalent.  ``limit``/``offset`` page the pairs
+        without the server materializing the merged result.
+        """
+        headers = {"If-None-Match": _etag_header(etag)} if etag is not None else None
+        return self.api.get(
+            self._path(_read_suffix(f"views/{name}", since_version, limit, offset)),
+            headers=headers,
+        )
 
     def explain(self, name: str) -> Dict[str, Any]:
         return self.api.get(self._path(f"views/{name}/explain"))
@@ -102,11 +156,22 @@ class UpdatesClient(_TenantClient):
     def vacuum(self) -> Dict[str, Any]:
         return self.api.post(self._path("vacuum"))
 
-    def snapshot(self, since_version: Optional[int] = None) -> Dict[str, Any]:
-        suffix = "snapshot"
-        if since_version is not None:
-            suffix += f"?since_version={since_version}"
-        return self.api.get(self._path(suffix))
+    def snapshot(
+        self,
+        since_version: Optional[int] = None,
+        *,
+        etag: Optional[Union[int, str]] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Every dataset + view at one version; same conditional-read and
+        paging contract as :meth:`ViewsClient.show` (paging applies to each
+        bag in the snapshot independently)."""
+        headers = {"If-None-Match": _etag_header(etag)} if etag is not None else None
+        return self.api.get(
+            self._path(_read_suffix("snapshot", since_version, limit, offset)),
+            headers=headers,
+        )
 
     def storage(self) -> Dict[str, Any]:
         return self.api.get(self._path("storage"))

@@ -428,9 +428,24 @@ class Engine:
         Each store entry also carries its mutation ``version`` counter and
         ``snapshot_freezes`` (how many distinct immutable snapshots the
         copy-on-write store actually materialized) — see
-        ``docs/api.md`` ("Storage internals & complexity").
+        ``docs/api.md`` ("Storage internals & complexity").  The database
+        reports the read path per anonymous backend view; the facade knows
+        the user-facing names, so it re-keys each ``read_path`` entry with
+        the handle's ``name`` and ``strategy``.
         """
-        return self._database.storage_report()
+        report = dict(self._database.storage_report())
+        by_backend = {id(handle.view): handle for handle in self._views.values()}
+        read_path = []
+        for entry in report.get("read_path", ()):
+            handle = by_backend.get(entry.get("backend_id"))
+            named = {
+                key: value for key, value in entry.items() if key != "backend_id"
+            }
+            if handle is not None:
+                named = {"name": handle.name, "strategy": handle.strategy, **named}
+            read_path.append(named)
+        report["read_path"] = read_path
+        return report
 
     @staticmethod
     def _coerce_update(update: UpdateLike) -> Update:

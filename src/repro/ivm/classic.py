@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.bag.bag import Bag
-from repro.bag.builder import BagBuilder
 from repro.delta.rules import delta
 from repro.instrument import OpCounter
 from repro.ivm.database import Database, ShreddedDelta
@@ -60,10 +59,12 @@ class ClassicIVMView(View):
 
         counter = OpCounter()
         started = self._now()
-        # The materialization lives in a transient: per-update changes fold
-        # in place (O(|Δresult|)) and result() freezes the snapshot lazily.
-        self._result = BagBuilder.from_bag(
-            run_bag(compiled_query, query, database.environment(), counter)
+        # The materialization lives in a sharded result store: per-update
+        # changes fold into the touched shards (O(|Δresult|)), result()
+        # freezes the snapshot lazily, and a retained snapshot copy-on-writes
+        # only dirty shards on the next update.
+        self._result = database.create_result_store(
+            "classic", run_bag(compiled_query, query, database.environment(), counter)
         )
         self.stats.record_init(self._now() - started, counter)
         if register:
@@ -77,6 +78,9 @@ class ClassicIVMView(View):
 
     def result(self) -> Bag:
         return self._result.freeze()
+
+    def result_store(self):
+        return self._result
 
     def on_update(self, update: Update, shredded_delta: ShreddedDelta, context=None) -> None:
         counter = OpCounter()

@@ -50,7 +50,7 @@ from repro.shredding.shred_database import (
 )
 from repro.shredding.context import iter_context_dicts
 from repro.shredding.shred_values import ValueShredder
-from repro.storage import DictionaryStore, StorageManager, resolve_shard_count
+from repro.storage import DictionaryStore, ResultStore, StorageManager, resolve_shard_count
 from repro.storage.shards import SMALL_RELATION_SHARD_THRESHOLD, shards_pinned
 
 __all__ = ["Database", "RefreshContext", "ShreddedDelta"]
@@ -457,14 +457,48 @@ class Database:
         slices) and carry per-shard breakdowns under ``shard_stats`` /
         ``per_shard`` for multi-shard stores.
         """
+        result_stores: List[Dict[str, object]] = []
+        read_path: List[Dict[str, object]] = []
+        for view in self._views:
+            store_of = getattr(view, "result_store", None)
+            store = store_of() if callable(store_of) else None
+            if store is not None:
+                result_stores.append(store.describe())
+            reader = getattr(view, "read_stats", None)
+            if callable(reader):
+                stats = reader()
+                # The facade (Engine.storage_report) swaps this for the
+                # user-facing view name; here the backend is anonymous.
+                stats["backend_id"] = id(view)
+                read_path.append(stats)
         return {
             "nested": self._storage.report(),
             "flat": self._flat_storage.report(),
             "dictionaries": self._dict_store.report(),
+            "results": {"kind": "results", "stores": result_stores},
+            "read_path": read_path,
             "shards": self.storage_shards(),
             "parallel_views": self.refresh_mode(),
             "execution": self.execution_report(),
         }
+
+    def create_result_store(self, name: str, bag: Bag = EMPTY_BAG) -> ResultStore:
+        """A result store partitioned like this database's relation stores.
+
+        View backends route their materializations through here so result
+        sharding follows the same policy as relation sharding: the
+        database-wide shard count, with the small-relation rule (results
+        below :data:`SMALL_RELATION_SHARD_THRESHOLD` rows stay on a single
+        shard) applied when nothing pins a count.  The choice is made once,
+        at view materialization time.
+        """
+        shards = self.storage_shards()
+        if (
+            not self._shards_pinned
+            and bag.cardinality() < SMALL_RELATION_SHARD_THRESHOLD
+        ):
+            shards = 1
+        return ResultStore(name, bag, shards=shards)
 
     # ------------------------------------------------------------------ #
     # Views

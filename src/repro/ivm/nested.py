@@ -35,6 +35,7 @@ from repro.dictionaries import DictValue, MaterializedDict
 from repro.errors import ShreddingError
 from repro.instrument import OpCounter, maybe_count
 from repro.ivm.database import Database, ShreddedDelta
+from repro.ivm.footprint import FootprintPlan, analyze, footprint_enabled
 from repro.ivm.updates import Update
 from repro.ivm.views import View
 from repro.labels import Label
@@ -99,6 +100,13 @@ class _DictState:
     children: List["_DictState"] = field(default_factory=list)
     #: Union of all entry bags, maintained only when ``children`` is non-empty.
     carrier: Optional[BagBuilder] = None
+    #: Static key-footprint plan of ``delta_expression`` (``None`` when the
+    #: analysis could not bound the touched labels — full sweep for safety).
+    footprint_plan: Optional[FootprintPlan] = None
+    #: (iota, param_paths) → projected key → labels of ``entries`` with that
+    #: key.  Maintained wherever entries are inserted/removed, so refresh
+    #: probes are bounded by the delta's key footprint instead of |entries|.
+    footprint_index: Dict[Any, Dict[Any, Set[Label]]] = field(default_factory=dict)
 
 
 class NestedIVMView(View):
@@ -137,6 +145,9 @@ class NestedIVMView(View):
                     delta_expression=delta_expression,
                     compiled=try_compile(expression),
                     compiled_delta=try_compile(delta_expression),
+                    # Derived once, statically: which labels an intensional
+                    # delta can touch, keyed by the delta's projections.
+                    footprint_plan=analyze(delta_expression),
                 )
             )
         self._execution_mode = (
@@ -177,11 +188,26 @@ class NestedIVMView(View):
         counter = OpCounter()
         started = self._now()
         environment = database.shredded_environment()
-        # The flat view lives in a transient builder: per-update deltas fold
-        # in place and flat_result() freezes the snapshot lazily.
-        self._flat_view = BagBuilder.from_bag(
-            run_bag(self._compiled_flat, self._shredded.flat, environment, counter)
+        # The flat view lives in a sharded result store: per-update deltas
+        # fold into the touched shards and flat_result() freezes the
+        # snapshot lazily (a retained reader COWs only dirty shards).
+        self._flat_view = database.create_result_store(
+            "nested-flat",
+            run_bag(self._compiled_flat, self._shredded.flat, environment, counter),
         )
+        #: Cached unshredded result, invalidated per maintenance pass, so an
+        #: unchanged view answers repeated result() reads with one object.
+        self._result_cache: Optional[Bag] = None
+        #: Read-path accounting: how refresh probes were bounded.
+        self._probe_stats: Dict[str, int] = {
+            "dict_probes": 0,
+            "footprint_probes": 0,
+            "footprint_keys": 0,
+            "skipped_labels": 0,
+            "footprint_sweeps": 0,
+            "support_sweeps": 0,
+            "full_sweeps": 0,
+        }
         for state in self._dict_states:
             # One full scan at construction seeds the active-label index;
             # updates maintain it from presence transitions thereafter.
@@ -190,6 +216,8 @@ class NestedIVMView(View):
                 state.compiled, state.expression, environment, counter
             )
             state.entries = {label: dictionary.lookup(label) for label in state.active}
+            for label in state.entries:
+                self._footprint_add(state, label)
             if state.children:
                 carrier = BagBuilder()
                 for bag in state.entries.values():
@@ -235,10 +263,36 @@ class NestedIVMView(View):
     # Result reconstruction (the nesting function u)
     # ------------------------------------------------------------------ #
     def result(self) -> Bag:
-        """Reconstruct the nested result from the shredded materializations."""
+        """Reconstruct the nested result from the shredded materializations.
+
+        The reconstruction is cached until the next maintenance pass: an
+        unchanged view returns the identical frozen object on repeated reads
+        (no re-unshredding, no COW refcount movement) — what makes snapshot
+        capture O(1) per quiescent view.
+        """
+        cached = self._result_cache
+        if cached is not None:
+            return cached
         value_context = self._value_context(self._shredded.context, ())
         element_type = self._shredded.output_type.element  # type: ignore[union-attr]
-        return unshred_bag(self._flat_view.freeze(), element_type, value_context)
+        result = unshred_bag(self._flat_view.freeze(), element_type, value_context)
+        self._result_cache = result
+        return result
+
+    def result_store(self):
+        return self._flat_view
+
+    def read_stats(self):
+        stats = super().read_stats()
+        stats["probes"] = dict(self._probe_stats)
+        stats["footprint"] = {
+            "enabled": footprint_enabled(),
+            "dictionaries": len(self._dict_states),
+            "planned": sum(
+                1 for state in self._dict_states if state.footprint_plan is not None
+            ),
+        }
+        return stats
 
     def _value_context(self, context: Context, path: Tuple[Any, ...]) -> Context:
         if isinstance(context, (UnitContext, EmptyContext)):
@@ -261,6 +315,7 @@ class NestedIVMView(View):
     def on_update(self, update: Update, shredded_delta: ShreddedDelta, context=None) -> None:
         counter = OpCounter()
         started = self._now()
+        self._result_cache = None
 
         if context is not None:
             delta_env = context.shredded_delta_environment()
@@ -299,13 +354,28 @@ class NestedIVMView(View):
             entry_changes: Optional[List[Bag]] = [] if state.children else None
             # When the delta dictionary has finite support (e.g. deep updates
             # arriving as explicit label deltas) only the touched labels need
-            # refreshing; intensional deltas (dictionary bodies over ΔR) are
-            # probed for every existing label — the O(n·d) term of §2.2.
+            # refreshing.  Intensional deltas (dictionary bodies over ΔR)
+            # report no support; the static key-footprint plan bounds the
+            # probes by the delta's label footprint instead — only when no
+            # plan exists (or the REPRO_NO_FOOTPRINT hatch is set) does the
+            # refresh fall back to probing every existing label, the O(n·d)
+            # term of §2.2.
+            probes = self._probe_stats
             delta_support = delta_dictionary.support()
             if delta_support is None:
-                refresh_labels = list(entries)
+                footprint = self._footprint_labels(state, shredded_delta)
+                if footprint is None:
+                    refresh_labels = list(entries)
+                    probes["full_sweeps"] += 1
+                else:
+                    refresh_labels = footprint
+                    probes["footprint_sweeps"] += 1
+                    probes["footprint_probes"] += len(footprint)
+                    probes["skipped_labels"] += len(entries) - len(footprint)
             else:
                 refresh_labels = [label for label in delta_support if label in entries]
+                probes["support_sweeps"] += 1
+            probes["dict_probes"] += len(refresh_labels)
             for label in refresh_labels:
                 change = delta_dictionary.lookup(label)
                 maybe_count(counter, "dict_refreshes")
@@ -330,6 +400,7 @@ class NestedIVMView(View):
                     maybe_count(counter, "dict_initializations")
                     definition = full_dictionary.lookup(label)
                     entries[label] = definition
+                    self._footprint_add(state, label)
                     if entry_changes is not None and not definition.is_empty():
                         entry_changes.append(definition)
 
@@ -349,11 +420,13 @@ class NestedIVMView(View):
         so a child's scan sees its parent already vacuumed).
         """
         removed = 0
+        self._result_cache = None
         for state in self._dict_states:
             state.active = self._scan_active(state)
             stale = [label for label in state.entries if label not in state.active]
             for label in stale:
                 del state.entries[label]
+                self._footprint_discard(state, label)
             if stale:
                 state.snapshot = None
             removed += len(stale)
@@ -425,8 +498,12 @@ class NestedIVMView(View):
         return counts
 
     @staticmethod
-    def _presence_transitions(carrier: BagBuilder, change: Bag) -> List[Tuple[Any, int]]:
+    def _presence_transitions(carrier, change: Bag) -> List[Tuple[Any, int]]:
         """Elements of ``change`` that appear in / disappear from ``carrier``.
+
+        ``carrier`` is anything answering ``multiplicity`` without freezing
+        — a :class:`BagBuilder` (dictionary carriers) or the flat view's
+        :class:`~repro.storage.ResultStore`.
 
         Computed *before* the change is folded in: ``(element, +1)`` when a
         multiplicity crosses zero upward (the element joins the carrier's
@@ -458,6 +535,96 @@ class NestedIVMView(View):
                 active.pop(value, None)
             else:
                 active[value] = count
+
+    # ------------------------------------------------------------------ #
+    # Key-footprint index (see repro.ivm.footprint)
+    # ------------------------------------------------------------------ #
+    def _footprint_add(self, state: _DictState, label: Label) -> None:
+        """Index one entries-label under every key combination of the plan."""
+        plan = state.footprint_plan
+        if plan is None:
+            return
+        for singleton in plan.singletons:
+            if label.iota != singleton.iota or len(label.values) != singleton.arity:
+                continue
+            for constraint in singleton.constraints:
+                key = tuple(
+                    self._project(label.values[position], path)
+                    for position, path in constraint.param_paths
+                )
+                combo = (singleton.iota, constraint.param_paths)
+                bucket = state.footprint_index.setdefault(combo, {})
+                bucket.setdefault(key, set()).add(label)
+
+    def _footprint_discard(self, state: _DictState, label: Label) -> None:
+        plan = state.footprint_plan
+        if plan is None:
+            return
+        for singleton in plan.singletons:
+            if label.iota != singleton.iota or len(label.values) != singleton.arity:
+                continue
+            for constraint in singleton.constraints:
+                combo = (singleton.iota, constraint.param_paths)
+                bucket = state.footprint_index.get(combo)
+                if bucket is None:
+                    continue
+                key = tuple(
+                    self._project(label.values[position], path)
+                    for position, path in constraint.param_paths
+                )
+                labels = bucket.get(key)
+                if labels is not None:
+                    labels.discard(label)
+                    if not labels:
+                        del bucket[key]
+
+    def _footprint_labels(
+        self, state: _DictState, shredded_delta: ShreddedDelta
+    ) -> Optional[List[Label]]:
+        """The labels this update's delta can possibly touch, or ``None``.
+
+        O(|Δ| + |footprint|): project every delta element at the plan's
+        delta paths and collect the matching labels from the footprint
+        index.  ``None`` (no plan, the escape hatch, or a dictionary delta
+        whose support cannot be enumerated) means the caller must probe
+        every entry.
+        """
+        plan = state.footprint_plan
+        if plan is None or not footprint_enabled():
+            return None
+        matched: Set[Label] = set()
+        probes = self._probe_stats
+        for singleton in plan.singletons:
+            for constraint in singleton.constraints:
+                delta_bag = shredded_delta.bags.get(constraint.delta_name)
+                if delta_bag is None or delta_bag.is_empty():
+                    continue
+                bucket = state.footprint_index.get(
+                    (singleton.iota, constraint.param_paths)
+                )
+                if not bucket:
+                    continue
+                seen_keys: Set[Any] = set()
+                for element in delta_bag.elements():
+                    key = tuple(
+                        self._project(element, path) for path in constraint.delta_paths
+                    )
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    probes["footprint_keys"] += 1
+                    labels = bucket.get(key)
+                    if labels:
+                        matched.update(labels)
+        for name in plan.dict_deltas:
+            dictionary = shredded_delta.dictionaries.get(name)
+            if dictionary is None:
+                continue
+            support = dictionary.support()
+            if support is None:
+                return None
+            matched.update(label for label in support if label in state.entries)
+        return list(matched)
 
     def _propagate_entry_changes(self, state: _DictState, changes: List[Bag]) -> None:
         """Fold entry changes into the carrier and the children's label counts.

@@ -142,8 +142,12 @@ class RecursiveIVMView(View):
         counter = OpCounter()
         started = self._now()
         environment = database.environment()
-        self._result = BagBuilder.from_bag(
-            run_bag(compiled_query, query, environment, counter)
+        # The view materialization goes to a sharded result store (retained
+        # snapshots COW per shard); the partial-evaluation materializations
+        # below stay in plain builders — they are view-internal state no
+        # reader ever retains across an update.
+        self._result = database.create_result_store(
+            "recursive", run_bag(compiled_query, query, environment, counter)
         )
         self._materializations: Dict[str, _Materialization] = {}
         for name, expression in to_materialize:
@@ -185,6 +189,9 @@ class RecursiveIVMView(View):
 
     def result(self) -> Bag:
         return self._result.freeze()
+
+    def result_store(self):
+        return self._result
 
     def on_update(self, update: Update, shredded_delta: ShreddedDelta, context=None) -> None:
         counter = OpCounter()

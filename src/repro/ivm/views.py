@@ -117,6 +117,28 @@ class View:
         return getattr(self, "_execution_mode", "interpreted")
 
     # ------------------------------------------------------------------ #
+    # Read-path reporting (the result-store layer)
+    # ------------------------------------------------------------------ #
+    def result_store(self):
+        """The sharded :class:`~repro.storage.ResultStore` backing this
+        view's materialization, or ``None`` for backends that keep their
+        own representation (e.g. the naive recompute baseline)."""
+        return None
+
+    def read_stats(self):
+        """Read-path accounting surfaced through ``storage_report()``.
+
+        Base views report their result store's shape (shards, versions,
+        snapshot freezes); backends with extra read-side machinery — the
+        nested view's footprint-bounded dictionary probes — extend this.
+        """
+        stats = {"view": type(self).__name__}
+        store = self.result_store()
+        if store is not None:
+            stats["result_store"] = store.describe()
+        return stats
+
+    # ------------------------------------------------------------------ #
     # Persistent index plumbing (the storage layer)
     # ------------------------------------------------------------------ #
     def _collect_index_requirements(self, *compiled) -> tuple:

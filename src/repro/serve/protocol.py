@@ -36,6 +36,7 @@ HTTP 400 with a structured ``{"error": {"code", "message"}}`` body.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bag.bag import Bag
@@ -51,6 +52,7 @@ __all__ = [
     "decode_update",
     "decode_value",
     "encode_bag",
+    "encode_bag_page",
     "encode_value",
     "fields_spec_of",
     "query_from_spec",
@@ -121,6 +123,46 @@ def encode_bag(bag: Bag) -> Dict[str, Any]:
         "distinct": bag.distinct_size(),
         "cardinality": bag.cardinality(),
     }
+
+
+def encode_bag_page(
+    bag: Bag, limit: Optional[int] = None, offset: int = 0
+) -> Dict[str, Any]:
+    """Encode one page of a top-level bag without materializing the rest.
+
+    Slices ``bag.items()`` lazily — on a :class:`~repro.storage.ShardedBag`
+    that iterator walks the frozen shards directly, so a page never forces
+    the merged dictionary into existence.  ``limit=None`` with ``offset=0``
+    reduces to :func:`encode_bag` exactly.  Paging is only meaningful
+    against one pinned snapshot: a frozen bag's iteration order is stable,
+    so pages taken at the same ``version`` (the ETag) tile the full result
+    without overlap or gaps.  ``distinct``/``cardinality`` always describe
+    the whole bag; the ``page`` object (present whenever a window was
+    requested) describes the slice.
+    """
+    if offset < 0:
+        raise ProtocolError("'offset' must be a non-negative integer")
+    if limit is not None and limit < 0:
+        raise ProtocolError("'limit' must be a non-negative integer")
+    stop = None if limit is None else offset + limit
+    pairs = [
+        [encode_value(element), multiplicity]
+        for element, multiplicity in islice(bag.items(), offset, stop)
+    ]
+    distinct = bag.distinct_size()
+    encoded: Dict[str, Any] = {
+        "pairs": pairs,
+        "distinct": distinct,
+        "cardinality": bag.cardinality(),
+    }
+    if limit is not None or offset:
+        encoded["page"] = {
+            "offset": offset,
+            "limit": limit,
+            "returned": len(pairs),
+            "remaining": max(0, distinct - offset - len(pairs)),
+        }
+    return encoded
 
 
 # --------------------------------------------------------------------------- #

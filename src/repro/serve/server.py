@@ -33,7 +33,16 @@ published snapshot exactly once and answers entirely from it, so the
 ``version`` field in the response identifies one consistent engine state —
 even while writers are storming.  ``?since_version=N`` on view/snapshot
 reads short-circuits to ``{"unchanged": true}`` when nothing advanced
-(what the CLI's ``watch`` polls).
+(legacy polling).
+
+Versioned reads: dataset, view and snapshot responses carry the pinned
+engine version as an ``ETag`` header (``"<version>"``); a request whose
+``If-None-Match`` matches answers **304 Not Modified** with no body (what
+the CLI's ``watch`` and the SDK's ``etag=`` polling use).  ``?limit=N`` /
+``?offset=K`` page the result pairs without materializing the merged bag —
+a :class:`~repro.storage.ShardedBag` snapshot is sliced shard-direct — and
+because pages are cut from one pinned frozen snapshot, walking offsets at
+a fixed ETag tiles the full result exactly.
 
 Shutdown: :meth:`ReproServer.close` stops accepting connections, drains
 every tenant's ingest queue, and closes every engine (joining scheduler
@@ -56,7 +65,7 @@ from repro.serve.ingest import BackpressureError
 from repro.serve.protocol import (
     ProtocolError,
     decode_update,
-    encode_bag,
+    encode_bag_page,
     fields_spec_of,
 )
 from repro.serve.sessions import SessionManager, TenantSession
@@ -135,6 +144,49 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(
             {"error": {"code": code, "message": message}}, status=status, headers=headers
         )
+
+    # ------------------------------------------------------------------ #
+    # Versioned reads: ETags and pages over pinned snapshots
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _etag_of(version: int) -> str:
+        return f'"{version}"'
+
+    def _if_none_match(self, etag: str) -> bool:
+        """Does the request's ``If-None-Match`` cover this snapshot's ETag?"""
+        header = self.headers.get("If-None-Match")
+        if header is None:
+            return False
+        candidates = [tag.strip() for tag in header.split(",")]
+        return "*" in candidates or any(
+            tag == etag or (tag.startswith("W/") and tag[2:] == etag)
+            for tag in candidates
+        )
+
+    def _send_not_modified(self, etag: str) -> None:
+        """304: headers only — the reader's copy at this ETag is current."""
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    @staticmethod
+    def _page_params(query: Dict[str, str]) -> Tuple[Optional[int], int]:
+        """``?limit=N&offset=K`` as validated ints (limit None = everything)."""
+
+        def _int_of(name: str) -> Optional[int]:
+            raw = query.get(name)
+            if raw is None:
+                return None
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ProtocolError(f"{name!r} must be an integer, got {raw!r}") from None
+            if value < 0:
+                raise ProtocolError(f"{name!r} must be non-negative, got {value}")
+            return value
+
+        return _int_of("limit"), _int_of("offset") or 0
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -219,6 +271,7 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> None:
         snapshot = session.snapshot  # pinned once per request
         since = query.get("since_version")
+        etag = self._etag_of(snapshot.version)
         if rest == ["datasets"]:
             self._send_json(
                 {
@@ -242,8 +295,17 @@ class _Handler(BaseHTTPRequestHandler):
             bag = snapshot.datasets.get(name)
             if bag is None:
                 raise ProtocolError(f"no dataset named {name!r}", code="not_found")
+            if self._if_none_match(etag):
+                self._send_not_modified(etag)
+                return
+            limit, offset = self._page_params(query)
             self._send_json(
-                {"version": snapshot.version, "dataset": name, **encode_bag(bag)}
+                {
+                    "version": snapshot.version,
+                    "dataset": name,
+                    **encode_bag_page(bag, limit, offset),
+                },
+                headers={"ETag": etag},
             )
             return
         if rest == ["views"]:
@@ -271,17 +333,25 @@ class _Handler(BaseHTTPRequestHandler):
                 bag = snapshot.views.get(name)
                 if bag is None:
                     raise ProtocolError(f"no view named {name!r}", code="not_found")
-                if since is not None and since.isdigit() and int(since) == snapshot.version:
-                    self._send_json({"version": snapshot.version, "unchanged": True})
+                if self._if_none_match(etag):
+                    self._send_not_modified(etag)
                     return
+                if since is not None and since.isdigit() and int(since) == snapshot.version:
+                    self._send_json(
+                        {"version": snapshot.version, "unchanged": True},
+                        headers={"ETag": etag},
+                    )
+                    return
+                limit, offset = self._page_params(query)
                 handle = session.view_handle(name)
                 self._send_json(
                     {
                         "version": snapshot.version,
                         "view": name,
                         "strategy": handle.strategy,
-                        **encode_bag(bag),
-                    }
+                        **encode_bag_page(bag, limit, offset),
+                    },
+                    headers={"ETag": etag},
                 )
                 return
             if rest[2:] == ["explain"]:
@@ -297,21 +367,29 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
         if rest == ["snapshot"]:
-            if since is not None and since.isdigit() and int(since) == snapshot.version:
-                self._send_json({"version": snapshot.version, "unchanged": True})
+            if self._if_none_match(etag):
+                self._send_not_modified(etag)
                 return
+            if since is not None and since.isdigit() and int(since) == snapshot.version:
+                self._send_json(
+                    {"version": snapshot.version, "unchanged": True},
+                    headers={"ETag": etag},
+                )
+                return
+            limit, offset = self._page_params(query)
             self._send_json(
                 {
                     "version": snapshot.version,
                     "datasets": {
-                        name: encode_bag(bag)
+                        name: encode_bag_page(bag, limit, offset)
                         for name, bag in sorted(snapshot.datasets.items())
                     },
                     "views": {
-                        name: encode_bag(bag)
+                        name: encode_bag_page(bag, limit, offset)
                         for name, bag in sorted(snapshot.views.items())
                     },
-                }
+                },
+                headers={"ETag": etag},
             )
             return
         if rest == ["storage"]:

@@ -18,6 +18,7 @@ from repro.bag.builder import (
     transients_enabled,
 )
 from repro.storage.index import HashIndex, IndexKeyError, index_key_of
+from repro.storage.results import ResultStore
 from repro.storage.shards import (
     DEFAULT_SHARD_COUNT,
     REPRO_SHARDS,
@@ -47,6 +48,7 @@ __all__ = [
     "IndexKeyError",
     "IndexProvider",
     "RelationStore",
+    "ResultStore",
     "ShardIndexFamily",
     "ShardedBag",
     "StorageManager",
