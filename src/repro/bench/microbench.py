@@ -1,6 +1,6 @@
-"""Micro-benchmarks: compiled, indexed, O(|Δ|)-apply, shard, serve and read latency (BENCH json).
+"""Micro-benchmarks: compiled, indexed, O(|Δ|)-apply, shard, serve, read and durability latency (BENCH json).
 
-Seven benchmarks share this CLI:
+Eight benchmarks share this CLI:
 
 * ``--benchmark compile`` (the default) maintains the selective genre
   self-join with the classic first-order strategy, once with the compiled
@@ -62,6 +62,12 @@ Seven benchmarks share this CLI:
   client-observed p50/p99 serve-read latency for full, paged
   (``limit``/``offset``) and ETag-304 reads, with a paged ≡ full
   differential check.
+* ``--benchmark durability`` measures the **durability tax**: per-apply
+  overhead of the write-ahead log under each fsync policy (``off`` /
+  ``batch`` / ``always``) against the in-memory engine, checkpoint write
+  time against database size, and cold-start recovery time against WAL
+  tail length (with a checkpointed leg proving the tail — not the
+  history — is what recovery pays for).  See ``docs/durability.md``.
 
 All of them verify that the compared runs produced identical contents.
 JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
@@ -70,7 +76,8 @@ JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
 ``benchmarks/results/shard_scale.json`` /
 ``benchmarks/results/core_scale.json`` /
 ``benchmarks/results/serve_latency.json`` /
-``benchmarks/results/read_path.json`` by default (the committed copies
+``benchmarks/results/read_path.json`` /
+``benchmarks/results/durability.json`` by default (the committed copies
 are regenerated from exactly these commands).
 """
 
@@ -114,6 +121,7 @@ __all__ = [
     "run_core_scale",
     "run_serve_latency",
     "run_read_latency",
+    "run_durability",
     "main",
 ]
 
@@ -1295,6 +1303,144 @@ def run_read_latency(
     }
 
 
+def run_durability(size: int = 2000, batch: int = 4, updates: int = 40) -> dict:
+    """Durability overhead: WAL tax, checkpoint cost, cold-start recovery.
+
+    Three measurements (``docs/durability.md``):
+
+    * **apply overhead** — the classic self-join maintained under a mixed
+      update stream, once in memory and once per WAL fsync policy
+      (``off`` / ``batch`` / ``always``), with the serving layer's
+      sync-before-ack discipline (``sync_wal()`` after every apply).  The
+      ``off`` leg prices the append + codec alone, ``batch`` adds one
+      fsync per acknowledged apply, ``always`` one per logged record.
+      Every leg must produce identical view results.
+    * **checkpoint write time vs database size** — wall time of
+      ``Engine.checkpoint()`` (capture + encode + fsync + rename) over a
+      size sweep, with the on-disk footprint.
+    * **cold-start recovery vs WAL tail length** — wall time of
+      ``Engine(data_dir=...)`` replaying tails of increasing length, plus
+      a checkpointed leg whose tail is empty: recovery cost tracks the
+      *tail*, not the history.
+    """
+    import statistics
+    import tempfile
+
+    from repro.durability.faults import engine_state, state_differences
+    from repro.engine import Engine
+
+    rows = generate_movies(size, seed=7)
+    stream = list(
+        movie_update_stream(updates, batch, existing=rows, deletion_ratio=0.2, seed=13)
+    )
+
+    def _drive(engine: Engine, sync_each: bool):
+        engine.dataset("M", MOVIE_SCHEMA, rows=rows)
+        engine.view("selfjoin", genre_selfjoin_query(), strategy="classic")
+        latencies = []
+        for update in stream:
+            started = time.perf_counter()
+            engine.apply(update)
+            if sync_each:
+                engine.sync_wal()
+            latencies.append(time.perf_counter() - started)
+        return latencies
+
+    def _leg(label: str, data_dir: Optional[str], fsync: Optional[str]):
+        engine = Engine(data_dir=data_dir, fsync=fsync)
+        latencies = _drive(engine, sync_each=data_dir is not None)
+        state = engine_state(engine)
+        wal = None
+        if data_dir is not None:
+            wal = dict(engine.durability_report()["wal"])
+        engine.close()
+        return state, {
+            "leg": label,
+            "apply_p50_ms": 1000 * statistics.median(latencies),
+            "apply_total_s": sum(latencies),
+            "wal": wal,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dur-") as tmp:
+        baseline_state, baseline = _leg("in-memory", None, None)
+        policy_legs = []
+        identical = True
+        for policy in ("off", "batch", "always"):
+            state, leg = _leg(
+                f"wal-{policy}", os.path.join(tmp, f"wal-{policy}"), policy
+            )
+            leg["overhead_vs_memory"] = leg["apply_total_s"] / max(
+                baseline["apply_total_s"], 1e-9
+            )
+            leg["matches_in_memory"] = (
+                state_differences(baseline_state, state) == []
+            )
+            identical = identical and leg["matches_in_memory"]
+            policy_legs.append(leg)
+
+        checkpoint_sweep = []
+        for n in sorted({max(size // 4, 200), max(size // 2, 400), size}):
+            data_dir = os.path.join(tmp, f"ckpt-{n}")
+            engine = Engine(data_dir=data_dir, fsync="batch")
+            engine.dataset("M", MOVIE_SCHEMA, rows=generate_movies(n, seed=7))
+            engine.view("selfjoin", genre_selfjoin_query(), strategy="classic")
+            started = time.perf_counter()
+            engine.checkpoint()
+            elapsed = time.perf_counter() - started
+            ckpt_root = os.path.join(data_dir, "checkpoints")
+            on_disk = sum(
+                os.path.getsize(os.path.join(root, name))
+                for root, _, names in os.walk(ckpt_root)
+                for name in names
+            )
+            engine.close()
+            checkpoint_sweep.append(
+                {
+                    "rows": n,
+                    "checkpoint_s": elapsed,
+                    "on_disk_bytes": on_disk,
+                }
+            )
+
+        recovery_sweep = []
+        for tail, checkpointed in ((updates // 4, False), (updates, False), (updates, True)):
+            data_dir = os.path.join(tmp, f"rec-{tail}-{checkpointed}")
+            engine = Engine(data_dir=data_dir, fsync="batch")
+            engine.dataset("M", MOVIE_SCHEMA, rows=rows)
+            engine.view("selfjoin", genre_selfjoin_query(), strategy="classic")
+            for update in stream[:tail]:
+                engine.apply(update)
+            if checkpointed:
+                engine.checkpoint()
+            engine.close()
+            started = time.perf_counter()
+            reopened = Engine(data_dir=data_dir, fsync="batch")
+            elapsed = time.perf_counter() - started
+            report = reopened.recovery_report
+            reopened.close()
+            recovery_sweep.append(
+                {
+                    "wal_tail_updates": 0 if checkpointed else tail,
+                    "from_checkpoint": checkpointed,
+                    "records_replayed": report.records_replayed,
+                    "cold_start_s": elapsed,
+                }
+            )
+
+    return {
+        "benchmark": "durability",
+        "workload": "genre self-join (classic) under mixed insert/delete stream",
+        "n": size,
+        "d": batch,
+        "updates": updates,
+        "in_memory": baseline,
+        "fsync_policies": policy_legs,
+        "checkpoint_write_vs_size": checkpoint_sweep,
+        "cold_start_vs_tail": recovery_sweep,
+        "results_identical": identical,
+    }
+
+
 _BENCHMARKS = {
     "compile": (run_selfjoin_latency, "benchmarks/results/compile_selfjoin.json"),
     "index": (run_index_latency, "benchmarks/results/storage_index.json"),
@@ -1303,6 +1449,7 @@ _BENCHMARKS = {
     "cores": (run_core_scale, "benchmarks/results/core_scale.json"),
     "serve": (run_serve_latency, "benchmarks/results/serve_latency.json"),
     "read": (run_read_latency, "benchmarks/results/read_path.json"),
+    "durability": (run_durability, "benchmarks/results/durability.json"),
 }
 
 

@@ -9,6 +9,9 @@ the retry policy:
   ``max_retries`` times.  This is the client half of the admission-control
   contract: a well-behaved writer backs off exactly as long as the server's
   ingest queue predicts.
+* **503 + Retry-After** — a tenant still replaying its WAL after a server
+  restart (``docs/durability.md``); retried exactly like backpressure.  A
+  503 *without* the header (e.g. an apply timeout) surfaces immediately.
 * **connection errors** (refused, reset, timeout) — retried with
   exponential backoff ``backoff_base * 2**attempt`` plus ±25% jitter, for
   servers that are restarting.
@@ -116,7 +119,15 @@ class APIClient:
                     return self._decode_not_modified(error)
                 raw = error.read()
                 code, message = self._decode_error(raw, error)
-                if error.status == 429 and attempt < self.max_retries:
+                # 429 is always the admission-control contract; 503 is
+                # retryable only when the server stamped a Retry-After (a
+                # tenant mid-recovery) — a bare 503 (apply timeout) is not.
+                retryable = error.status == 429 or (
+                    error.status == 503
+                    and error.headers is not None
+                    and error.headers.get("Retry-After") is not None
+                )
+                if retryable and attempt < self.max_retries:
                     retry_after = self._retry_after_of(error)
                     self.retries_performed += 1
                     attempt += 1

@@ -95,10 +95,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             engine_options=engine_options,
             quiet=not args.verbose,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
         )
     )
     server.install_signal_handlers()
-    console.print(f"repro-serve listening on {server.url} (SIGTERM drains and exits)")
+    durable = f", durable in {args.data_dir}" if args.data_dir else ""
+    console.print(
+        f"repro-serve listening on {server.url} "
+        f"(SIGTERM drains and exits{durable})"
+    )
     try:
         server.serve_forever()
     except (KeyboardInterrupt, OSError):
@@ -111,10 +117,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_health(api: APIClient, args: argparse.Namespace) -> int:
     payload = ServerClient(api).health()
-    console.print(
+    line = (
         f"status={payload['status']} uptime={payload['uptime_seconds']:.1f}s "
         f"tenants={','.join(payload['tenants']) or '-'}"
     )
+    recovering = payload.get("recovering") or []
+    if recovering:
+        line += f" recovering={','.join(recovering)}"
+    console.print(line)
     return 0
 
 
@@ -129,6 +139,7 @@ def _cmd_stats(api: APIClient, args: argparse.Namespace) -> int:
     for header in (
         "tenant", "version", "datasets", "views", "queue",
         "accepted", "429s", "batches", "coalesced", "batch ms", "backend",
+        "durability",
     ):
         table.add_column(header)
     for name, tenant in sorted(payload["tenants"].items()):
@@ -145,6 +156,7 @@ def _cmd_stats(api: APIClient, args: argparse.Namespace) -> int:
             str(ingest["coalesced_updates"]),
             f"{1000 * ingest['ewma_batch_seconds']:.2f}",
             _render_backend(tenant),
+            _render_durability(tenant),
         )
     console.print(table)
     return 0
@@ -164,6 +176,26 @@ def _render_backend(tenant: Dict[str, Any]) -> str:
         return str(backend)
     counts = ",".join(f"{name}×{count}" for name, count in sorted(applies.items()))
     return f"{backend}: {counts}"
+
+
+def _render_durability(tenant: Dict[str, Any]) -> str:
+    """``policy@segment`` for a durable tenant, flagged when read-only.
+
+    Older servers (and in-memory tenants) report nothing; render a dash.
+    """
+    durability = tenant.get("durability")
+    if not durability:
+        return "-"
+    recovery = durability.get("recovery") or {}
+    if recovery.get("read_only"):
+        return f"{durability['policy']}: READ-ONLY ({recovery.get('reason')})"
+    wal = durability.get("wal") or {}
+    rendered = str(durability["policy"])
+    if wal:
+        rendered += f"@seg{wal['segment']}"
+    if recovery.get("records_replayed"):
+        rendered += f" (+{recovery['records_replayed']} replayed)"
+    return rendered
 
 
 def _cmd_datasets(api: APIClient, args: argparse.Namespace) -> int:
@@ -317,6 +349,15 @@ def _cmd_vacuum(api: APIClient, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(api: APIClient, args: argparse.Namespace) -> int:
+    payload = UpdatesClient(api, tenant=args.tenant).checkpoint()
+    console.print(
+        f"checkpoint {payload['seq']} at version {payload['state_version']} "
+        f"(WAL replay starts at segment {payload['wal_start_segment']})"
+    )
+    return 0
+
+
 def _cmd_watch(api: APIClient, args: argparse.Namespace) -> int:
     """Poll with ``If-None-Match``: an unchanged view costs a body-less 304
     (the server never encodes the result), and the table redraws only when
@@ -366,6 +407,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--coalesce", type=int, default=64)
     serve.add_argument("--shards", type=int, default=None)
     serve.add_argument("--parallel-views", type=int, default=None)
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable root: per-tenant WALs + checkpoints, recovered on start",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=("always", "batch", "off"),
+        default=None,
+        help="WAL fsync policy (default: $REPRO_FSYNC or 'batch')",
+    )
 
     commands.add_parser("health", help="server liveness")
     commands.add_parser("stats", help="server + tenant admission statistics")
@@ -408,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("vacuum", help="reclaim derived state")
 
+    commands.add_parser(
+        "checkpoint", help="cut a durable snapshot checkpoint for the tenant"
+    )
+
     watch = commands.add_parser("watch", help="poll a view, print on change")
     watch.add_argument("name")
     watch.add_argument("--interval", type=float, default=1.0)
@@ -424,6 +480,7 @@ _COMMANDS = {
     "views": _cmd_views,
     "apply": _cmd_apply,
     "vacuum": _cmd_vacuum,
+    "checkpoint": _cmd_checkpoint,
     "watch": _cmd_watch,
 }
 

@@ -156,6 +156,10 @@ class UpdatesClient(_TenantClient):
     def vacuum(self) -> Dict[str, Any]:
         return self.api.post(self._path("vacuum"))
 
+    def checkpoint(self) -> Dict[str, Any]:
+        """Cut a durable snapshot checkpoint (requires a server data dir)."""
+        return self.api.post(self._path("checkpoint"))
+
     def snapshot(
         self,
         since_version: Optional[int] = None,

@@ -1,0 +1,322 @@
+"""Snapshot checkpoints: per-shard blobs plus a manifest, written atomically.
+
+A checkpoint is a directory ``<checkpoints>/ckpt-00000042/`` holding
+
+* one **blob file per store shard** (``blob-0000.bin``, …) — the shard's
+  ``(element, multiplicity)`` pairs in the PR 7 pair codec, pickle fallback
+  for codec-unsendable elements; each file is framed
+  ``u32 length | u32 crc32 | kind byte + payload`` so load detects rot;
+* a **dictionaries blob** (the shredded input dictionaries) and a
+  **shredder blob** (the label factory counter and value→label memo —
+  what makes replayed label assignment deterministic);
+* ``manifest.bin``, written **last**: engine ``state_version``, every
+  dataset's schema and shard counts, every view's spec (name, pinned
+  strategy, pickled expression, result-store shard count), and
+  ``wal_start_segment`` — the WAL segment the log was rotated to at
+  capture time, so replay starts exactly where the checkpoint's coverage
+  ends.
+
+**Capture never blocks writers**: the state it grabs is the storage
+layer's frozen copy-on-write snapshots (``O(shards)`` per store) plus an
+``O(labels)`` copy of the dictionary entries and shredder state; the
+``O(|DB|)`` encoding happens later, in :func:`write_checkpoint`, against
+those immutable snapshots — the serving layer runs it on a handler thread
+while the ingest worker keeps applying.
+
+**Atomicity**: blobs are written into a ``.tmp-ckpt-*`` directory, each
+file fsynced, the manifest written last, and the directory renamed into
+place in one step.  A crash anywhere before the rename leaves only a tmp
+directory (deleted on the next open); a crash after it leaves a complete,
+valid checkpoint.  Load walks checkpoints newest-first and falls back past
+any that fail CRC validation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bag.bag import Bag
+from repro.bag.codec import UnsendableValueError, decode_pairs, encode_pairs
+from repro.durability.faults import FaultInjector, InjectedCrash, fire
+from repro.durability.wal import _fsync_directory
+from repro.storage.shards import ShardedBag
+
+__all__ = [
+    "CheckpointCapture",
+    "LoadedCheckpoint",
+    "list_checkpoints",
+    "load_newest_checkpoint",
+    "write_checkpoint",
+]
+
+_FRAME = struct.Struct("<II")
+
+_KIND_CODEC = 0x01
+_KIND_PICKLE = 0x02
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+_MANIFEST = "manifest.bin"
+
+
+class CheckpointCapture:
+    """Everything a checkpoint needs, pinned at one state version.
+
+    Holds *frozen* bag snapshots (copy-on-write: retaining them is free
+    until the next write touches a shard) plus already-copied dictionary
+    entries and pickled shredder state.  Safe to encode on another thread
+    while the engine keeps applying updates.
+    """
+
+    __slots__ = (
+        "state_version",
+        "wal_start_segment",
+        "datasets",
+        "dictionaries",
+        "shredder_blob",
+        "views",
+    )
+
+    def __init__(
+        self,
+        state_version: int,
+        wal_start_segment: int,
+        datasets: List[Dict[str, Any]],
+        dictionaries: Dict[str, Dict[Any, Bag]],
+        shredder_blob: bytes,
+        views: List[Dict[str, Any]],
+    ) -> None:
+        self.state_version = state_version
+        self.wal_start_segment = wal_start_segment
+        self.datasets = datasets
+        self.dictionaries = dictionaries
+        self.shredder_blob = shredder_blob
+        self.views = views
+
+
+class LoadedCheckpoint:
+    """A validated checkpoint: manifest plus decoded per-store bags."""
+
+    __slots__ = ("seq", "path", "manifest", "bags", "dictionaries", "shredder_blob")
+
+    def __init__(
+        self,
+        seq: int,
+        path: str,
+        manifest: Dict[str, Any],
+        bags: Dict[str, Bag],
+        dictionaries: Dict[str, Dict[Any, Bag]],
+        shredder_blob: bytes,
+    ) -> None:
+        self.seq = seq
+        self.path = path
+        self.manifest = manifest
+        self.bags = bags  # blob-list key → merged bag
+        self.dictionaries = dictionaries
+        self.shredder_blob = shredder_blob
+
+
+# ---------------------------------------------------------------------- #
+# Directory layout
+# ---------------------------------------------------------------------- #
+
+def checkpoint_dirname(seq: int) -> str:
+    return f"ckpt-{seq:08d}"
+
+
+def checkpoint_seq(dirname: str) -> Optional[int]:
+    if not dirname.startswith("ckpt-"):
+        return None
+    digits = dirname[5:]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_checkpoints(root: str) -> List[Tuple[int, str]]:
+    """``(seq, path)`` of every finalized checkpoint directory, ascending."""
+    found = []
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        seq = checkpoint_seq(name)
+        path = os.path.join(root, name)
+        if seq is not None and os.path.isdir(path):
+            found.append((seq, path))
+    return sorted(found)
+
+
+def next_checkpoint_seq(root: str) -> int:
+    existing = list_checkpoints(root)
+    return (existing[-1][0] + 1) if existing else 1
+
+
+# ---------------------------------------------------------------------- #
+# Framed file IO
+# ---------------------------------------------------------------------- #
+
+def _write_framed(path: str, payload: bytes) -> None:
+    frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+    with open(path, "wb") as handle:
+        handle.write(frame)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _read_framed(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < _FRAME.size:
+        raise ValueError(f"{path}: truncated frame")
+    length, crc = _FRAME.unpack_from(data, 0)
+    payload = data[_FRAME.size : _FRAME.size + length]
+    if len(payload) != length:
+        raise ValueError(f"{path}: truncated payload")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ValueError(f"{path}: crc mismatch")
+    return payload
+
+
+def _encode_shard(bag: Bag) -> bytes:
+    try:
+        return bytes([_KIND_CODEC]) + encode_pairs(bag.items())
+    except UnsendableValueError:
+        return bytes([_KIND_PICKLE]) + pickle.dumps(bag, protocol=_PROTO)
+
+
+def _decode_shard(payload: bytes) -> Bag:
+    kind, data = payload[0], payload[1:]
+    if kind == _KIND_CODEC:
+        return Bag.from_pairs(decode_pairs(data))
+    if kind == _KIND_PICKLE:
+        return pickle.loads(data)
+    raise ValueError(f"unknown shard blob kind 0x{kind:02x}")
+
+
+def _shard_bags(bag: Bag) -> Tuple[Bag, ...]:
+    if isinstance(bag, ShardedBag):
+        return tuple(bag.shard_bags)
+    return (bag,)
+
+
+# ---------------------------------------------------------------------- #
+# Write
+# ---------------------------------------------------------------------- #
+
+def write_checkpoint(
+    root: str,
+    capture: CheckpointCapture,
+    faults: Optional[FaultInjector] = None,
+) -> Tuple[str, int]:
+    """Encode a capture into ``root`` atomically; returns ``(path, seq)``."""
+    os.makedirs(root, exist_ok=True)
+    seq = next_checkpoint_seq(root)
+    tmp = os.path.join(root, f".tmp-{checkpoint_dirname(seq)}")
+    final = os.path.join(root, checkpoint_dirname(seq))
+    if os.path.exists(tmp):
+        shutil.rmtree(tmp)
+    os.makedirs(tmp)
+    blob_counter = 0
+
+    def _next_blob(payload: bytes) -> str:
+        nonlocal blob_counter
+        name = f"blob-{blob_counter:04d}.bin"
+        blob_counter += 1
+        _write_framed(os.path.join(tmp, name), payload)
+        if fire(faults, "checkpoint.mid_write"):
+            raise InjectedCrash("checkpoint.mid_write")
+        return name
+
+    datasets_meta: List[Dict[str, Any]] = []
+    for entry in capture.datasets:
+        nested_blobs = [
+            _next_blob(_encode_shard(shard)) for shard in _shard_bags(entry["nested_bag"])
+        ]
+        flat_blobs = [
+            _next_blob(_encode_shard(shard)) for shard in _shard_bags(entry["flat_bag"])
+        ]
+        datasets_meta.append(
+            {
+                "name": entry["name"],
+                "schema": entry["schema"],
+                "nested_shards": entry["nested_shards"],
+                "flat_shards": entry["flat_shards"],
+                "nested_blobs": nested_blobs,
+                "flat_blobs": flat_blobs,
+            }
+        )
+    dictionaries_blob = _next_blob(
+        bytes([_KIND_PICKLE]) + pickle.dumps(capture.dictionaries, protocol=_PROTO)
+    )
+    shredder_blob = _next_blob(bytes([_KIND_PICKLE]) + capture.shredder_blob)
+    manifest = {
+        "format": 1,
+        "seq": seq,
+        "state_version": capture.state_version,
+        "wal_start_segment": capture.wal_start_segment,
+        "datasets": datasets_meta,
+        "dictionaries_blob": dictionaries_blob,
+        "shredder_blob": shredder_blob,
+        "views": capture.views,
+    }
+    _write_framed(os.path.join(tmp, _MANIFEST), pickle.dumps(manifest, protocol=_PROTO))
+    if fire(faults, "checkpoint.pre_rename"):
+        raise InjectedCrash("checkpoint.pre_rename")
+    os.rename(tmp, final)
+    _fsync_directory(root)
+    if fire(faults, "checkpoint.post_rename"):
+        raise InjectedCrash("checkpoint.post_rename")
+    return final, seq
+
+
+# ---------------------------------------------------------------------- #
+# Load
+# ---------------------------------------------------------------------- #
+
+def _read_checkpoint(seq: int, path: str) -> LoadedCheckpoint:
+    manifest = pickle.loads(_read_framed(os.path.join(path, _MANIFEST)))
+    if manifest.get("format") != 1:
+        raise ValueError(f"{path}: unknown manifest format {manifest.get('format')!r}")
+    bags: Dict[str, Bag] = {}
+    for entry in manifest["datasets"]:
+        for side in ("nested", "flat"):
+            merged: List[Tuple[Any, int]] = []
+            for blob_name in entry[f"{side}_blobs"]:
+                shard = _decode_shard(_read_framed(os.path.join(path, blob_name)))
+                merged.extend(shard.items())
+            # Shards hold disjoint elements, so folding is a plain union.
+            bags[f"{side}:{entry['name']}"] = Bag.from_pairs(merged)
+    dict_payload = _read_framed(os.path.join(path, manifest["dictionaries_blob"]))
+    if dict_payload[0] != _KIND_PICKLE:
+        raise ValueError(f"{path}: bad dictionaries blob")
+    dictionaries = pickle.loads(dict_payload[1:])
+    shredder_payload = _read_framed(os.path.join(path, manifest["shredder_blob"]))
+    if shredder_payload[0] != _KIND_PICKLE:
+        raise ValueError(f"{path}: bad shredder blob")
+    return LoadedCheckpoint(seq, path, manifest, bags, dictionaries, shredder_payload[1:])
+
+
+def load_newest_checkpoint(
+    root: str,
+) -> Tuple[Optional[LoadedCheckpoint], List[Dict[str, str]]]:
+    """The newest checkpoint that validates, plus the ones that did not.
+
+    Walks finalized checkpoints newest-first; any that fail to read
+    (missing files, CRC mismatches, undecodable manifests) are reported in
+    the second element for the manager to quarantine, and the walk falls
+    back to the next older one.
+    """
+    discarded: List[Dict[str, str]] = []
+    for seq, path in sorted(list_checkpoints(root), reverse=True):
+        try:
+            return _read_checkpoint(seq, path), discarded
+        except Exception as error:  # noqa: BLE001 - any damage means fall back
+            discarded.append(
+                {"path": path, "reason": f"{type(error).__name__}: {error}"}
+            )
+    return None, discarded

@@ -1,0 +1,429 @@
+"""The durability manager: WAL logging, checkpoint capture, replay-on-open.
+
+One :class:`DurabilityManager` lives inside a durable
+:class:`~repro.engine.core.Engine` and owns the ``data_dir`` layout::
+
+    <data_dir>/wal/wal-00000001.log …      the write-ahead log segments
+    <data_dir>/checkpoints/ckpt-00000001/  snapshot checkpoints
+    <data_dir>/quarantine/                 damaged files recovery set aside
+
+**Logging discipline** is append-after-apply: the engine mutates memory
+first and logs the operation only once the store accepted it, both under
+the database's lifecycle lock, so the WAL never records a rejected
+mutation.  Durability of *acknowledged* writes is the caller's sync point:
+``always`` syncs inside every append, the serving layer calls
+:meth:`sync` once per acknowledged batch under ``batch``, and ``off``
+never syncs (best-effort, bounded loss).
+
+**Recovery** (:meth:`open_and_recover`) restores the newest valid
+checkpoint — adopting shard contents wholesale through
+``Database.adopt_relation`` and recreating views through the normal
+``Engine.view`` path with their checkpointed strategies and result-store
+shard counts pinned — then replays the WAL tail from the checkpoint's
+``wal_start_segment`` through the normal engine API.  A **torn tail**
+(damage extending to the end of the last segment — what a mid-write crash
+leaves) is truncated away and recovery stays writable; **corruption**
+anywhere else quarantines the damaged file and degrades the engine to
+read-only, because records past the damage can no longer be replayed in
+order.  The outcome is a :class:`RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.bag.bag import Bag
+from repro.durability.checkpoint import (
+    CheckpointCapture,
+    LoadedCheckpoint,
+    list_checkpoints,
+    load_newest_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.faults import FaultInjector
+from repro.durability.records import (
+    decode_record,
+    encode_dataset_record,
+    encode_update_record,
+    encode_vacuum_record,
+    encode_view_record,
+)
+from repro.durability.wal import (
+    WriteAheadLog,
+    list_segments,
+    resolve_fsync_policy,
+    scan_segment,
+    segment_filename,
+)
+from repro.ivm.updates import Update
+
+__all__ = ["DurabilityManager", "RecoveryReport"]
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+class RecoveryReport:
+    """What one replay-on-open found, did, and gave up on."""
+
+    __slots__ = (
+        "data_dir",
+        "duration_seconds",
+        "checkpoint",
+        "checkpoints_discarded",
+        "segments_scanned",
+        "records_replayed",
+        "torn",
+        "quarantined",
+        "read_only",
+        "reason",
+        "state_version",
+    )
+
+    def __init__(self, data_dir: str) -> None:
+        self.data_dir = data_dir
+        self.duration_seconds = 0.0
+        #: ``{"seq", "path", "state_version"}`` of the restored checkpoint,
+        #: or ``None`` when recovery started from an empty database.
+        self.checkpoint: Optional[Dict[str, Any]] = None
+        self.checkpoints_discarded: List[Dict[str, str]] = []
+        self.segments_scanned = 0
+        self.records_replayed = 0
+        #: Torn tails truncated: ``{"path", "dropped_bytes"}`` each.
+        self.torn: List[Dict[str, Any]] = []
+        #: Corrupt files moved aside: ``{"path", "reason"}`` each.
+        self.quarantined: List[Dict[str, str]] = []
+        self.read_only = False
+        self.reason: Optional[str] = None
+        self.state_version = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        status = f"read-only ({self.reason})" if self.read_only else "writable"
+        return (
+            f"RecoveryReport(version={self.state_version}, "
+            f"replayed={self.records_replayed}, {status})"
+        )
+
+
+class DurabilityManager:
+    """Owns one engine's WAL, checkpoints, and recovery state."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        *,
+        fsync: Optional[str] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.data_dir = data_dir
+        self.wal_dir = os.path.join(data_dir, "wal")
+        self.checkpoint_dir = os.path.join(data_dir, "checkpoints")
+        self.quarantine_dir = os.path.join(data_dir, "quarantine")
+        self.policy = resolve_fsync_policy(fsync)
+        self._faults = faults
+        self._wal: Optional[WriteAheadLog] = None
+        #: True while recovery replays through the engine API — the engine's
+        #: logging hooks check it so replayed operations are not re-logged.
+        self.replaying = False
+        self.report: Optional[RecoveryReport] = None
+        self._checkpoint_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def open_and_recover(self, engine) -> RecoveryReport:
+        """Restore ``engine`` from ``data_dir`` and open the WAL for appends."""
+        start = time.monotonic()
+        os.makedirs(self.wal_dir, exist_ok=True)
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        report = RecoveryReport(self.data_dir)
+        # A crash mid-checkpoint leaves only a .tmp directory: never valid,
+        # never referenced, safe to sweep.
+        for name in os.listdir(self.checkpoint_dir):
+            if name.startswith(".tmp-"):
+                shutil.rmtree(os.path.join(self.checkpoint_dir, name), ignore_errors=True)
+        loaded, discarded = load_newest_checkpoint(self.checkpoint_dir)
+        for entry in discarded:
+            moved = self._quarantine(entry["path"])
+            report.checkpoints_discarded.append(
+                {"path": moved, "reason": entry["reason"]}
+            )
+        wal_start = 1
+        damaged: Optional[str] = None
+        self.replaying = True
+        try:
+            if loaded is not None:
+                self._restore_checkpoint(engine, loaded)
+                wal_start = loaded.manifest["wal_start_segment"]
+                report.checkpoint = {
+                    "seq": loaded.seq,
+                    "path": loaded.path,
+                    "state_version": loaded.manifest["state_version"],
+                }
+            segments = [
+                (number, path)
+                for number, path in list_segments(self.wal_dir)
+                if number >= wal_start
+            ]
+            for index, (number, path) in enumerate(segments):
+                is_last = index == len(segments) - 1
+                scan = scan_segment(number, path, is_last)
+                report.segments_scanned += 1
+                if damaged is None:
+                    try:
+                        for payload in scan.payloads:
+                            self._replay_payload(engine, payload)
+                            report.records_replayed += 1
+                    except Exception as error:  # noqa: BLE001 - any replay
+                        # failure means the record stream lies about the
+                        # state machine: treat the segment as corrupt.
+                        scan.status = "corrupt"
+                        scan.detail = f"replay failed: {type(error).__name__}: {error}"
+                if scan.status == "torn":
+                    dropped = os.path.getsize(path) - scan.valid_bytes
+                    os.truncate(path, scan.valid_bytes)
+                    report.torn.append({"path": path, "dropped_bytes": dropped})
+                elif scan.status == "corrupt":
+                    moved = self._quarantine(path)
+                    report.quarantined.append({"path": moved, "reason": scan.detail})
+                    if damaged is None:
+                        damaged = (
+                            f"WAL segment {segment_filename(number)} is corrupt "
+                            f"({scan.detail}); acknowledged writes past it cannot "
+                            f"be replayed"
+                        )
+        finally:
+            self.replaying = False
+        if damaged is not None:
+            engine.database.set_read_only(damaged)
+            report.read_only = True
+            report.reason = damaged
+        else:
+            # Segments below wal_start are covered by the restored
+            # checkpoint (a crash between rename and prune leaves them).
+            for number, path in list_segments(self.wal_dir):
+                if number < wal_start:
+                    os.remove(path)
+            self._wal = WriteAheadLog(
+                self.wal_dir, fsync=self.policy, faults=self._faults
+            )
+        report.state_version = engine.state_version
+        report.duration_seconds = time.monotonic() - start
+        self.report = report
+        return report
+
+    def _restore_checkpoint(self, engine, loaded: LoadedCheckpoint) -> None:
+        database = engine.database
+        for entry in loaded.manifest["datasets"]:
+            name = entry["name"]
+            bag_type = engine._restore_dataset(name, entry["schema"])
+            database.adopt_relation(
+                name,
+                bag_type,
+                loaded.bags[f"nested:{name}"],
+                loaded.bags[f"flat:{name}"],
+                nested_shards=entry["nested_shards"],
+                flat_shards=entry["flat_shards"],
+            )
+        for dict_name, entries in loaded.dictionaries.items():
+            database.adopt_dictionary(dict_name, entries)
+        database.adopt_shredder(pickle.loads(loaded.shredder_blob))
+        for spec in loaded.manifest["views"]:
+            database.pin_next_result_shards(spec["result_shards"])
+            engine.view(
+                spec["name"],
+                spec["expr"],
+                strategy=spec["strategy"],
+                targets=spec["targets"],
+                expected_update_size=spec["expected_update_size"],
+            )
+        database.restore_state_version(loaded.manifest["state_version"])
+
+    def _replay_payload(self, engine, payload: bytes) -> None:
+        kind, value = decode_record(payload)
+        if kind == "update":
+            engine.apply(value)
+        elif kind == "dataset":
+            name, schema, rows = value
+            engine.dataset(name, schema, rows=rows)
+        elif kind == "view":
+            name, strategy, expr, targets, expected_update_size = value
+            engine.view(
+                name,
+                expr,
+                strategy=strategy,
+                targets=targets,
+                expected_update_size=expected_update_size,
+            )
+        elif kind == "vacuum":
+            engine.vacuum()
+        else:  # pragma: no cover - decode_record owns the type dispatch
+            raise ValueError(f"unreplayable record kind {kind!r}")
+
+    def _quarantine(self, path: str) -> str:
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        base = os.path.basename(path.rstrip(os.sep))
+        target = os.path.join(self.quarantine_dir, base)
+        suffix = 1
+        while os.path.exists(target):
+            target = os.path.join(self.quarantine_dir, f"{base}.{suffix}")
+            suffix += 1
+        os.rename(path, target)
+        return target
+
+    # ------------------------------------------------------------------ #
+    # Logging (called by the engine, under its lifecycle lock)
+    # ------------------------------------------------------------------ #
+    @property
+    def logging(self) -> bool:
+        """True while operations should be appended to the WAL."""
+        return (
+            self._wal is not None and not self._wal.closed and not self.replaying
+        )
+
+    def log_update(self, update: Update) -> None:
+        if self.logging:
+            self._wal.append(encode_update_record(update))
+
+    def prepare_dataset(self, name: str, schema: Any, rows: Optional[Bag]) -> Optional[bytes]:
+        """Encode a dataset record up front (so encoding failures surface
+        before the registration mutates anything); ``None`` when not logging."""
+        if not self.logging:
+            return None
+        return encode_dataset_record(name, schema, rows)
+
+    def prepare_view(
+        self,
+        name: str,
+        strategy: str,
+        expr: Any,
+        targets,
+        expected_update_size: int,
+    ) -> Optional[bytes]:
+        """Encode a view record up front — an unpicklable query fails loudly
+        here, before the view is built; ``None`` when not logging."""
+        if not self.logging:
+            return None
+        return encode_view_record(name, strategy, expr, targets, expected_update_size)
+
+    def commit(self, record: Optional[bytes]) -> None:
+        """Append a prepared record once the operation actually applied."""
+        if record is not None and self.logging:
+            self._wal.append(record)
+
+    def log_vacuum(self) -> None:
+        if self.logging:
+            self._wal.append(encode_vacuum_record())
+
+    def sync(self) -> None:
+        """Make every logged record durable (the ack barrier under ``batch``)."""
+        if self.logging:
+            self._wal.sync()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints
+    # ------------------------------------------------------------------ #
+    def capture(self, engine) -> CheckpointCapture:
+        """Pin a checkpoint capture — cheap, must run on the applying thread.
+
+        Rotates the WAL so the capture covers exactly the segments before
+        the returned ``wal_start_segment``; the expensive encoding happens
+        in :meth:`write_capture`, from any thread.
+        """
+        state = engine.database.export_durable_state()
+        views = []
+        for handle in engine.views():
+            store_of = getattr(handle.view, "result_store", None)
+            store = store_of() if callable(store_of) else None
+            views.append(
+                {
+                    "name": handle.name,
+                    "strategy": handle.strategy,
+                    "expr": handle.expr,
+                    "targets": handle.targets,
+                    "expected_update_size": handle.expected_update_size,
+                    "result_shards": None if store is None else store.shards,
+                }
+            )
+        datasets = []
+        for name, relation in state["relations"].items():
+            datasets.append(
+                {
+                    "name": name,
+                    "schema": engine._dataset_schemas[name],
+                    "nested_bag": relation["nested_bag"],
+                    "flat_bag": relation["flat_bag"],
+                    "nested_shards": relation["nested_shards"],
+                    "flat_shards": relation["flat_shards"],
+                }
+            )
+        shredder_blob = pickle.dumps(state["shredder"], protocol=_PROTO)
+        wal_start = self._wal.rotate() if self.logging else 1
+        return CheckpointCapture(
+            state_version=state["state_version"],
+            wal_start_segment=wal_start,
+            datasets=datasets,
+            dictionaries=state["dictionaries"],
+            shredder_blob=shredder_blob,
+            views=views,
+        )
+
+    def write_capture(self, capture: CheckpointCapture) -> Dict[str, Any]:
+        """Encode a capture to disk atomically, then prune what it covers."""
+        with self._checkpoint_lock:
+            path, seq = write_checkpoint(self.checkpoint_dir, capture, self._faults)
+            # Everything before the capture's rotation point — and every
+            # older checkpoint — is now redundant.
+            for number, segment_path in list_segments(self.wal_dir):
+                if number < capture.wal_start_segment:
+                    os.remove(segment_path)
+            for old_seq, old_path in list_checkpoints(self.checkpoint_dir):
+                if old_seq < seq:
+                    shutil.rmtree(old_path, ignore_errors=True)
+            return {
+                "seq": seq,
+                "path": path,
+                "state_version": capture.state_version,
+                "wal_start_segment": capture.wal_start_segment,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and close the WAL.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None and not self._wal.closed:
+            self._wal.close()
+
+    def discard(self) -> None:
+        """Simulated power loss: drop unwritten buffers, abandon the WAL."""
+        self._closed = True
+        if self._wal is not None:
+            self._wal.simulate_crash()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "data_dir": self.data_dir,
+            "policy": self.policy,
+            "wal": (
+                self._wal.describe()
+                if self._wal is not None and not self._wal.closed
+                else None
+            ),
+            "recovery": None if self.report is None else self.report.to_dict(),
+        }

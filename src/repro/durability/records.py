@@ -1,0 +1,248 @@
+"""WAL record payloads: every logged operation as self-describing bytes.
+
+The log records *operations*, not state: ``U`` an applied
+:class:`~repro.ivm.updates.Update`, ``D`` a dataset registration, ``V`` a
+view creation (with its strategy pinned, so replay never re-plans), and
+``X`` a vacuum pass.  Replaying the records through the normal engine API
+reproduces the state machine exactly — label assignment included, because
+the shredder's label counter is part of every checkpoint and the records
+preserve insertion order.
+
+Bags travel in the PR 7 pair codec (:mod:`repro.bag.codec`) whenever the
+codec accepts them — compact, allocation-light, and it *rejects* the values
+pickle would silently corrupt across processes — with a pickle fallback for
+codec-unsendable values (NaN floats, exotic element types).  Registration
+and view records carry schemas and NRC+ expressions, which are plain frozen
+dataclasses and pickle exactly; a view whose expression cannot be pickled
+(e.g. a hand-built backend closure) fails loudly at creation time rather
+than corrupting the log.
+
+Framing (length prefix + CRC32) is the WAL's job, not the payload's — see
+:mod:`repro.durability.wal`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.bag.bag import Bag
+from repro.bag.codec import (
+    UnsendableValueError,
+    decode_bag,
+    decode_value,
+    encode_bag,
+    encode_value,
+)
+from repro.errors import EngineError
+from repro.ivm.updates import Update
+
+__all__ = [
+    "decode_record",
+    "encode_dataset_record",
+    "encode_update_record",
+    "encode_vacuum_record",
+    "encode_view_record",
+]
+
+#: Payload type bytes (first byte of every record payload).
+_RT_UPDATE = ord("U")
+_RT_DATASET = ord("D")
+_RT_VIEW = ord("V")
+_RT_VACUUM = ord("X")
+
+#: Blob encodings: the pair codec when it accepts the value, pickle otherwise.
+_KIND_CODEC = 0x01
+_KIND_PICKLE = 0x02
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        out.append(byte | (0x80 if value else 0x00))
+        if not value:
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _write_blob(out: bytearray, kind: int, blob: bytes) -> None:
+    out.append(kind)
+    _write_uvarint(out, len(blob))
+    out += blob
+
+
+def _read_blob(data: bytes, pos: int) -> Tuple[int, bytes, int]:
+    kind = data[pos]
+    length, pos = _read_uvarint(data, pos + 1)
+    return kind, data[pos : pos + length], pos + length
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    blob = text.encode("utf-8")
+    _write_uvarint(out, len(blob))
+    out += blob
+
+
+def _read_str(data: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = _read_uvarint(data, pos)
+    return data[pos : pos + length].decode("utf-8"), pos + length
+
+
+def _write_bag(out: bytearray, bag: Bag) -> None:
+    try:
+        _write_blob(out, _KIND_CODEC, encode_bag(bag))
+    except UnsendableValueError:
+        _write_blob(out, _KIND_PICKLE, pickle.dumps(bag, protocol=_PROTO))
+
+
+def _read_bag(data: bytes, pos: int) -> Tuple[Bag, int]:
+    kind, blob, pos = _read_blob(data, pos)
+    if kind == _KIND_CODEC:
+        return decode_bag(blob), pos
+    return pickle.loads(blob), pos
+
+
+def _write_scalar(out: bytearray, value: Any) -> None:
+    try:
+        _write_blob(out, _KIND_CODEC, encode_value(value))
+    except UnsendableValueError:
+        _write_blob(out, _KIND_PICKLE, pickle.dumps(value, protocol=_PROTO))
+
+
+def _read_scalar(data: bytes, pos: int) -> Tuple[Any, int]:
+    kind, blob, pos = _read_blob(data, pos)
+    if kind == _KIND_CODEC:
+        return decode_value(blob), pos
+    return pickle.loads(blob), pos
+
+
+# ---------------------------------------------------------------------- #
+# Encoders
+# ---------------------------------------------------------------------- #
+
+def encode_update_record(update: Update) -> bytes:
+    """``U`` record: relation deltas plus deep (per-label) dictionary deltas."""
+    out = bytearray([_RT_UPDATE])
+    _write_uvarint(out, len(update.relations))
+    for name, bag in update.relations.items():
+        _write_str(out, name)
+        _write_bag(out, bag)
+    _write_uvarint(out, len(update.deep))
+    for dict_name, entries in update.deep.items():
+        _write_str(out, dict_name)
+        _write_uvarint(out, len(entries))
+        for label, bag in entries.items():
+            _write_scalar(out, label)
+            _write_bag(out, bag)
+    return bytes(out)
+
+
+def encode_dataset_record(name: str, schema: Any, rows: Optional[Bag]) -> bytes:
+    """``D`` record: the registration call, initial rows in the bag codec."""
+    out = bytearray([_RT_DATASET])
+    _write_blob(out, _KIND_PICKLE, pickle.dumps((name, schema), protocol=_PROTO))
+    if rows is None:
+        out.append(0)
+    else:
+        out.append(1)
+        _write_bag(out, rows)
+    return bytes(out)
+
+
+def encode_view_record(
+    name: str,
+    strategy: str,
+    expr: Any,
+    targets: Optional[Sequence[str]],
+    expected_update_size: int,
+) -> bytes:
+    """``V`` record: view spec with the *resolved* strategy pinned.
+
+    Pinning means replay recreates the view with the exact backend the
+    original run chose, even if the cost model's auto pick would differ on
+    the restored (larger) database.
+    """
+    spec = (
+        name,
+        strategy,
+        expr,
+        tuple(targets) if targets is not None else None,
+        expected_update_size,
+    )
+    try:
+        blob = pickle.dumps(spec, protocol=_PROTO)
+    except Exception as error:
+        raise EngineError(
+            f"view {name!r} cannot be persisted: its query does not pickle "
+            f"({error}); durable engines require picklable view expressions"
+        ) from error
+    out = bytearray([_RT_VIEW])
+    _write_blob(out, _KIND_PICKLE, blob)
+    return bytes(out)
+
+
+def encode_vacuum_record() -> bytes:
+    """``X`` record: a vacuum pass (mutates derived state deterministically)."""
+    return bytes([_RT_VACUUM])
+
+
+# ---------------------------------------------------------------------- #
+# Decoder
+# ---------------------------------------------------------------------- #
+
+def decode_record(payload: bytes) -> Tuple[str, Any]:
+    """Decode one record payload to ``(kind, value)``.
+
+    ``("update", Update)``, ``("dataset", (name, schema, rows))``,
+    ``("view", (name, strategy, expr, targets, expected_update_size))``, or
+    ``("vacuum", None)``.  Raises ``ValueError`` on an unknown type byte —
+    the manager treats that as segment corruption.
+    """
+    if not payload:
+        raise ValueError("empty WAL record payload")
+    record_type = payload[0]
+    pos = 1
+    if record_type == _RT_UPDATE:
+        relations: Dict[str, Bag] = {}
+        count, pos = _read_uvarint(payload, pos)
+        for _ in range(count):
+            name, pos = _read_str(payload, pos)
+            relations[name], pos = _read_bag(payload, pos)
+        deep: Dict[str, Dict[Any, Bag]] = {}
+        count, pos = _read_uvarint(payload, pos)
+        for _ in range(count):
+            dict_name, pos = _read_str(payload, pos)
+            entry_count, pos = _read_uvarint(payload, pos)
+            entries: Dict[Any, Bag] = {}
+            for _ in range(entry_count):
+                label, pos = _read_scalar(payload, pos)
+                entries[label], pos = _read_bag(payload, pos)
+            deep[dict_name] = entries
+        return "update", Update(relations=relations, deep=deep)
+    if record_type == _RT_DATASET:
+        kind, blob, pos = _read_blob(payload, pos)
+        name, schema = pickle.loads(blob)
+        rows: Optional[Bag] = None
+        if payload[pos]:
+            rows, _ = _read_bag(payload, pos + 1)
+        return "dataset", (name, schema, rows)
+    if record_type == _RT_VIEW:
+        kind, blob, _ = _read_blob(payload, pos)
+        return "view", pickle.loads(blob)
+    if record_type == _RT_VACUUM:
+        return "vacuum", None
+    raise ValueError(f"unknown WAL record type byte 0x{record_type:02x}")

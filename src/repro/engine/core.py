@@ -27,6 +27,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.bag.bag import Bag
+from repro.durability.faults import FaultInjector
+from repro.durability.manager import DurabilityManager, RecoveryReport
 from repro.engine.plan import MaintenancePlan
 from repro.engine.planner import plan_view
 from repro.engine.registry import DEFAULT_REGISTRY, BackendRegistry
@@ -61,11 +63,26 @@ class ViewHandle:
     maintenance accounting used by the benchmarks.
     """
 
-    def __init__(self, name: str, strategy: str, view, plan: MaintenancePlan) -> None:
+    def __init__(
+        self,
+        name: str,
+        strategy: str,
+        view,
+        plan: MaintenancePlan,
+        *,
+        expr=None,
+        targets: Optional[Tuple[str, ...]] = None,
+        expected_update_size: int = 1,
+    ) -> None:
         self.name = name
         self.strategy = strategy
         self.view = view
         self.plan = plan
+        # The creation spec, kept so durable engines can checkpoint the view
+        # and recreate it bit-for-bit on recovery.
+        self.expr = expr
+        self.targets = targets
+        self.expected_update_size = expected_update_size
 
     def result(self) -> Bag:
         return self.view.result()
@@ -152,6 +169,9 @@ class Engine:
         shards: Optional[int] = None,
         parallel_views: Optional[int] = None,
         backend: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        fsync: Optional[str] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         """``shards`` partitions every relation store (``None`` defers to
         ``REPRO_SHARDS`` / the default; ``1`` is the unsharded escape hatch);
@@ -163,6 +183,16 @@ class Engine:
         optionally ``"processes:4"``; ``None`` defers to ``REPRO_BACKEND`` /
         the per-delta cost model).  See ``docs/api.md``, "Sharding &
         parallel apply" and "Execution backends".
+
+        ``data_dir`` makes the engine durable: operations are write-ahead
+        logged, :meth:`checkpoint` cuts snapshot checkpoints, and opening an
+        engine on an existing directory restores its state (newest valid
+        checkpoint + WAL tail replay — see ``docs/durability.md``).
+        ``fsync`` picks the WAL sync policy (``"always"``/``"batch"``/
+        ``"off"``; ``None`` defers to ``REPRO_FSYNC`` / ``batch``) and
+        ``fault_injector`` arms the crash-injection harness
+        (:mod:`repro.durability.faults`).  Without ``data_dir`` the engine
+        is purely in-memory, exactly as before.
         """
         self._database = Database(
             shards=shards, parallel_views=parallel_views, backend=backend
@@ -171,6 +201,15 @@ class Engine:
         self._expected_update_size = expected_update_size
         self._views: Dict[str, ViewHandle] = {}
         self._datasets: Dict[str, object] = {}
+        # Original schema arguments (Record or BagType), as passed by the
+        # user — what dataset records and checkpoint manifests persist.
+        self._dataset_schemas: Dict[str, object] = {}
+        self._durability: Optional[DurabilityManager] = None
+        if data_dir is not None:
+            self._durability = DurabilityManager(
+                data_dir, fsync=fsync, faults=fault_injector
+            )
+            self._durability.open_and_recover(self)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -181,14 +220,97 @@ class Engine:
         Joins the view-refresh scheduler's worker threads (which otherwise
         live until garbage collection) and closes the database: further
         ``dataset``/``apply`` calls raise, already-frozen snapshots and view
-        results stay readable.  Idempotent; also runs on context-manager
-        exit, so ``with Engine() as engine: ...`` never leaks threads.
+        results stay readable.  Idempotent, and safe to call concurrently
+        with an in-flight ``apply``: the database's lifecycle lock makes
+        close wait for the apply (and its WAL append) to commit; also runs
+        on context-manager exit, so ``with Engine() as engine: ...`` never
+        leaks threads.
         """
-        self._database.close()
+        with self._database.lifecycle_lock:
+            self._database.close()
+            if self._durability is not None:
+                self._durability.close()
 
     @property
     def closed(self) -> bool:
         return self._database.closed
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    @property
+    def durable(self) -> bool:
+        """True when the engine was opened with a ``data_dir``."""
+        return self._durability is not None
+
+    @property
+    def read_only(self) -> Optional[str]:
+        """The recovery degradation reason, or ``None`` when writable."""
+        return self._database.read_only
+
+    @property
+    def recovery_report(self) -> Optional[RecoveryReport]:
+        """What replay-on-open found (``None`` for in-memory engines)."""
+        return None if self._durability is None else self._durability.report
+
+    def durability_report(self) -> Optional[Mapping[str, object]]:
+        """WAL counters, fsync policy, and the recovery summary (or ``None``)."""
+        return None if self._durability is None else self._durability.describe()
+
+    def sync_wal(self) -> None:
+        """Make every logged operation durable — the acknowledgement barrier
+        under the ``batch`` policy.  A no-op for in-memory engines."""
+        if self._durability is not None:
+            self._durability.sync()
+
+    def checkpoint_capture(self):
+        """Pin a checkpoint capture (cheap: frozen copy-on-write snapshots).
+
+        Must run while no update is in flight — call from the applying
+        thread, or synchronized with it (the serving layer runs it as an
+        ingest-worker barrier).  Encode with :meth:`write_checkpoint`, from
+        any thread.
+        """
+        if self._durability is None:
+            raise EngineError("checkpoint requires an engine opened with data_dir")
+        return self._durability.capture(self)
+
+    def write_checkpoint(self, capture) -> Mapping[str, object]:
+        """Encode a capture to disk atomically; prunes covered WAL segments."""
+        if self._durability is None:
+            raise EngineError("checkpoint requires an engine opened with data_dir")
+        return self._durability.write_capture(capture)
+
+    def checkpoint(self) -> Mapping[str, object]:
+        """Capture and write a checkpoint in one call (single-threaded use)."""
+        return self.write_checkpoint(self.checkpoint_capture())
+
+    def simulate_crash(self) -> None:
+        """Abandon the engine as a power loss would: unwritten WAL buffers
+        are dropped, nothing is flushed, the database closes.  Only the
+        fault-injection harness should want this; production code calls
+        :meth:`close`."""
+        if self._durability is not None:
+            self._durability.discard()
+        self._database.close()
+
+    def _restore_dataset(self, name: str, schema: Union[Record, BagType]) -> BagType:
+        """Recovery-path half of :meth:`dataset`: rebuild the query handle
+        and schema bookkeeping without touching the database (contents are
+        adopted from the checkpoint, not re-registered)."""
+        if isinstance(schema, Record):
+            bag_type = schema.bag_type()
+            handle: object = Dataset(name, schema)
+        elif isinstance(schema, BagType):
+            bag_type = schema
+            handle = ast.Relation(name, schema)
+        else:
+            raise TypeError(
+                f"schema must be a Record or a BagType, got {type(schema).__name__}"
+            )
+        self._datasets[name] = handle
+        self._dataset_schemas[name] = schema
+        return bag_type
 
     def __enter__(self) -> "Engine":
         return self
@@ -285,8 +407,18 @@ class Engine:
         instance = None
         if rows is not None:
             instance = rows if isinstance(rows, Bag) else Bag(rows)
-        self._database.register(name, bag_type, instance)
+        # Encode the WAL record up front so an unpersistable schema fails
+        # before anything mutates; append only after the store accepted the
+        # registration (append-after-apply).
+        record = None
+        if self._durability is not None:
+            record = self._durability.prepare_dataset(name, schema, instance)
+        with self._database.lifecycle_lock:
+            self._database.register(name, bag_type, instance)
+            if self._durability is not None:
+                self._durability.commit(record)
         self._datasets[name] = handle
+        self._dataset_schemas[name] = schema
         return handle
 
     # ------------------------------------------------------------------ #
@@ -338,8 +470,29 @@ class Engine:
                 f"backend {spec.name!r} cannot maintain view {name!r}: "
                 f"query is outside its supported fragment"
             )
+        effective_expected = (
+            expected_update_size
+            if expected_update_size is not None
+            else self._expected_update_size
+        )
+        # Encode the WAL record before building: a query that does not
+        # pickle must fail loudly here, not corrupt the log (the resolved
+        # strategy is pinned so replay never re-plans).
+        record = None
+        if self._durability is not None:
+            record = self._durability.prepare_view(
+                name, plan.strategy, expr, targets, effective_expected
+            )
         view = spec.build(expr, self._database, targets=targets)
-        handle = ViewHandle(name, plan.strategy, view, plan)
+        handle = ViewHandle(
+            name,
+            plan.strategy,
+            view,
+            plan,
+            expr=expr,
+            targets=tuple(targets) if targets is not None else None,
+            expected_update_size=effective_expected,
+        )
         plan.execution = handle.execution
         requirements = getattr(view, "index_requirements", lambda: ())()
         registered = {
@@ -352,6 +505,8 @@ class Engine:
             for requirement in requirements
         )
         self._views[name] = handle
+        if self._durability is not None:
+            self._durability.commit(record)
         return handle
 
     def explain(self, view: Union[str, ViewHandle]) -> MaintenancePlan:
@@ -364,7 +519,24 @@ class Engine:
     # ------------------------------------------------------------------ #
     def apply(self, update: UpdateLike) -> ShreddedDelta:
         """Apply one update: every registered view refreshes incrementally."""
-        return self._database.apply_update(self._coerce_update(update))
+        return self._apply_logged(self._coerce_update(update))
+
+    def _apply_logged(self, update: Update) -> ShreddedDelta:
+        """Apply one coerced update and write-ahead log it.
+
+        ``{mutate + append}`` runs under the database's lifecycle lock, so
+        the WAL only ever records updates the store accepted, and a
+        concurrent ``close`` cannot slip between the two.  No-op updates
+        are applied (for the validation) but never logged.
+        """
+        durability = self._durability
+        if durability is None:
+            return self._database.apply_update(update)
+        with self._database.lifecycle_lock:
+            delta = self._database.apply_update(update)
+            if not update.is_empty():
+                durability.log_update(update)
+            return delta
 
     def apply_stream(
         self,
@@ -385,7 +557,10 @@ class Engine:
         """
         if batched:
             updates = [self._coerce_update(update) for update in stream]
-            self._database.apply_update(UpdateStream(updates).merged())
+            # The WAL logs the *merged* update — natural compaction: the
+            # log, like the views, never sees cancelling insert/delete
+            # pairs, and replay applies one round exactly as the batch did.
+            self._apply_logged(UpdateStream(updates).merged())
             return len(updates)
         applied = 0
         for update in stream:
@@ -420,6 +595,10 @@ class Engine:
             vacuum = getattr(handle.view, "vacuum", None)
             if callable(vacuum):
                 reclaimed[handle.name] = vacuum()
+        if self._durability is not None:
+            # Vacuum mutates derived state deterministically, so replay
+            # must re-run it at the same point in the operation order.
+            self._durability.log_vacuum()
         return reclaimed
 
     def storage_report(self) -> Mapping[str, object]:

@@ -285,13 +285,29 @@ class Database:
         # with it: two reads with equal versions saw identical state.
         self._state_version = 0
         self._closed = False
+        # Reentrant: the durability layer wraps {mutate + WAL append} and
+        # {close database + close WAL} in it, and close() re-acquires.
+        self._lifecycle_lock = threading.RLock()
+        # Non-None once recovery degraded the database: the reason string.
+        self._read_only: Optional[str] = None
+        # Transient pin consumed by the next create_result_store call (the
+        # durability restore sets it right before recreating each view, so
+        # restored result stores keep their checkpointed shard counts
+        # instead of re-running the adaptive rule against the larger
+        # restored contents).  Result-store names are shared backend
+        # constants, so the pin cannot be keyed by name.
+        self._next_result_shards: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Schema and data registration
     # ------------------------------------------------------------------ #
     def register(self, name: str, schema: BagType, instance: Optional[Bag] = None) -> None:
         """Register a relation with its schema and optional initial instance."""
-        self._check_open()
+        with self._lifecycle_lock:
+            self._register(name, schema, instance)
+
+    def _register(self, name: str, schema: BagType, instance: Optional[Bag]) -> None:
+        self._check_writable()
         if name in self._schemas:
             raise WorkloadError(f"relation {name!r} is already registered")
         if not isinstance(schema, BagType):
@@ -492,6 +508,10 @@ class Database:
         shard) applied when nothing pins a count.  The choice is made once,
         at view materialization time.
         """
+        pinned = self._next_result_shards
+        if pinned is not None:
+            self._next_result_shards = None
+            return ResultStore(name, bag, shards=pinned)
         shards = self.storage_shards()
         if (
             not self._shards_pinned
@@ -500,13 +520,125 @@ class Database:
             shards = 1
         return ResultStore(name, bag, shards=shards)
 
+    def pin_next_result_shards(self, shards: Optional[int]) -> None:
+        """Pin the shard count of the *next* result store created.
+
+        Consumed (and cleared) by that one :meth:`create_result_store` call.
+        The durability restore sets it immediately before recreating each
+        view, so restored result stores keep their checkpointed shard count
+        — the adaptive small-relation rule would otherwise re-decide against
+        the full restored cardinality and diverge from the original run.
+        """
+        self._next_result_shards = shards
+
     # ------------------------------------------------------------------ #
     # Views
     # ------------------------------------------------------------------ #
     def register_view(self, view: object) -> None:
         """Register a view to be notified on every update (pre-mutation)."""
+        if self._read_only is not None:
+            raise WorkloadError(f"database is read-only: {self._read_only}")
         self._views.append(view)
         self._state_version += 1
+
+    # ------------------------------------------------------------------ #
+    # Durability: state export and checkpoint adoption
+    # ------------------------------------------------------------------ #
+    def export_durable_state(self) -> Dict[str, object]:
+        """Everything a checkpoint must persist, as frozen snapshots.
+
+        Cheap by construction — O(shards) per store (copy-on-write freezes),
+        O(labels) per dictionary, O(1) for the shredder reference — so the
+        caller can encode the result on another thread while updates keep
+        applying.  Must be called while no update is in flight (the same
+        contract as :class:`~repro.engine.core.EngineSnapshot`).
+        """
+        relations: Dict[str, Dict[str, object]] = {}
+        for name in self._schemas:
+            nested = self._storage.get(name)
+            flat = self._flat_storage.get(flat_relation_name(name))
+            relations[name] = {
+                "nested_bag": nested.bag,
+                "nested_shards": nested.shards,
+                "flat_bag": flat.bag,
+                "flat_shards": flat.shards,
+            }
+        return {
+            "state_version": self._state_version,
+            "schemas": dict(self._schemas),
+            "relations": relations,
+            "dictionaries": {
+                name: dict(dictionary.items())
+                for name, dictionary in self._dict_store.as_mapping().items()
+            },
+            "shredder": self._shredder,
+        }
+
+    def adopt_relation(
+        self,
+        name: str,
+        schema: BagType,
+        nested_bag: Bag,
+        flat_bag: Bag,
+        *,
+        nested_shards: int,
+        flat_shards: int,
+    ) -> None:
+        """Install a checkpointed relation wholesale, bypassing the shredder.
+
+        The recovery path's replacement for :meth:`register`: contents were
+        already shredded in the original run and the label definitions live
+        in the adopted dictionaries and shredder, so re-shredding here would
+        be both wasted work and wrong — the restored shredder's emitted-set
+        would suppress the label definitions ``_reshred_relation`` expects
+        to produce.  Shard counts come from the checkpoint manifest (never
+        re-decided: the adaptive rule would see the full restored
+        cardinality, not the at-registration one), but contents are
+        re-partitioned here because shard routing hashes with the current
+        process's seed.  No version bump — recovery restores the recorded
+        ``state_version`` explicitly once the whole checkpoint is adopted.
+        """
+        self._check_open()
+        if name in self._schemas:
+            raise WorkloadError(f"relation {name!r} is already registered")
+        self._schemas[name] = schema
+        self._adopt_store(self._storage, name, nested_bag, nested_shards)
+        self._adopt_store(
+            self._flat_storage, flat_relation_name(name), flat_bag, flat_shards
+        )
+        context = input_context_for(name, schema.element)
+        dict_paths = tuple(path for path, _ in iter_context_dicts(context))
+        if not dict_paths and _is_passthrough_flat(schema.element):
+            self._flat_relations.add(name)
+        for path in dict_paths:
+            self._dict_owner[input_dict_name(name, path)] = name
+
+    @staticmethod
+    def _adopt_store(manager: StorageManager, name: str, bag: Bag, shards: int) -> None:
+        store = manager.ensure(name, shards=shards)
+        if bag.is_empty():
+            return
+        version = store.begin_delta()
+        for position, pairs in store.partition_delta(bag).items():
+            store.adopt_shard(position, dict(pairs), version=version)
+        store.finish_delta()
+
+    def adopt_dictionary(self, name: str, entries: Mapping) -> None:
+        """Install one checkpointed input dictionary (label → bag entries)."""
+        self._check_open()
+        self._dict_store.set(name, MaterializedDict(dict(entries)))
+
+    def adopt_shredder(self, shredder: ValueShredder) -> None:
+        """Install the checkpointed shredder (label counter + memo + emitted).
+
+        What makes WAL replay assign the same labels the original run did.
+        """
+        self._check_open()
+        self._shredder = shredder
+
+    def restore_state_version(self, version: int) -> None:
+        """Set the version counter to the checkpoint's recorded value."""
+        self._state_version = version
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -555,7 +687,11 @@ class Database:
         written.  Relation names are still validated first, so a typo'd name
         fails loudly even when its delta bag happens to be empty.
         """
-        self._check_open()
+        with self._lifecycle_lock:
+            return self._apply_update(update)
+
+    def _apply_update(self, update: Update) -> ShreddedDelta:
+        self._check_writable()
         for name in update.relations:
             if name not in self._schemas:
                 raise WorkloadError(f"update touches unknown relation {name!r}")
@@ -709,9 +845,40 @@ class Database:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def lifecycle_lock(self) -> threading.RLock:
+        """The lock serializing mutations against close (reentrant).
+
+        ``register``/``apply_update``/``close`` all take it, so a ``close``
+        racing an in-flight apply waits for the apply to commit instead of
+        tearing down the scheduler under it.  The durability layer holds it
+        across ``{mutate + WAL append}`` so the log can never record an
+        update the store rejected (or vice versa).
+        """
+        return self._lifecycle_lock
+
+    @property
+    def read_only(self) -> Optional[str]:
+        """The degradation reason, or ``None`` while the database is writable."""
+        return self._read_only
+
+    def set_read_only(self, reason: str) -> None:
+        """Degrade to read-only: reads keep working, mutations raise.
+
+        Recovery calls this when the WAL is damaged beyond a truncatable
+        tail — serving stale-but-consistent state beats silently dropping
+        acknowledged writes.
+        """
+        self._read_only = reason
+
     def _check_open(self) -> None:
         if self._closed:
             raise WorkloadError("database is closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self._read_only is not None:
+            raise WorkloadError(f"database is read-only: {self._read_only}")
 
     def close(self) -> None:
         """Deterministically release scheduler resources.
@@ -719,18 +886,20 @@ class Database:
         Shuts down the view-refresh thread pool (worker threads otherwise
         live until garbage collection) and marks the database closed:
         further registrations and updates raise, while reads of the frozen
-        stores remain valid.  Idempotent.
+        stores remain valid.  Idempotent, and safe to race with an in-flight
+        apply: the lifecycle lock makes close wait for it to commit.
         """
-        if self._closed:
-            return
-        self._closed = True
-        scheduler = self._scheduler
-        if scheduler is not None:
-            scheduler.shutdown()
-            self._scheduler = None
-        for backend in self._exec_backends.values():
-            backend.shutdown()
-        self._exec_backends.clear()
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            scheduler = self._scheduler
+            if scheduler is not None:
+                scheduler.shutdown()
+                self._scheduler = None
+            for backend in self._exec_backends.values():
+                backend.shutdown()
+            self._exec_backends.clear()
 
     # ------------------------------------------------------------------ #
     # View refresh dispatch

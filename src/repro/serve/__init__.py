@@ -28,7 +28,7 @@ from repro.serve.protocol import (
     record_from_spec,
 )
 from repro.serve.server import ReproServer, ServerConfig
-from repro.serve.sessions import SessionManager, TenantSession
+from repro.serve.sessions import SessionManager, TenantRecoveringError, TenantSession
 
 __all__ = [
     "BackpressureError",
@@ -39,6 +39,7 @@ __all__ = [
     "ReproServer",
     "ServerConfig",
     "SessionManager",
+    "TenantRecoveringError",
     "TenantSession",
     "decode_update",
     "decode_value",

@@ -22,6 +22,7 @@ GET       ``/v1/{t}/snapshot``                   all datasets+views at one versi
 GET       ``/v1/{t}/storage``                    the engine's storage report
 POST      ``/v1/{t}/apply``                      enqueue updates (``mode`` sync/async)
 POST      ``/v1/{t}/vacuum``                     reclaim + re-validate indexes
+POST      ``/v1/{t}/checkpoint``                 cut a durable snapshot checkpoint
 ========  =====================================  ==================================
 
 Error bodies are ``{"error": {"code": ..., "message": ...}}``.  A full
@@ -68,7 +69,7 @@ from repro.serve.protocol import (
     encode_bag_page,
     fields_spec_of,
 )
-from repro.serve.sessions import SessionManager, TenantSession
+from repro.serve.sessions import SessionManager, TenantRecoveringError, TenantSession
 
 __all__ = ["ReproServer", "ServerConfig"]
 
@@ -85,6 +86,8 @@ class ServerConfig:
         "sync_timeout",
         "engine_options",
         "quiet",
+        "data_dir",
+        "fsync",
     )
 
     def __init__(
@@ -98,6 +101,8 @@ class ServerConfig:
         sync_timeout: float = 30.0,
         engine_options: Optional[Dict[str, Any]] = None,
         quiet: bool = True,
+        data_dir: Optional[str] = None,
+        fsync: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -107,6 +112,8 @@ class ServerConfig:
         self.sync_timeout = sync_timeout
         self.engine_options = dict(engine_options or {})
         self.quiet = quiet
+        self.data_dir = data_dir
+        self.fsync = fsync
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -222,6 +229,15 @@ class _Handler(BaseHTTPRequestHandler):
                 str(error),
                 headers={"Retry-After": f"{error.retry_after:.3f}"},
             )
+        except TenantRecoveringError as error:
+            # Before the ReproError arm: recovery-in-progress is a 503 the
+            # SDK retries after Retry-After, not a client error.
+            self._send_error_json(
+                503,
+                "recovering",
+                str(error),
+                headers={"Retry-After": f"{error.retry_after:.3f}"},
+            )
         except ProtocolError as error:
             status = 404 if error.code == "not_found" else 400
             self._send_error_json(status, error.code, str(error))
@@ -242,11 +258,13 @@ class _Handler(BaseHTTPRequestHandler):
         query: Dict[str, str],
     ) -> None:
         if parts == ["health"]:
+            recovering = list(server.sessions.recovering())
             self._send_json(
                 {
-                    "status": "ok",
+                    "status": "recovering" if recovering else "ok",
                     "uptime_seconds": time.time() - server.started_at,
                     "tenants": list(server.sessions.names()),
+                    "recovering": recovering,
                 }
             )
             return
@@ -456,6 +474,9 @@ class _Handler(BaseHTTPRequestHandler):
         if rest == ["vacuum"]:
             self._send_json(session.vacuum())
             return
+        if rest == ["checkpoint"]:
+            self._send_json(session.checkpoint(), status=201)
+            return
         raise ProtocolError(f"no route for POST {self.path!r}", code="not_found")
 
 
@@ -476,13 +497,26 @@ class ReproServer:
             coalesce=self.config.coalesce,
             auto_create=self.config.auto_create_tenants,
             sync_timeout=self.config.sync_timeout,
+            data_dir=self.config.data_dir,
+            fsync=self.config.fsync,
         )
         self.started_at = time.time()
         self.requests_served = 0
         self._httpd = _HTTPServer((self.config.host, self.config.port), _Handler)
         self._httpd.repro = self
         self._thread: Optional[threading.Thread] = None
+        self._recovery_thread: Optional[threading.Thread] = None
         self._closed = False
+        if self.config.data_dir is not None:
+            # Recover existing tenants off the accept path: the server
+            # answers /health as "recovering" (and tenant requests as 503 +
+            # Retry-After) until each replay finishes.
+            self._recovery_thread = threading.Thread(
+                target=self.sessions.recover_existing,
+                name="repro-serve-recover",
+                daemon=True,
+            )
+            self._recovery_thread.start()
 
     # ------------------------------------------------------------------ #
     @property
@@ -556,6 +590,9 @@ class ReproServer:
         if self._thread is not None:
             self._thread.join(10.0)
             self._thread = None
+        if self._recovery_thread is not None:
+            self._recovery_thread.join(30.0)
+            self._recovery_thread = None
         self.sessions.close_all(drain=drain)
 
     def __enter__(self) -> "ReproServer":

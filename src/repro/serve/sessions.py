@@ -25,6 +25,7 @@ thread-safety notes):
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -41,7 +42,22 @@ from repro.serve.protocol import (
 from repro.surface.dsl import Dataset
 from repro.surface.schema import Record
 
-__all__ = ["SessionManager", "TenantSession"]
+__all__ = ["SessionManager", "TenantRecoveringError", "TenantSession"]
+
+
+class TenantRecoveringError(RuntimeError):
+    """The tenant's engine is still replaying its WAL — retry shortly.
+
+    Raised for requests that race a durable tenant's recovery (the
+    background :meth:`SessionManager.recover_existing` warm-up after a
+    server restart).  The server maps it to **503** with a ``Retry-After``
+    header, which the SDK honors exactly like 429 backpressure.
+    """
+
+    def __init__(self, name: str, retry_after: float = 1.0) -> None:
+        super().__init__(f"tenant {name!r} is recovering; retry shortly")
+        self.tenant = name
+        self.retry_after = retry_after
 
 
 class TenantSession:
@@ -81,6 +97,10 @@ class TenantSession:
 
     def _apply_batch(self, updates: List[Update]) -> Dict[str, Any]:
         applied = self.engine.apply_stream(updates, batched=True)
+        # Sync-before-ack: a durable tenant fsyncs the WAL (per the engine's
+        # fsync policy) before any waiter in this batch is released, so a
+        # synchronous apply the client saw acknowledged survives a crash.
+        self.engine.sync_wal()
         return {"applied": applied, "version": self.engine.state_version}
 
     def _create_dataset(self, name: str, fields: Any, rows: Any) -> Dict[str, Any]:
@@ -147,6 +167,26 @@ class TenantSession:
             self.sync_timeout
         )
 
+    def checkpoint(self) -> Dict[str, Any]:
+        """Cut a snapshot checkpoint without stalling ingest.
+
+        The *capture* (cheap: frozen copy-on-write snapshots + a WAL
+        rotation) runs on the writer thread — the ingest worker is the
+        barrier that pins one consistent version — while the ``O(|DB|)``
+        *encode + fsync* runs right here on the handler thread, so the
+        worker is back to applying updates immediately.
+        """
+        if not self.engine.durable:
+            raise ProtocolError(
+                f"tenant {self.name!r} is not durable (server has no --data-dir)"
+            )
+        capture = self.worker.submit(
+            Command("checkpoint", run=self.engine.checkpoint_capture)
+        ).result(self.sync_timeout)
+        written = dict(self.engine.write_checkpoint(capture))
+        written["tenant"] = self.name
+        return written
+
     # ------------------------------------------------------------------ #
     # Read-side API (snapshot only — never blocks behind a write)
     # ------------------------------------------------------------------ #
@@ -180,11 +220,19 @@ class TenantSession:
             # backends under the ingest worker").
             "backend": execution["requested"],
             "backend_applies": execution["applies"],
+            "durability": self.engine.durability_report(),
         }
 
     # ------------------------------------------------------------------ #
     def close(self, drain: bool = True) -> None:
-        """Drain the ingest queue (optionally) and close the engine."""
+        """Drain the ingest queue (optionally), checkpoint, close the engine.
+
+        The SIGTERM path (``drain=True``) on a durable, writable tenant
+        cuts a final checkpoint after the queue drains, so the next open
+        recovers from the checkpoint instead of replaying the whole WAL
+        tail.  Best-effort: a failed checkpoint never blocks shutdown —
+        the WAL already holds everything acknowledged.
+        """
         if self._closed:
             return
         self._closed = True
@@ -192,7 +240,16 @@ class TenantSession:
             self.worker.drain_and_stop()
         else:
             self.worker.stop_now()
+        if drain and self.engine.durable and self.engine.read_only is None:
+            try:
+                self.engine.checkpoint()
+            except Exception:  # noqa: BLE001 - shutdown must proceed
+                pass
+        # Engine.close is idempotent and safe concurrently with an in-flight
+        # apply; exercise and assert exactly that on every shutdown.
         self.engine.close()
+        self.engine.close()
+        assert self.engine.closed, "Engine.close() must leave the engine closed"
 
 
 class SessionManager:
@@ -206,34 +263,96 @@ class SessionManager:
         coalesce: int = 64,
         auto_create: bool = True,
         sync_timeout: float = 30.0,
+        data_dir: Optional[str] = None,
+        fsync: Optional[str] = None,
     ) -> None:
         self._engine_options = dict(engine_options or {})
         self._queue_depth = queue_depth
         self._coalesce = coalesce
         self._auto_create = auto_create
         self._sync_timeout = sync_timeout
+        self._data_dir = data_dir
+        self._fsync = fsync
         self._sessions: Dict[str, TenantSession] = {}
+        self._recovering: set = set()
         self._lock = threading.Lock()
 
-    def get(self, name: str) -> TenantSession:
-        if not name or "/" in name:
-            raise ProtocolError(f"bad tenant name {name!r}")
-        session = self._sessions.get(name)
-        if session is not None:
-            return session
-        if not self._auto_create:
-            raise ProtocolError(f"unknown tenant {name!r}", code="not_found")
+    @property
+    def data_dir(self) -> Optional[str]:
+        return self._data_dir
+
+    def _tenant_options(self, name: str) -> Dict[str, Any]:
+        options = dict(self._engine_options)
+        if self._data_dir is not None:
+            # One subdirectory per tenant: WAL + checkpoints never mix.
+            options["data_dir"] = os.path.join(self._data_dir, name)
+            if self._fsync is not None:
+                options.setdefault("fsync", self._fsync)
+        return options
+
+    def _create(self, name: str) -> TenantSession:
         with self._lock:
             session = self._sessions.get(name)
             if session is None:
                 session = self._sessions[name] = TenantSession(
                     name,
-                    engine_options=self._engine_options,
+                    engine_options=self._tenant_options(name),
                     queue_depth=self._queue_depth,
                     coalesce=self._coalesce,
                     sync_timeout=self._sync_timeout,
                 )
             return session
+
+    def _has_durable_state(self, name: str) -> bool:
+        return self._data_dir is not None and os.path.isdir(
+            os.path.join(self._data_dir, name)
+        )
+
+    def get(self, name: str) -> TenantSession:
+        if not name or name in (".", "..") or any(c in name for c in "/\\"):
+            raise ProtocolError(f"bad tenant name {name!r}")
+        session = self._sessions.get(name)
+        if session is not None:
+            return session
+        if name in self._recovering:
+            raise TenantRecoveringError(name)
+        # A tenant with durable state on disk is "known" even when
+        # auto-creation is off: opening it is a recovery, not a creation.
+        if not self._auto_create and not self._has_durable_state(name):
+            raise ProtocolError(f"unknown tenant {name!r}", code="not_found")
+        return self._create(name)
+
+    def recover_existing(self) -> Tuple[str, ...]:
+        """Reopen every tenant with durable state under the data directory.
+
+        Run from the server's background recovery thread at startup.  Every
+        pending tenant is marked *recovering* up front, so requests that
+        race the warm-up get a 503 + ``Retry-After`` rather than a blocking
+        (or, worse, double) replay.
+        """
+        if self._data_dir is None:
+            return ()
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(self._data_dir)
+                if os.path.isdir(os.path.join(self._data_dir, name))
+            )
+        except FileNotFoundError:
+            return ()
+        names = [name for name in names if name not in self._sessions]
+        self._recovering.update(names)
+        recovered = []
+        for name in names:
+            try:
+                self._create(name)
+                recovered.append(name)
+            finally:
+                self._recovering.discard(name)
+        return tuple(recovered)
+
+    def recovering(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._recovering))
 
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._sessions))
