@@ -51,6 +51,7 @@ __all__ = [
     "LoadedCheckpoint",
     "list_checkpoints",
     "load_newest_checkpoint",
+    "read_manifest",
     "write_checkpoint",
 ]
 
@@ -278,10 +279,16 @@ def write_checkpoint(
 # Load
 # ---------------------------------------------------------------------- #
 
-def _read_checkpoint(seq: int, path: str) -> LoadedCheckpoint:
+def read_manifest(path: str) -> Dict[str, Any]:
+    """Decode one checkpoint's manifest without loading its blobs."""
     manifest = pickle.loads(_read_framed(os.path.join(path, _MANIFEST)))
     if manifest.get("format") != 1:
         raise ValueError(f"{path}: unknown manifest format {manifest.get('format')!r}")
+    return manifest
+
+
+def _read_checkpoint(seq: int, path: str) -> LoadedCheckpoint:
+    manifest = read_manifest(path)
     bags: Dict[str, Bag] = {}
     for entry in manifest["datasets"]:
         for side in ("nested", "flat"):

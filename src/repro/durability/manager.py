@@ -43,6 +43,7 @@ from repro.durability.checkpoint import (
     LoadedCheckpoint,
     list_checkpoints,
     load_newest_checkpoint,
+    read_manifest,
     write_checkpoint,
 )
 from repro.durability.faults import FaultInjector
@@ -60,6 +61,7 @@ from repro.durability.wal import (
     scan_segment,
     segment_filename,
 )
+from repro.errors import EngineError
 from repro.ivm.updates import Update
 
 __all__ = ["DurabilityManager", "RecoveryReport"]
@@ -336,8 +338,19 @@ class DurabilityManager:
 
         Rotates the WAL so the capture covers exactly the segments before
         the returned ``wal_start_segment``; the expensive encoding happens
-        in :meth:`write_capture`, from any thread.
+        in :meth:`write_capture`, from any thread.  Refused when the WAL is
+        not open for appends (engine closed, mid-replay, or degraded to
+        read-only after recovery): without a live rotation point the
+        capture would claim coverage from segment 1, and pruning against
+        that claim deletes — or double-replays — surviving WAL segments
+        whose records the captured state already contains.
         """
+        if not self.logging:
+            raise EngineError(
+                "cannot checkpoint: the WAL is not open for appends "
+                "(the engine is closed, replaying, or was degraded to "
+                "read-only by recovery)"
+            )
         state = engine.database.export_durable_state()
         views = []
         for handle in engine.views():
@@ -366,7 +379,7 @@ class DurabilityManager:
                 }
             )
         shredder_blob = pickle.dumps(state["shredder"], protocol=_PROTO)
-        wal_start = self._wal.rotate() if self.logging else 1
+        wal_start = self._wal.rotate()
         return CheckpointCapture(
             state_version=state["state_version"],
             wal_start_segment=wal_start,
@@ -377,8 +390,36 @@ class DurabilityManager:
         )
 
     def write_capture(self, capture: CheckpointCapture) -> Dict[str, Any]:
-        """Encode a capture to disk atomically, then prune what it covers."""
+        """Encode a capture to disk atomically, then prune what it covers.
+
+        The lock serializes concurrent writers but not the order their
+        captures were pinned in, so a capture older than the newest on-disk
+        checkpoint is refused: were it written (with a higher seq), the
+        next recovery would restore the older state whose WAL tail the
+        newer checkpoint's prune already deleted.
+        """
         with self._checkpoint_lock:
+            existing = list_checkpoints(self.checkpoint_dir)
+            if existing:
+                try:
+                    newest = read_manifest(existing[-1][1])
+                except Exception:  # noqa: BLE001 - an unreadable newest
+                    # checkpoint cannot order anything; writing a fresh
+                    # valid one past it is strictly an improvement.
+                    newest = None
+                if newest is not None and (
+                    capture.wal_start_segment < newest["wal_start_segment"]
+                    or capture.state_version < newest["state_version"]
+                ):
+                    raise EngineError(
+                        f"stale checkpoint capture (state_version "
+                        f"{capture.state_version}, wal start segment "
+                        f"{capture.wal_start_segment}) is older than the "
+                        f"newest on-disk checkpoint (state_version "
+                        f"{newest['state_version']}, wal start segment "
+                        f"{newest['wal_start_segment']}); a concurrent "
+                        f"checkpoint already covers this state"
+                    )
             path, seq = write_checkpoint(self.checkpoint_dir, capture, self._faults)
             # Everything before the capture's rotation point — and every
             # older checkpoint — is now redundant.

@@ -504,9 +504,14 @@ class Engine:
             f"({'persistent' if requirement.key() in registered else 'per-evaluation'})"
             for requirement in requirements
         )
-        self._views[name] = handle
-        if self._durability is not None:
-            self._durability.commit(record)
+        # {register + append} under the lifecycle lock, matching the
+        # dataset/apply discipline: a concurrent close cannot slip between
+        # the two (silently dropping the record from a closed WAL), and the
+        # append never interleaves with a concurrent apply's.
+        with self._database.lifecycle_lock:
+            self._views[name] = handle
+            if self._durability is not None:
+                self._durability.commit(record)
         return handle
 
     def explain(self, view: Union[str, ViewHandle]) -> MaintenancePlan:
@@ -589,16 +594,21 @@ class Engine:
         poisoned by since-deleted unhashable keys are re-validated against
         their current bags (restoring ``O(|Δ|)`` index maintenance).
         """
-        self._database.vacuum_storage()
-        reclaimed: Dict[str, int] = {}
-        for handle in self._views.values():
-            vacuum = getattr(handle.view, "vacuum", None)
-            if callable(vacuum):
-                reclaimed[handle.name] = vacuum()
-        if self._durability is not None:
-            # Vacuum mutates derived state deterministically, so replay
-            # must re-run it at the same point in the operation order.
-            self._durability.log_vacuum()
+        # The whole {mutate + append} runs under the lifecycle lock (an
+        # RLock — the per-view vacuums re-enter it harmlessly), matching
+        # the apply discipline: the logged vacuum lands at exactly its
+        # point in the operation order and never races a close.
+        with self._database.lifecycle_lock:
+            self._database.vacuum_storage()
+            reclaimed: Dict[str, int] = {}
+            for handle in self._views.values():
+                vacuum = getattr(handle.view, "vacuum", None)
+                if callable(vacuum):
+                    reclaimed[handle.name] = vacuum()
+            if self._durability is not None:
+                # Vacuum mutates derived state deterministically, so replay
+                # must re-run it at the same point in the operation order.
+                self._durability.log_vacuum()
         return reclaimed
 
     def storage_report(self) -> Mapping[str, object]:

@@ -265,6 +265,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "uptime_seconds": time.time() - server.started_at,
                     "tenants": list(server.sessions.names()),
                     "recovering": recovering,
+                    "recovery_failed": server.sessions.recovery_failures(),
                 }
             )
             return

@@ -180,6 +180,14 @@ class TenantSession:
             raise ProtocolError(
                 f"tenant {self.name!r} is not durable (server has no --data-dir)"
             )
+        if self.engine.read_only is not None:
+            # A read-only engine never opened its WAL; a checkpoint written
+            # anyway would claim coverage it does not have and double-apply
+            # the surviving WAL segments on the next open.
+            raise ProtocolError(
+                f"tenant {self.name!r} is read-only after recovery "
+                f"({self.engine.read_only}); checkpoint refused"
+            )
         capture = self.worker.submit(
             Command("checkpoint", run=self.engine.checkpoint_capture)
         ).result(self.sync_timeout)
@@ -275,6 +283,10 @@ class SessionManager:
         self._fsync = fsync
         self._sessions: Dict[str, TenantSession] = {}
         self._recovering: set = set()
+        # Tenants whose startup recovery raised: name → error summary.
+        # They are no longer "recovering" (a later request retries the
+        # open and surfaces the error), but /health keeps reporting them.
+        self._recovery_failures: Dict[str, str] = {}
         self._lock = threading.Lock()
 
     @property
@@ -343,16 +355,31 @@ class SessionManager:
         names = [name for name in names if name not in self._sessions]
         self._recovering.update(names)
         recovered = []
-        for name in names:
-            try:
-                self._create(name)
-                recovered.append(name)
-            finally:
-                self._recovering.discard(name)
+        try:
+            for name in names:
+                try:
+                    self._create(name)
+                    recovered.append(name)
+                except Exception as error:  # noqa: BLE001 - one damaged
+                    # tenant must not kill the recovery thread and strand
+                    # every later name in _recovering (a permanent 503).
+                    self._recovery_failures[name] = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                finally:
+                    self._recovering.discard(name)
+        finally:
+            # Whatever interrupts the loop, no tenant stays marked
+            # recovering forever.
+            self._recovering.difference_update(names)
         return tuple(recovered)
 
     def recovering(self) -> Tuple[str, ...]:
         return tuple(sorted(self._recovering))
+
+    def recovery_failures(self) -> Dict[str, str]:
+        """Tenants whose startup recovery raised, with the error summary."""
+        return dict(self._recovery_failures)
 
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._sessions))

@@ -54,9 +54,11 @@ from repro.durability.records import (
 )
 from repro.durability.wal import list_segments, scan_segment
 from repro.engine import Engine
-from repro.errors import WorkloadError
+from repro.errors import EngineError, WorkloadError
 from repro.ivm.updates import Update, insertions
 from repro.serve import ReproServer, ServerConfig
+from repro.serve.protocol import ProtocolError
+from repro.serve.sessions import SessionManager, TenantSession
 from repro.workloads import (
     MOVIE_SCHEMA,
     PAPER_MOVIES,
@@ -73,6 +75,25 @@ def _drive(engine: Engine, updates: int = 3) -> None:
     engine.view("related", related_query(), strategy="nested")
     for update in movie_update_stream(updates, batch_size=2, existing=PAPER_MOVIES):
         engine.apply(update)
+
+
+def _write_corrupted_first_segment(tmp_path, subdir: str = "db") -> str:
+    """A data_dir whose *first* (non-tail) WAL segment has a flipped byte —
+    recovery quarantines it and degrades the reopened engine to read-only."""
+    data_dir = str(tmp_path / subdir)
+    engine = Engine(data_dir=data_dir, fsync="always")
+    engine.dataset("M", MOVIE_SCHEMA, rows=PAPER_MOVIES)
+    engine._durability._wal.rotate()
+    for update in movie_update_stream(2, batch_size=1, existing=PAPER_MOVIES):
+        engine.apply(update)
+    engine.close()
+    _, first = list_segments(os.path.join(data_dir, "wal"))[0]
+    with open(first, "r+b") as handle:
+        handle.seek(12)
+        byte = handle.read(1)
+        handle.seek(12)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    return data_dir
 
 
 # --------------------------------------------------------------------------- #
@@ -338,6 +359,42 @@ class TestEngineDurability:
             recovered.apply(insertions("M", [("X", "Y", "Z")]))
         recovered.close()
 
+    def test_checkpoint_refused_on_read_only_engine(self, tmp_path):
+        data_dir = _write_corrupted_first_segment(tmp_path)
+        recovered = Engine(data_dir=data_dir, fsync="always")
+        assert recovered.read_only is not None
+        surviving = list_segments(os.path.join(data_dir, "wal"))
+        # A checkpoint here would claim WAL coverage from segment 1 and
+        # prune/double-replay the surviving valid segments on the next
+        # open — it must be refused outright.
+        with pytest.raises(EngineError, match="WAL is not open"):
+            recovered.checkpoint()
+        assert list_checkpoints(os.path.join(data_dir, "checkpoints")) == []
+        assert list_segments(os.path.join(data_dir, "wal")) == surviving
+        recovered.close()
+
+    def test_stale_capture_cannot_become_newest_checkpoint(self, tmp_path):
+        data_dir = str(tmp_path / "db")
+        engine = Engine(data_dir=data_dir, fsync="batch")
+        _drive(engine)
+        older = engine.checkpoint_capture()
+        engine.apply(insertions("M", [("Tail", "Drama", "After")]))
+        newer = engine.checkpoint_capture()
+        written = engine.write_checkpoint(newer)
+        # Writing the older capture now would make the newest checkpoint
+        # the OLDER state, whose required WAL tail the newer checkpoint's
+        # prune just deleted — acknowledged writes would vanish on the
+        # next recovery.
+        with pytest.raises(EngineError, match="stale"):
+            engine.write_checkpoint(older)
+        checkpoints = list_checkpoints(os.path.join(data_dir, "checkpoints"))
+        assert [seq for seq, _ in checkpoints] == [written["seq"]]
+        expected = engine_state(engine)
+        engine.close()
+        recovered = Engine(data_dir=data_dir, fsync="batch")
+        assert state_differences(expected, engine_state(recovered)) == []
+        recovered.close()
+
     def test_recovery_report_round_trips_to_dict(self, tmp_path):
         data_dir = str(tmp_path / "db")
         engine = Engine(data_dir=data_dir, fsync="batch")
@@ -536,6 +593,38 @@ class TestServeDurability:
                 UpdatesClient(api, tenant="t").checkpoint()
             assert excinfo.value.status == 400
             assert "not durable" in excinfo.value.message
+
+    def test_checkpoint_refused_for_read_only_tenant(self, tmp_path):
+        data_dir = _write_corrupted_first_segment(tmp_path, "t")
+        session = TenantSession(
+            "t", engine_options={"data_dir": data_dir, "fsync": "always"}
+        )
+        try:
+            assert session.engine.read_only is not None
+            with pytest.raises(ProtocolError, match="read-only"):
+                session.checkpoint()
+        finally:
+            session.close(drain=True)
+
+    def test_recover_existing_survives_damaged_tenant(self, tmp_path):
+        data_dir = str(tmp_path / "serve")
+        good = Engine(data_dir=os.path.join(data_dir, "good"), fsync="batch")
+        good.dataset("M", MOVIE_SCHEMA, rows=PAPER_MOVIES)
+        good.close()
+        # A tenant whose wal path is a *file* makes the engine open raise
+        # outright (not merely degrade to read-only): one damaged tenant
+        # must not kill the recovery pass or strand the rest in the
+        # recovering (permanent-503) state.
+        os.makedirs(os.path.join(data_dir, "bad"))
+        with open(os.path.join(data_dir, "bad", "wal"), "wb") as handle:
+            handle.write(b"not a directory")
+        manager = SessionManager(data_dir=data_dir, fsync="batch")
+        try:
+            assert manager.recover_existing() == ("good",)
+            assert manager.recovering() == ()
+            assert "bad" in manager.recovery_failures()
+        finally:
+            manager.close_all(drain=True)
 
     def test_recovering_tenant_answers_503_with_retry_after(self):
         with ReproServer(ServerConfig(port=0)) as server:
