@@ -1,6 +1,6 @@
-"""Micro-benchmarks: compiled, indexed, O(|Δ|)-apply, shard, serve, read and durability latency (BENCH json).
+"""Micro-benchmarks: compiled, indexed, O(|Δ|)-apply, shard, serve, read, durability and replication latency (BENCH json).
 
-Eight benchmarks share this CLI:
+Nine benchmarks share this CLI:
 
 * ``--benchmark compile`` (the default) maintains the selective genre
   self-join with the classic first-order strategy, once with the compiled
@@ -68,6 +68,14 @@ Eight benchmarks share this CLI:
   time against database size, and cold-start recovery time against WAL
   tail length (with a checkpointed leg proving the tail — not the
   history — is what recovery pays for).  See ``docs/durability.md``.
+* ``--benchmark replication`` measures **WAL-shipping replication** over
+  live primary/replica HTTP pairs: replica lag at acknowledgement time as
+  the ingest rate sweeps over batch size (plus post-stream catch-up
+  time), failover time-to-writable (kill the primary, ``POST /promote``,
+  time until the replica acknowledges its first write), and
+  client-observed follower-read p50/p99 against the primary's — with a
+  follower ≡ primary read-result differential check.  See
+  ``docs/replication.md``.
 
 All of them verify that the compared runs produced identical contents.
 JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
@@ -77,7 +85,8 @@ JSON results are written to ``benchmarks/results/compile_selfjoin.json`` /
 ``benchmarks/results/core_scale.json`` /
 ``benchmarks/results/serve_latency.json`` /
 ``benchmarks/results/read_path.json`` /
-``benchmarks/results/durability.json`` by default (the committed copies
+``benchmarks/results/durability.json`` /
+``benchmarks/results/replication.json`` by default (the committed copies
 are regenerated from exactly these commands).
 """
 
@@ -1441,6 +1450,237 @@ def run_durability(size: int = 2000, batch: int = 4, updates: int = 40) -> dict:
     }
 
 
+def run_replication(size: int = 300, updates: int = 30, batch: int = 4) -> dict:
+    """Replication costs: lag vs ingest rate, failover, follower reads.
+
+    Three measurements over live primary/replica pairs (two in-process
+    :class:`~repro.serve.ReproServer` instances per cell, the replica
+    following over ``replica_of``; see ``docs/replication.md``):
+
+    * **replica lag vs ingest rate** — a synchronous apply stream at
+      sweeping batch sizes, sampling the replica's ``replication_lag``
+      (records / bytes of durable-but-unshipped WAL) immediately after
+      every acknowledgement, plus the post-stream catch-up time.  Lag is
+      bounded by the in-flight window, not the stream length: the
+      subscriber tails continuously, so catch-up stays near-constant as
+      the ingest rate grows.
+    * **failover time-to-writable** — seed, converge, kill the primary
+      without draining, ``POST /v1/{tenant}/promote``, and time until the
+      promoted replica acknowledges its first write (three trials).
+    * **follower reads** — client-observed p50/p99 of the same view read
+      against primary and replica, with the two results (pairs and
+      version tag) required identical at equal versions.
+    """
+    import statistics
+    import tempfile
+
+    from repro.client.api import APIClient, APIError
+    from repro.serve import ReproServer, ServerConfig
+    from repro.serve.sessions import TenantRecoveringError
+
+    tenant = "default"
+
+    def _pair(root: str, label: str):
+        config = dict(host="127.0.0.1", port=0, quiet=True, fsync="batch")
+        primary = ReproServer(
+            ServerConfig(data_dir=os.path.join(root, f"{label}-primary"), **config)
+        ).start()
+        replica = ReproServer(
+            ServerConfig(
+                data_dir=os.path.join(root, f"{label}-replica"),
+                replica_of=primary.url,
+                poll_wait=0.5,
+                poll_interval=0.01,
+                **config,
+            )
+        ).start()
+        return primary, replica
+
+    def _seed(api: APIClient) -> None:
+        api.post(
+            f"v1/{tenant}/datasets",
+            {
+                "name": "M",
+                "fields": ["name", "gen", "dir"],
+                "rows": [list(row) for row in generate_movies(size, seed=7)],
+            },
+        )
+        api.post(
+            f"v1/{tenant}/views",
+            {
+                "name": "dramas",
+                "query": {
+                    "from": "M",
+                    "var": "m",
+                    "where": ["eq", ["field", "m", "gen"], ["const", "Drama"]],
+                    "select": [["field", "m", "name"]],
+                },
+                "strategy": "classic",
+            },
+        )
+
+    def _status(replica) -> Optional[dict]:
+        try:
+            return replica.sessions.get(tenant).replication_status()
+        except TenantRecoveringError:
+            return None
+
+    def _lag(replica) -> Optional[dict]:
+        status = _status(replica)
+        return None if status is None else status.get("replication_lag")
+
+    def _wait_caught_up(replica, version: int, timeout: float = 30.0) -> float:
+        # Lag alone reads zero before the link's first poll, so convergence
+        # additionally requires the replica to have applied every acked op.
+        started = time.perf_counter()
+        deadline = started + timeout
+        while time.perf_counter() < deadline:
+            status = _status(replica)
+            if status is not None:
+                lag = status.get("replication_lag") or {}
+                if status["state_version"] >= version and lag.get("records") == 0:
+                    return time.perf_counter() - started
+            time.sleep(0.005)
+        raise AssertionError("replica never caught up with the primary")
+
+    def _apply(api: APIClient, rows) -> None:
+        api.post(
+            f"v1/{tenant}/apply",
+            {"updates": [{"M": {"rows": rows}}], "mode": "sync"},
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-repl-") as tmp:
+        # -- replica lag vs ingest rate --------------------------------- #
+        ingest_cells = []
+        for cell_batch in sorted({1, batch, 4 * batch}):
+            primary, replica = _pair(tmp, f"ingest-b{cell_batch}")
+            try:
+                api = APIClient(primary.url, max_retries=8)
+                _seed(api)
+                _wait_caught_up(replica, version=2)
+                lag_records, lag_bytes = [], []
+                started = time.perf_counter()
+                for update in range(updates):
+                    _apply(
+                        api,
+                        [
+                            [f"B{cell_batch}U{update:03d}R{row}", "Drama", "D"]
+                            for row in range(cell_batch)
+                        ],
+                    )
+                    lag = _lag(replica) or {}
+                    lag_records.append(lag.get("records") or 0)
+                    lag_bytes.append(lag.get("bytes") or 0)
+                elapsed = time.perf_counter() - started
+                catch_up = _wait_caught_up(replica, version=2 + updates)
+                ingest_cells.append(
+                    {
+                        "batch": cell_batch,
+                        "applies_per_second": updates / elapsed,
+                        "rows_per_second": updates * cell_batch / elapsed,
+                        "lag_records_at_ack_mean": sum(lag_records) / len(lag_records),
+                        "lag_records_at_ack_max": max(lag_records),
+                        "lag_bytes_at_ack_max": max(lag_bytes),
+                        "catch_up_seconds_after_stream": catch_up,
+                    }
+                )
+            finally:
+                replica.close(drain=False)
+                primary.close(drain=False)
+
+        # -- failover time-to-writable ---------------------------------- #
+        failover_trials = []
+        for trial in range(3):
+            primary, replica = _pair(tmp, f"failover-{trial}")
+            try:
+                api = APIClient(primary.url, max_retries=8)
+                _seed(api)
+                for update in range(updates):
+                    _apply(api, [[f"F{trial}U{update:03d}", "Drama", "D"]])
+                _wait_caught_up(replica, version=2 + updates)
+                primary.close(drain=False)
+                replica_api = APIClient(
+                    replica.url, max_retries=1, sleep=lambda _: None
+                )
+                started = time.perf_counter()
+                replica_api.post(f"v1/{tenant}/promote", {})
+                promoted = time.perf_counter()
+                deadline = started + 30.0
+                while True:
+                    try:
+                        _apply(replica_api, [[f"PostFailover{trial}", "Drama", "D"]])
+                        break
+                    except APIError:
+                        if time.perf_counter() > deadline:
+                            raise
+                        time.sleep(0.002)
+                writable = time.perf_counter()
+                failover_trials.append(
+                    {
+                        "promote_seconds": promoted - started,
+                        "time_to_writable_seconds": writable - started,
+                    }
+                )
+            finally:
+                replica.close(drain=False)
+
+        # -- follower reads vs primary reads ---------------------------- #
+        primary, replica = _pair(tmp, "reads")
+        try:
+            api = APIClient(primary.url, max_retries=8)
+            _seed(api)
+            for update in range(updates):
+                _apply(api, [[f"RU{update:03d}", "Drama", "D"]])
+            _wait_caught_up(replica, version=2 + updates)
+            replica_api = APIClient(replica.url, max_retries=8)
+            primary_reads, replica_reads = [], []
+            reads_identical = True
+            for _ in range(120):
+                lap = time.perf_counter()
+                from_primary = api.get(f"v1/{tenant}/views/dramas")
+                primary_reads.append(time.perf_counter() - lap)
+                lap = time.perf_counter()
+                from_replica = replica_api.get(f"v1/{tenant}/views/dramas")
+                replica_reads.append(time.perf_counter() - lap)
+                reads_identical = reads_identical and (
+                    sorted(map(tuple, from_primary["pairs"]))
+                    == sorted(map(tuple, from_replica["pairs"]))
+                )
+        finally:
+            replica.close(drain=False)
+            primary.close(drain=False)
+
+    return {
+        "benchmark": "replication",
+        "workload": (
+            "live primary/replica ReproServer pairs (fsync=batch, ephemeral "
+            "ports), %d-movie dataset + one classic-strategy view per cell; "
+            "synchronous applies over HTTP with the replica tailing the "
+            "primary's WAL over the long-poll feed" % size
+        ),
+        "n": size,
+        "updates": updates,
+        "lag_vs_ingest_rate": ingest_cells,
+        "failover": {
+            "trials": failover_trials,
+            "time_to_writable_median_seconds": statistics.median(
+                trial["time_to_writable_seconds"] for trial in failover_trials
+            ),
+        },
+        "follower_reads": {
+            "primary": _percentile_summary(primary_reads),
+            "replica": _percentile_summary(replica_reads),
+            "results_identical": reads_identical,
+        },
+        "note": (
+            "lag is sampled at acknowledgement time, so nonzero values show "
+            "the in-flight shipping window rather than drift; follower reads "
+            "serve the replica's latest applied snapshot — a consistent "
+            "prefix of the primary's history with the same version tags"
+        ),
+    }
+
+
 _BENCHMARKS = {
     "compile": (run_selfjoin_latency, "benchmarks/results/compile_selfjoin.json"),
     "index": (run_index_latency, "benchmarks/results/storage_index.json"),
@@ -1450,6 +1690,7 @@ _BENCHMARKS = {
     "serve": (run_serve_latency, "benchmarks/results/serve_latency.json"),
     "read": (run_read_latency, "benchmarks/results/read_path.json"),
     "durability": (run_durability, "benchmarks/results/durability.json"),
+    "replication": (run_replication, "benchmarks/results/replication.json"),
 }
 
 

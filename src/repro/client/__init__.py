@@ -6,14 +6,21 @@
     DatasetsClient(api, tenant="team-a").create("M", ["name", "gen", "dir"])
     UpdatesClient(api, tenant="team-a").insert("M", [["Drive", "Drama", "Refn"]])
 
-The SDK is pure standard library; retries and 429 backoff live in
-:class:`~repro.client.api.APIClient`.  ``repro-cli`` (the console script,
-:mod:`repro.client.cli`) layers table-rendering commands on top.
+For replicated tenants, :class:`~repro.client.failover.FailoverClient`
+routes writes to the current primary (failing over on 503/refused
+connections) and stale-tolerant reads to replicas.
+
+The SDK is pure standard library; retries, 429 backoff, and the total
+retry deadline live in :class:`~repro.client.api.APIClient`.  ``repro-cli``
+(the console script, :mod:`repro.client.cli`) layers table-rendering
+commands on top.
 """
 
 from repro.client.api import APIClient, APIError
+from repro.client.failover import FailoverClient
 from repro.client.resources import (
     DatasetsClient,
+    ReplicationClient,
     ServerClient,
     UpdatesClient,
     ViewsClient,
@@ -23,6 +30,8 @@ __all__ = [
     "APIClient",
     "APIError",
     "DatasetsClient",
+    "FailoverClient",
+    "ReplicationClient",
     "ServerClient",
     "UpdatesClient",
     "ViewsClient",

@@ -15,6 +15,11 @@ the retry policy:
 * **connection errors** (refused, reset, timeout) — retried with
   exponential backoff ``backoff_base * 2**attempt`` plus ±25% jitter, for
   servers that are restarting.
+* a **total retry deadline** (``retry_deadline``, default 60 s) bounds the
+  whole retry dance per logical request: a tenant that answers every probe
+  with 503 + ``Retry-After`` (dead, endlessly recovering, or fenced behind
+  a long replay) surfaces as an :class:`APIError` with code
+  ``retry_deadline`` instead of the client spinning forever.
 * **304 Not Modified** — the success path of a conditional read (an
   ``If-None-Match`` ETag matched); decoded to
   ``{"unchanged": True, "not_modified": True, "etag", "version"}`` rather
@@ -67,6 +72,7 @@ class APIClient:
         max_retries: int = 5,
         backoff_base: float = 0.05,
         max_retry_after: float = 5.0,
+        retry_deadline: Optional[float] = 60.0,
         sleep=time.sleep,
     ) -> None:
         if base_url is None:
@@ -76,6 +82,9 @@ class APIClient:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.max_retry_after = max_retry_after
+        # Total wall-clock budget for one logical request including every
+        # retry sleep; None disables the bound.
+        self.retry_deadline = retry_deadline
         self._sleep = sleep
         # Observability for tests and the CLI's --verbose mode.
         self.retries_performed = 0
@@ -103,6 +112,18 @@ class APIClient:
         if headers:
             request_headers.update(headers)
         attempt = 0
+        started = time.monotonic()
+        slept = 0.0
+
+        def _budget_allows(delay: float) -> bool:
+            # Measured wall clock when sleeps are real; the accumulated
+            # requested delays when tests inject a no-op sleep.  Either
+            # running past the deadline means: stop retrying, surface it.
+            if self.retry_deadline is None:
+                return True
+            elapsed = max(time.monotonic() - started, slept)
+            return elapsed + delay <= self.retry_deadline
+
         while True:
             request = urllib.request.Request(
                 url,
@@ -129,18 +150,36 @@ class APIClient:
                 )
                 if retryable and attempt < self.max_retries:
                     retry_after = self._retry_after_of(error)
+                    if not _budget_allows(retry_after):
+                        raise APIError(
+                            error.status,
+                            "retry_deadline",
+                            f"gave up after {self.retry_deadline:g}s of retries: "
+                            f"{message}",
+                        ) from None
                     self.retries_performed += 1
                     attempt += 1
+                    slept += retry_after
                     self._sleep(retry_after)
                     continue
                 raise APIError(error.status, code, message) from None
             except (urllib.error.URLError, ConnectionError, socket.timeout) as error:
                 if attempt < self.max_retries:
-                    self.retries_performed += 1
                     delay = self.backoff_base * (2 ** attempt)
                     delay *= 1.0 + random.uniform(-0.25, 0.25)
+                    delay = min(delay, self.max_retry_after)
+                    if not _budget_allows(delay):
+                        reason = getattr(error, "reason", error)
+                        raise APIError(
+                            0,
+                            "retry_deadline",
+                            f"gave up after {self.retry_deadline:g}s of retries: "
+                            f"{url}: {reason}",
+                        ) from None
+                    self.retries_performed += 1
                     attempt += 1
-                    self._sleep(min(delay, self.max_retry_after))
+                    slept += delay
+                    self._sleep(delay)
                     continue
                 reason = getattr(error, "reason", error)
                 raise APIError(0, "connection", f"{url}: {reason}") from None

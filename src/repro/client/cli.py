@@ -33,6 +33,7 @@ from repro.client._compat import Console, Table
 from repro.client.api import APIClient, APIError, DEFAULT_SERVER, DEFAULT_TENANT
 from repro.client.resources import (
     DatasetsClient,
+    ReplicationClient,
     ServerClient,
     UpdatesClient,
     ViewsClient,
@@ -97,13 +98,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             quiet=not args.verbose,
             data_dir=args.data_dir,
             fsync=args.fsync,
+            replica_of=args.replica_of,
+            poll_wait=args.poll_wait,
         )
     )
     server.install_signal_handlers()
     durable = f", durable in {args.data_dir}" if args.data_dir else ""
+    following = f", replicating {args.replica_of}" if args.replica_of else ""
     console.print(
         f"repro-serve listening on {server.url} "
-        f"(SIGTERM drains and exits{durable})"
+        f"(SIGTERM drains and exits{durable}{following})"
     )
     try:
         server.serve_forever()
@@ -358,6 +362,55 @@ def _cmd_checkpoint(api: APIClient, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_promote(api: APIClient, args: argparse.Namespace) -> int:
+    payload = ReplicationClient(api, tenant=args.tenant).promote(epoch=args.epoch)
+    if payload.get("already_primary"):
+        console.print(
+            f"tenant {payload['tenant']!r} is already primary "
+            f"(epoch {payload['epoch']})"
+        )
+    elif payload.get("reenabled"):
+        console.print(
+            f"re-enabled writes on primary {payload['tenant']!r} "
+            f"(epoch {payload['epoch']}, version {payload['version']})"
+        )
+    else:
+        console.print(
+            f"promoted tenant {payload['tenant']!r} to primary at epoch "
+            f"{payload['epoch']} (version {payload['version']}); "
+            f"the old primary is being fenced"
+        )
+    return 0
+
+
+def _cmd_replication(api: APIClient, args: argparse.Namespace) -> int:
+    payload = ReplicationClient(api, tenant=args.tenant).status()
+    line = (
+        f"tenant={payload['tenant']} role={payload['role']} "
+        f"epoch={payload['epoch']} version={payload['state_version']}"
+    )
+    if payload.get("wal_end"):
+        segment, offset = payload["wal_end"]
+        line += f" wal_end={segment}:{offset}"
+    lag = payload.get("replication_lag")
+    if lag is not None:
+        line += f" lag={lag['records']} records/{lag['bytes']} bytes"
+    if payload.get("read_only"):
+        line += f" read_only=({payload['read_only']})"
+    console.print(line)
+    link = payload.get("link")
+    if link is not None:
+        console.print(
+            f"link: upstream={link['upstream']} connected={link['connected']} "
+            f"polls={link['polls']} shipped={link['frames_shipped']} frames/"
+            f"{link['bytes_shipped']} bytes bootstraps={link['bootstraps']}"
+            + (f" last_error=({link['last_error']})" if link["last_error"] else "")
+        )
+    if args.verbose:
+        console.print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _cmd_watch(api: APIClient, args: argparse.Namespace) -> int:
     """Poll with ``If-None-Match``: an unchanged view costs a body-less 304
     (the server never encodes the result), and the table redraws only when
@@ -418,6 +471,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="WAL fsync policy (default: $REPRO_FSYNC or 'batch')",
     )
+    serve.add_argument(
+        "--replica-of",
+        default=None,
+        metavar="URL",
+        help="follow this upstream server's tenants as read-only replicas "
+        "(requires --data-dir; see docs/replication.md)",
+    )
+    serve.add_argument(
+        "--poll-wait",
+        type=float,
+        default=5.0,
+        help="replication long-poll duration in seconds (replica mode)",
+    )
 
     commands.add_parser("health", help="server liveness")
     commands.add_parser("stats", help="server + tenant admission statistics")
@@ -464,6 +530,20 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint", help="cut a durable snapshot checkpoint for the tenant"
     )
 
+    promote = commands.add_parser(
+        "promote", help="promote this endpoint's tenant to writable primary"
+    )
+    promote.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help="explicit fencing epoch (default: past everything observed)",
+    )
+
+    commands.add_parser(
+        "replication", help="role, epoch and replication lag for the tenant"
+    )
+
     watch = commands.add_parser("watch", help="poll a view, print on change")
     watch.add_argument("name")
     watch.add_argument("--interval", type=float, default=1.0)
@@ -481,6 +561,8 @@ _COMMANDS = {
     "apply": _cmd_apply,
     "vacuum": _cmd_vacuum,
     "checkpoint": _cmd_checkpoint,
+    "promote": _cmd_promote,
+    "replication": _cmd_replication,
     "watch": _cmd_watch,
 }
 

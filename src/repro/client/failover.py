@@ -1,0 +1,253 @@
+"""Failover-aware routing: writes chase the primary, reads tolerate lag.
+
+:class:`FailoverClient` wraps one :class:`~repro.client.api.APIClient` per
+endpoint of a replicated tenant and routes by operation class:
+
+* **writes** (and any other must-be-primary call) go to the endpoint
+  currently believed primary.  When that endpoint answers with one of the
+  failover signals — connection refused (status 0), a bare 503 (including
+  the server's ``not_writable`` rejection on replicas and fenced
+  ex-primaries), or an exhausted ``retry_deadline`` — the client re-probes
+  every endpoint's ``GET /v1/{tenant}/replication`` for ``role ==
+  "primary"`` and retries there, under capped exponential backoff bounded
+  by a total ``failover_deadline``.  During a failover window (old primary
+  dead, replica not yet promoted) the write simply keeps probing until
+  promotion lands or the deadline expires.
+* **stale-tolerant reads** round-robin the *replica* endpoints (falling
+  back to the primary when no replica answers), which is exactly the
+  follower-read contract ``docs/replication.md`` documents: a replica
+  serves a fully consistent snapshot of a *prefix* of the primary's
+  history, with the same ETag the primary once served for that version.
+
+The client holds no hidden state machine: "current primary" is a cached
+index, invalidated on the first failover signal and re-learned by probing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.client.api import APIClient, APIError
+
+__all__ = ["FailoverClient"]
+
+#: ``APIError.code`` values that mean "this endpoint will not take writes
+#: now or ever — go find the primary" rather than "request was bad".
+_FAILOVER_CODES = frozenset(
+    {"not_writable", "connection", "retry_deadline", "recovering", "apply_timeout"}
+)
+
+
+def _is_failover_signal(error: APIError) -> bool:
+    return error.status in (0, 503) or error.code in _FAILOVER_CODES
+
+
+class FailoverClient:
+    """Route one tenant's traffic across a primary/replica endpoint set."""
+
+    def __init__(
+        self,
+        endpoints: Sequence[str],
+        tenant: str = "default",
+        *,
+        failover_deadline: float = 30.0,
+        probe_interval: float = 0.2,
+        max_probe_interval: float = 2.0,
+        client_options: Optional[Dict[str, Any]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("FailoverClient needs at least one endpoint")
+        options = dict(client_options or {})
+        # Per-endpoint retry budgets stay short: the failover loop is the
+        # retry policy here, and a dead endpoint should fail fast so the
+        # probe moves on, not burn the whole deadline on one address.
+        options.setdefault("max_retries", 1)
+        options.setdefault("retry_deadline", 5.0)
+        options.setdefault("timeout", 10.0)
+        self.tenant = tenant
+        self.clients: List[APIClient] = [
+            APIClient(endpoint, **options) for endpoint in endpoints
+        ]
+        self.failover_deadline = failover_deadline
+        self.probe_interval = probe_interval
+        self.max_probe_interval = max_probe_interval
+        self._sleep = sleep
+        self._primary_index: Optional[int] = None
+        self._read_cursor = 0
+        # Observability: how many times a write actually failed over.
+        self.failovers = 0
+
+    # ------------------------------------------------------------------ #
+    # Primary discovery
+    # ------------------------------------------------------------------ #
+    def _probe(self) -> Optional[int]:
+        """Ask every endpoint who it is; return the first primary's index."""
+        for index, client in enumerate(self.clients):
+            try:
+                status = client.get(f"v1/{self.tenant}/replication")
+            except APIError:
+                continue
+            if status.get("role") == "primary":
+                return index
+        return None
+
+    def primary(self) -> APIClient:
+        """The client for the current primary (probing if unknown)."""
+        if self._primary_index is None:
+            self._primary_index = self._probe()
+        if self._primary_index is None:
+            raise APIError(
+                0,
+                "no_primary",
+                f"no endpoint of {[c.base_url for c in self.clients]} currently "
+                f"serves tenant {self.tenant!r} as primary",
+            )
+        return self.clients[self._primary_index]
+
+    def replicas(self) -> List[APIClient]:
+        """Every endpoint that is not the current primary."""
+        primary = self._primary_index
+        return [
+            client
+            for index, client in enumerate(self.clients)
+            if index != primary
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Write path: retry over failover until the deadline
+    # ------------------------------------------------------------------ #
+    def request_primary(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Any:
+        """Run one must-reach-the-primary request with failover retries."""
+        deadline = time.monotonic() + self.failover_deadline
+        delay = self.probe_interval
+        last_error: Optional[APIError] = None
+        while True:
+            try:
+                client = self.primary()
+            except APIError as error:
+                last_error = error
+            else:
+                try:
+                    return client.request(method, path, body, headers)
+                except APIError as error:
+                    if not _is_failover_signal(error):
+                        raise
+                    last_error = error
+                    self.failovers += 1
+            # Whoever we believed in is not (or no longer) the primary.
+            self._primary_index = None
+            if time.monotonic() >= deadline:
+                raise APIError(
+                    last_error.status if last_error else 0,
+                    "failover_exhausted",
+                    f"no writable primary for tenant {self.tenant!r} within "
+                    f"{self.failover_deadline:g}s "
+                    f"(last error: {last_error})",
+                ) from None
+            self._sleep(delay)
+            delay = min(delay * 2, self.max_probe_interval)
+
+    def post(self, path_suffix: str, body: Optional[Dict[str, Any]] = None) -> Any:
+        return self.request_primary("POST", f"v1/{self.tenant}/{path_suffix}", body or {})
+
+    def apply(self, *updates: Dict[str, Any], mode: str = "sync") -> Dict[str, Any]:
+        return self.post("apply", {"updates": list(updates), "mode": mode})
+
+    def insert(self, relation: str, rows: List[Any]) -> Dict[str, Any]:
+        return self.apply({relation: {"rows": rows}})
+
+    def create_dataset(
+        self, name: str, fields: List[Any], rows: Optional[List[Any]] = None
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"name": name, "fields": fields}
+        if rows is not None:
+            body["rows"] = rows
+        return self.post("datasets", body)
+
+    def create_view(
+        self, name: str, query: Dict[str, Any], strategy: str = "auto"
+    ) -> Dict[str, Any]:
+        return self.post("views", {"name": name, "query": query, "strategy": strategy})
+
+    def promote(self, endpoint: str, *, epoch: Optional[int] = None) -> Dict[str, Any]:
+        """Promote a specific endpoint (an operator action, never guessed)."""
+        for client in self.clients:
+            if client.base_url == endpoint.rstrip("/"):
+                body: Dict[str, Any] = {}
+                if epoch is not None:
+                    body["epoch"] = epoch
+                result = client.post(f"v1/{self.tenant}/promote", body)
+                self._primary_index = None
+                return result
+        raise ValueError(f"{endpoint!r} is not one of this client's endpoints")
+
+    # ------------------------------------------------------------------ #
+    # Read path: stale-tolerant follower reads
+    # ------------------------------------------------------------------ #
+    def read(
+        self,
+        path_suffix: str,
+        *,
+        stale_ok: bool = True,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Any:
+        """GET under the tenant; ``stale_ok`` prefers replicas.
+
+        A stale-tolerant read may lag the primary by the replication lag
+        but is internally consistent (one snapshot, one ETag).  With
+        ``stale_ok=False`` the read goes through the primary path with
+        failover, paying discovery cost for read-your-writes.
+        """
+        path = f"v1/{self.tenant}/{path_suffix}"
+        if not stale_ok:
+            return self.request_primary("GET", path, None, headers)
+        candidates = self.replicas() or list(self.clients)
+        start = self._read_cursor
+        self._read_cursor += 1
+        last_error: Optional[APIError] = None
+        for step in range(len(candidates)):
+            client = candidates[(start + step) % len(candidates)]
+            try:
+                return client.request("GET", path, None, headers)
+            except APIError as error:
+                last_error = error
+        # Every replica is down or refused: fall back to the primary.
+        try:
+            return self.request_primary("GET", path, None, headers)
+        except APIError:
+            if last_error is not None:
+                raise last_error from None
+            raise
+
+    def view(self, name: str, *, stale_ok: bool = True) -> Dict[str, Any]:
+        return self.read(f"views/{name}", stale_ok=stale_ok)
+
+    def dataset(self, name: str, *, stale_ok: bool = True) -> Dict[str, Any]:
+        return self.read(f"datasets/{name}", stale_ok=stale_ok)
+
+    def snapshot(self, *, stale_ok: bool = True) -> Dict[str, Any]:
+        return self.read("snapshot", stale_ok=stale_ok)
+
+    def replication_status(self) -> Dict[str, Dict[str, Any]]:
+        """Every endpoint's view of the tenant (dead ones report an error)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for client in self.clients:
+            try:
+                out[client.base_url] = client.get(f"v1/{self.tenant}/replication")
+            except APIError as error:
+                out[client.base_url] = {"error": str(error)}
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"FailoverClient({[c.base_url for c in self.clients]!r}, "
+            f"tenant={self.tenant!r})"
+        )

@@ -22,6 +22,7 @@ from repro.client.api import APIClient
 
 __all__ = [
     "DatasetsClient",
+    "ReplicationClient",
     "ServerClient",
     "UpdatesClient",
     "ViewsClient",
@@ -179,6 +180,32 @@ class UpdatesClient(_TenantClient):
 
     def storage(self) -> Dict[str, Any]:
         return self.api.get(self._path("storage"))
+
+
+class ReplicationClient(_TenantClient):
+    """``/v1/{tenant}/replication``, ``/promote``, ``/demote``."""
+
+    def status(self) -> Dict[str, Any]:
+        """Role, epoch, WAL positions and replication lag for the tenant."""
+        return self.api.get(self._path("replication"))
+
+    def promote(self, *, epoch: Optional[int] = None) -> Dict[str, Any]:
+        """Flip a replica (or a recovery-degraded primary) writable.
+
+        The server bumps the fencing epoch past everything it has observed
+        unless an explicit ``epoch`` is given, and fences the old upstream
+        best-effort.  Idempotent on a tenant that is already primary.
+        """
+        body: Dict[str, Any] = {}
+        if epoch is not None:
+            body["epoch"] = epoch
+        return self.api.post(self._path("promote"), body)
+
+    def demote(self, epoch: int, reason: str = "demoted by operator") -> Dict[str, Any]:
+        """Fence the tenant at ``epoch`` (must supersede its current epoch)."""
+        return self.api.post(
+            self._path("demote"), {"epoch": epoch, "reason": reason}
+        )
 
 
 class ServerClient:

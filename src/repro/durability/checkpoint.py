@@ -81,6 +81,7 @@ class CheckpointCapture:
         "dictionaries",
         "shredder_blob",
         "views",
+        "epoch",
     )
 
     def __init__(
@@ -91,6 +92,7 @@ class CheckpointCapture:
         dictionaries: Dict[str, Dict[Any, Bag]],
         shredder_blob: bytes,
         views: List[Dict[str, Any]],
+        epoch: int = 0,
     ) -> None:
         self.state_version = state_version
         self.wal_start_segment = wal_start_segment
@@ -98,6 +100,7 @@ class CheckpointCapture:
         self.dictionaries = dictionaries
         self.shredder_blob = shredder_blob
         self.views = views
+        self.epoch = epoch
 
 
 class LoadedCheckpoint:
@@ -260,6 +263,11 @@ def write_checkpoint(
         "seq": seq,
         "state_version": capture.state_version,
         "wal_start_segment": capture.wal_start_segment,
+        # The replication epoch at capture time.  Checkpoints double as the
+        # bootstrap a cold replica seeds from, so the fencing epoch must
+        # travel with them (readers default a missing key to 0 — manifests
+        # from before replication existed stay loadable).
+        "epoch": capture.epoch,
         "datasets": datasets_meta,
         "dictionaries_blob": dictionaries_blob,
         "shredder_blob": shredder_blob,

@@ -30,6 +30,7 @@ order.  The outcome is a :class:`RecoveryReport`.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import shutil
@@ -64,9 +65,60 @@ from repro.durability.wal import (
 from repro.errors import EngineError
 from repro.ivm.updates import Update
 
-__all__ = ["DurabilityManager", "RecoveryReport"]
+__all__ = [
+    "DurabilityManager",
+    "RecoveryReport",
+    "load_replication_state",
+    "store_replication_state",
+]
 
 _PROTO = pickle.HIGHEST_PROTOCOL
+
+#: Per-data-dir replication state: the fencing epoch, the last known role,
+#: and (when fenced) the demotion reason.  Tiny, human-readable, written
+#: atomically — the authoritative copy of the epoch that checkpoint
+#: manifests mirror.
+_REPLICATION_STATE = "replication.json"
+
+
+def load_replication_state(data_dir: str) -> Dict[str, Any]:
+    """The persisted ``{"epoch", "role", "fenced"}`` of a data directory.
+
+    Missing or unreadable files mean a pre-replication directory: epoch 0,
+    no role, not fenced.  Callers (the serving layer) read this *before*
+    opening the engine to decide whether a tenant opens standby or primary.
+    """
+    path = os.path.join(data_dir, _REPLICATION_STATE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (FileNotFoundError, NotADirectoryError):
+        raw = {}
+    except (OSError, ValueError):
+        # A torn write of the tmp+rename pair cannot happen; garbage here
+        # means external damage — fall back to defaults rather than refuse
+        # to open (the manifest epoch still floors the epoch below).
+        raw = {}
+    return {
+        "epoch": int(raw.get("epoch", 0) or 0),
+        "role": raw.get("role"),
+        "fenced": raw.get("fenced"),
+    }
+
+
+def store_replication_state(
+    data_dir: str, epoch: int, role: Optional[str], fenced: Optional[str]
+) -> None:
+    """Persist the replication state atomically (tmp + fsync + rename)."""
+    os.makedirs(data_dir, exist_ok=True)
+    path = os.path.join(data_dir, _REPLICATION_STATE)
+    tmp = path + ".tmp"
+    payload = {"format": 1, "epoch": epoch, "role": role, "fenced": fenced}
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 class RecoveryReport:
@@ -123,6 +175,7 @@ class DurabilityManager:
         *,
         fsync: Optional[str] = None,
         faults: Optional[FaultInjector] = None,
+        standby: bool = False,
     ) -> None:
         self.data_dir = data_dir
         self.wal_dir = os.path.join(data_dir, "wal")
@@ -134,6 +187,18 @@ class DurabilityManager:
         #: True while recovery replays through the engine API — the engine's
         #: logging hooks check it so replayed operations are not re-logged.
         self.replaying = False
+        #: Standby managers recover but never open the WAL for appends: the
+        #: replication layer mirrors the primary's segments byte-for-byte
+        #: instead, and ``logging`` staying False keeps replicated applies
+        #: from being re-logged locally.  ``open_wal`` (promotion) ends it.
+        self.standby = standby
+        #: The replication fencing epoch of this directory (monotone); 0
+        #: until a failover ever touched the tenant.
+        self.epoch = 0
+        #: Last persisted role (``"primary"``/``"replica"``/``None``) and,
+        #: when fenced by a higher epoch, the demotion reason.
+        self.role: Optional[str] = None
+        self.fenced: Optional[str] = None
         self.report: Optional[RecoveryReport] = None
         self._checkpoint_lock = threading.Lock()
         self._closed = False
@@ -152,6 +217,10 @@ class DurabilityManager:
         for name in os.listdir(self.checkpoint_dir):
             if name.startswith(".tmp-"):
                 shutil.rmtree(os.path.join(self.checkpoint_dir, name), ignore_errors=True)
+        state = load_replication_state(self.data_dir)
+        self.epoch = state["epoch"]
+        self.role = state["role"]
+        self.fenced = state["fenced"]
         loaded, discarded = load_newest_checkpoint(self.checkpoint_dir)
         for entry in discarded:
             moved = self._quarantine(entry["path"])
@@ -165,6 +234,10 @@ class DurabilityManager:
             if loaded is not None:
                 self._restore_checkpoint(engine, loaded)
                 wal_start = loaded.manifest["wal_start_segment"]
+                # The manifest mirrors the epoch file; a bootstrap-shipped
+                # checkpoint is the only copy a cold replica has, and a lost
+                # epoch file must never rewind the fence.
+                self.epoch = max(self.epoch, loaded.manifest.get("epoch", 0))
                 report.checkpoint = {
                     "seq": loaded.seq,
                     "path": loaded.path,
@@ -214,9 +287,10 @@ class DurabilityManager:
             for number, path in list_segments(self.wal_dir):
                 if number < wal_start:
                     os.remove(path)
-            self._wal = WriteAheadLog(
-                self.wal_dir, fsync=self.policy, faults=self._faults
-            )
+            if not self.standby:
+                self._wal = WriteAheadLog(
+                    self.wal_dir, fsync=self.policy, faults=self._faults
+                )
         report.state_version = engine.state_version
         report.duration_seconds = time.monotonic() - start
         self.report = report
@@ -280,6 +354,72 @@ class DurabilityManager:
             suffix += 1
         os.rename(path, target)
         return target
+
+    # ------------------------------------------------------------------ #
+    # Replication (epoch fencing, standby promotion, shipped-record apply)
+    # ------------------------------------------------------------------ #
+    _KEEP = object()
+
+    def set_epoch(
+        self,
+        epoch: int,
+        *,
+        role: Any = _KEEP,
+        fenced: Any = _KEEP,
+    ) -> None:
+        """Adopt a (never lower) fencing epoch and persist it atomically.
+
+        ``role``/``fenced`` update only when passed; the epoch itself is
+        clamped monotone — fencing must never rewind, whatever a lagging
+        caller believes.  A call that changes nothing (a replica re-adopting
+        the epoch it already holds, once per poll) skips the disk write.
+        """
+        epoch = max(self.epoch, int(epoch))
+        role_changed = role is not DurabilityManager._KEEP and role != self.role
+        fenced_changed = (
+            fenced is not DurabilityManager._KEEP and fenced != self.fenced
+        )
+        if epoch == self.epoch and not role_changed and not fenced_changed:
+            return
+        self.epoch = epoch
+        if role is not DurabilityManager._KEEP:
+            self.role = role
+        if fenced is not DurabilityManager._KEEP:
+            self.fenced = fenced
+        store_replication_state(self.data_dir, self.epoch, self.role, self.fenced)
+
+    def open_wal(self) -> None:
+        """Open the WAL for appends — the promotion half of standby mode.
+
+        Appends start on a fresh segment after whatever the mirror holds,
+        exactly as a normal recovery would.  Idempotent; refused on a
+        closed manager.
+        """
+        if self._closed:
+            raise EngineError("cannot open the WAL of a closed engine")
+        if self._wal is not None and not self._wal.closed:
+            return
+        self.standby = False
+        self._wal = WriteAheadLog(self.wal_dir, fsync=self.policy, faults=self._faults)
+
+    def replay_one(self, engine, payload: bytes) -> None:
+        """Apply one shipped WAL record through the normal replay path.
+
+        The ``replaying`` flag suspends the engine's logging hooks for the
+        duration, so a replicated operation is never re-logged locally —
+        the replication layer mirrors the primary's raw frames instead,
+        keeping the replica's WAL a byte-identical prefix of the primary's.
+        """
+        if self.logging:
+            raise EngineError(
+                "refusing a replicated apply: the WAL is open for appends "
+                "(this engine is a writable primary, not a standby)"
+            )
+        self.replaying = True
+        try:
+            self._replay_payload(engine, payload)
+        finally:
+            self.replaying = False
 
     # ------------------------------------------------------------------ #
     # Logging (called by the engine, under its lifecycle lock)
@@ -387,6 +527,7 @@ class DurabilityManager:
             dictionaries=state["dictionaries"],
             shredder_blob=shredder_blob,
             views=views,
+            epoch=self.epoch,
         )
 
     def write_capture(self, capture: CheckpointCapture) -> Dict[str, Any]:
@@ -461,6 +602,9 @@ class DurabilityManager:
         return {
             "data_dir": self.data_dir,
             "policy": self.policy,
+            "standby": self.standby,
+            "epoch": self.epoch,
+            "fenced": self.fenced,
             "wal": (
                 self._wal.describe()
                 if self._wal is not None and not self._wal.closed

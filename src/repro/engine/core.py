@@ -172,6 +172,7 @@ class Engine:
         data_dir: Optional[str] = None,
         fsync: Optional[str] = None,
         fault_injector: Optional[FaultInjector] = None,
+        standby: bool = False,
     ) -> None:
         """``shards`` partitions every relation store (``None`` defers to
         ``REPRO_SHARDS`` / the default; ``1`` is the unsharded escape hatch);
@@ -193,6 +194,12 @@ class Engine:
         ``fault_injector`` arms the crash-injection harness
         (:mod:`repro.durability.faults`).  Without ``data_dir`` the engine
         is purely in-memory, exactly as before.
+
+        ``standby=True`` (durable engines only) recovers from ``data_dir``
+        but never opens the WAL for appends: the replication layer feeds
+        the engine shipped records (:meth:`apply_replicated`) and mirrors
+        the primary's segments itself, until :meth:`promote_writable` ends
+        the standby (see ``docs/replication.md``).
         """
         self._database = Database(
             shards=shards, parallel_views=parallel_views, backend=backend
@@ -205,11 +212,24 @@ class Engine:
         # user — what dataset records and checkpoint manifests persist.
         self._dataset_schemas: Dict[str, object] = {}
         self._durability: Optional[DurabilityManager] = None
+        # The fencing epoch of in-memory engines (durable engines persist
+        # theirs through the durability manager).
+        self._epoch = 0
+        if standby and data_dir is None:
+            raise EngineError("standby=True requires an engine opened with data_dir")
         if data_dir is not None:
             self._durability = DurabilityManager(
-                data_dir, fsync=fsync, faults=fault_injector
+                data_dir, fsync=fsync, faults=fault_injector, standby=standby
             )
             self._durability.open_and_recover(self)
+            if self._durability.fenced is not None:
+                # A demoted primary stays fenced across restarts: the epoch
+                # file outlives the process, so a superseded node can never
+                # silently resume acknowledging writes.
+                self._database.set_read_only(
+                    f"fenced by replication epoch {self._durability.epoch}: "
+                    f"{self._durability.fenced}"
+                )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -262,6 +282,95 @@ class Engine:
         under the ``batch`` policy.  A no-op for in-memory engines."""
         if self._durability is not None:
             self._durability.sync()
+
+    # ------------------------------------------------------------------ #
+    # Replication & failover
+    # ------------------------------------------------------------------ #
+    @property
+    def standby(self) -> bool:
+        """True while the engine recovers-and-follows without a writable WAL."""
+        return self._durability is not None and self._durability.standby
+
+    @property
+    def replication_epoch(self) -> int:
+        """The monotone fencing epoch (persisted for durable engines)."""
+        if self._durability is not None:
+            return self._durability.epoch
+        return self._epoch
+
+    def set_replication_epoch(self, epoch: int, *, role: Optional[str] = None) -> None:
+        """Adopt a fencing epoch (never lowers; durable engines persist it).
+
+        Lifecycle-locked: the replica link adopts epochs from its own
+        thread while the ingest worker applies, and the persisted state
+        file must never see interleaved writers.
+        """
+        with self._database.lifecycle_lock:
+            if self._durability is not None:
+                if role is not None:
+                    self._durability.set_epoch(epoch, role=role)
+                else:
+                    self._durability.set_epoch(epoch)
+            else:
+                self._epoch = max(self._epoch, int(epoch))
+
+    def fence(self, epoch: int, reason: str) -> None:
+        """Demote: adopt ``epoch`` and degrade to read-only in one step.
+
+        Taken under the lifecycle lock so an in-flight apply commits (and
+        logs) fully before the fence lands — the fence point is a clean
+        position in the operation order, never the middle of a write.
+        """
+        with self._database.lifecycle_lock:
+            if self._durability is not None:
+                self._durability.set_epoch(epoch, fenced=reason)
+            else:
+                self._epoch = max(self._epoch, int(epoch))
+            self._database.set_read_only(
+                f"fenced by replication epoch {self.replication_epoch}: {reason}"
+            )
+
+    def promote_writable(self, *, epoch: Optional[int] = None) -> int:
+        """Flip a standby, fenced, or recovery-degraded engine writable.
+
+        The lifecycle-locked inverse of ``set_read_only``/standby: adopts
+        ``epoch`` (when given), opens the WAL for appends on a fresh
+        segment, and clears the read-only degradation.  Refused while a
+        replay is in flight — promoting an engine whose state is still
+        being rebuilt would let writes interleave with the replayed tail.
+        Returns the engine's ``state_version`` at the promotion point.
+        """
+        with self._database.lifecycle_lock:
+            if self._database.closed:
+                raise EngineError("cannot promote a closed engine")
+            if self._durability is not None:
+                if self._durability.replaying:
+                    raise EngineError(
+                        "cannot promote to writable while a replay is in flight"
+                    )
+                self._durability.set_epoch(
+                    self.replication_epoch if epoch is None else epoch,
+                    role="primary",
+                    fenced=None,
+                )
+                self._durability.open_wal()
+            elif epoch is not None:
+                self._epoch = max(self._epoch, int(epoch))
+            self._database.promote_writable()
+            return self._database.state_version
+
+    def apply_replicated(self, payload: bytes) -> None:
+        """Apply one shipped WAL record (a standby engine's only write path).
+
+        Runs the record through the durability manager's replay dispatch
+        with logging suspended; the replication layer is responsible for
+        mirroring the raw frame into the local WAL, so the engine never
+        re-logs it.
+        """
+        if self._durability is None:
+            raise EngineError("replicated applies require an engine with data_dir")
+        with self._database.lifecycle_lock:
+            self._durability.replay_one(self, payload)
 
     def checkpoint_capture(self):
         """Pin a checkpoint capture (cheap: frozen copy-on-write snapshots).

@@ -867,9 +867,21 @@ class Database:
 
         Recovery calls this when the WAL is damaged beyond a truncatable
         tail — serving stale-but-consistent state beats silently dropping
-        acknowledged writes.
+        acknowledged writes.  Replication fencing uses the same switch: a
+        demoted primary stops accepting mutations without losing reads.
         """
         self._read_only = reason
+
+    def promote_writable(self) -> None:
+        """The explicit inverse of :meth:`set_read_only`, for failover.
+
+        Taken under the lifecycle lock so the flip can never interleave
+        with an in-flight mutation or close; promoting a closed database
+        raises.  Idempotent when already writable.
+        """
+        with self._lifecycle_lock:
+            self._check_open()
+            self._read_only = None
 
     def _check_open(self) -> None:
         if self._closed:

@@ -1,0 +1,54 @@
+"""WAL-shipping replication: epoch-fenced primary/replica tenants.
+
+The replication layer turns PR 9's deterministic, CRC-framed WAL into a
+shipping stream (see ``docs/replication.md``):
+
+* :mod:`repro.replication.feed` — the primary-side read path: tail raw
+  record frames out of the segment files at ``(segment, offset)`` byte
+  positions, package checkpoint directories as replica bootstraps, count
+  replication lag, and append shipped frames into a replica's mirror.
+* :mod:`repro.replication.subscriber` — the replica-side
+  :class:`~repro.replication.subscriber.ReplicaLink`: a long-poll loop
+  that fetches frames over ``GET /v1/{tenant}/wal``, mirrors them
+  byte-for-byte into the local WAL, and applies them through the engine's
+  replay path with logging suspended.
+* :mod:`repro.replication.chaoscheck` — the partition/failover battery
+  (``python -m repro.replication.chaoscheck``).
+
+The serving layer (:mod:`repro.serve`) wires these into tenant sessions;
+``POST /v1/{tenant}/promote`` and the epoch fence live there.
+"""
+
+from repro.replication.feed import (
+    FeedChunk,
+    ReplicationError,
+    WAL_HEADER_BYTES,
+    append_mirror_frames,
+    count_lag,
+    decode_frames,
+    encode_frames,
+    frame_payload,
+    install_bootstrap,
+    normalize_position,
+    package_bootstrap,
+    read_frames,
+    wal_end_position,
+)
+from repro.replication.subscriber import ReplicaLink
+
+__all__ = [
+    "FeedChunk",
+    "ReplicaLink",
+    "ReplicationError",
+    "WAL_HEADER_BYTES",
+    "append_mirror_frames",
+    "count_lag",
+    "decode_frames",
+    "encode_frames",
+    "frame_payload",
+    "install_bootstrap",
+    "normalize_position",
+    "package_bootstrap",
+    "read_frames",
+    "wal_end_position",
+]

@@ -23,6 +23,10 @@ GET       ``/v1/{t}/storage``                    the engine's storage report
 POST      ``/v1/{t}/apply``                      enqueue updates (``mode`` sync/async)
 POST      ``/v1/{t}/vacuum``                     reclaim + re-validate indexes
 POST      ``/v1/{t}/checkpoint``                 cut a durable snapshot checkpoint
+GET       ``/v1/{t}/replication``                role, epoch, positions, lag
+GET       ``/v1/{t}/wal``                        long-poll WAL frame feed (replicas)
+POST      ``/v1/{t}/promote``                    flip a replica writable (epoch bump)
+POST      ``/v1/{t}/demote``                     fence this tenant at a newer epoch
 ========  =====================================  ==================================
 
 Error bodies are ``{"error": {"code": ..., "message": ...}}``.  A full
@@ -69,7 +73,12 @@ from repro.serve.protocol import (
     encode_bag_page,
     fields_spec_of,
 )
-from repro.serve.sessions import SessionManager, TenantRecoveringError, TenantSession
+from repro.serve.sessions import (
+    SessionManager,
+    TenantNotWritableError,
+    TenantRecoveringError,
+    TenantSession,
+)
 
 __all__ = ["ReproServer", "ServerConfig"]
 
@@ -88,6 +97,9 @@ class ServerConfig:
         "quiet",
         "data_dir",
         "fsync",
+        "replica_of",
+        "poll_wait",
+        "poll_interval",
     )
 
     def __init__(
@@ -103,6 +115,9 @@ class ServerConfig:
         quiet: bool = True,
         data_dir: Optional[str] = None,
         fsync: Optional[str] = None,
+        replica_of: Optional[str] = None,
+        poll_wait: float = 5.0,
+        poll_interval: float = 0.05,
     ) -> None:
         self.host = host
         self.port = port
@@ -114,6 +129,11 @@ class ServerConfig:
         self.quiet = quiet
         self.data_dir = data_dir
         self.fsync = fsync
+        # Replication: base URL of the upstream server whose same-named
+        # tenants this server follows (``repro-cli serve --replica-of``).
+        self.replica_of = replica_of
+        self.poll_wait = poll_wait
+        self.poll_interval = poll_interval
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -238,8 +258,18 @@ class _Handler(BaseHTTPRequestHandler):
                 str(error),
                 headers={"Retry-After": f"{error.retry_after:.3f}"},
             )
+        except TenantNotWritableError as error:
+            # 503 with NO Retry-After: retrying this node can never
+            # succeed, so the plain SDK surfaces the error immediately and
+            # the FailoverClient goes looking for the current primary.
+            self._send_error_json(503, "not_writable", str(error))
         except ProtocolError as error:
-            status = 404 if error.code == "not_found" else 400
+            if error.code == "epoch_conflict":
+                status = 409
+            elif error.code == "not_found":
+                status = 404
+            else:
+                status = 400
             self._send_error_json(status, error.code, str(error))
         except NotInFragmentError as error:
             self._send_error_json(400, "not_in_fragment", str(error))
@@ -266,6 +296,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "tenants": list(server.sessions.names()),
                     "recovering": recovering,
                     "recovery_failed": server.sessions.recovery_failures(),
+                    "replica_of": server.config.replica_of,
+                    "replication": server.sessions.replication_summary(),
                 }
             )
             return
@@ -419,6 +451,38 @@ class _Handler(BaseHTTPRequestHandler):
                 }
             )
             return
+        if rest == ["replication"]:
+            self._send_json(session.replication_status())
+            return
+        if rest == ["wal"]:
+            def _int_param(name: str, default: int = 0) -> int:
+                raw = query.get(name)
+                if raw is None:
+                    return default
+                try:
+                    return int(raw)
+                except ValueError:
+                    raise ProtocolError(
+                        f"{name!r} must be an integer, got {raw!r}"
+                    ) from None
+
+            try:
+                wait = float(query.get("wait", "0") or 0.0)
+            except ValueError:
+                raise ProtocolError(
+                    f"'wait' must be a number, got {query.get('wait')!r}"
+                ) from None
+            self._send_json(
+                session.wal_feed(
+                    _int_param("from_segment", 1),
+                    _int_param("from_offset", 0),
+                    wait=wait,
+                    max_bytes=max(1, _int_param("max_bytes", 1 << 20)),
+                    want_bootstrap=query.get("bootstrap") in ("1", "true"),
+                    subscriber_epoch=_int_param("epoch", 0),
+                )
+            )
+            return
         raise ProtocolError(f"no route for GET {self.path!r}", code="not_found")
 
     # ------------------------------------------------------------------ #
@@ -478,6 +542,22 @@ class _Handler(BaseHTTPRequestHandler):
         if rest == ["checkpoint"]:
             self._send_json(session.checkpoint(), status=201)
             return
+        if rest == ["promote"]:
+            epoch = body.get("epoch") if isinstance(body, dict) else None
+            self._send_json(
+                session.promote(epoch=int(epoch) if epoch is not None else None)
+            )
+            return
+        if rest == ["demote"]:
+            if not isinstance(body, dict) or "epoch" not in body:
+                raise ProtocolError("demote needs {'epoch', 'reason'?}")
+            self._send_json(
+                session.demote(
+                    int(body["epoch"]),
+                    str(body.get("reason", "demoted by operator")),
+                )
+            )
+            return
         raise ProtocolError(f"no route for POST {self.path!r}", code="not_found")
 
 
@@ -500,6 +580,9 @@ class ReproServer:
             sync_timeout=self.config.sync_timeout,
             data_dir=self.config.data_dir,
             fsync=self.config.fsync,
+            replica_of=self.config.replica_of,
+            poll_wait=self.config.poll_wait,
+            poll_interval=self.config.poll_interval,
         )
         self.started_at = time.time()
         self.requests_served = 0
@@ -507,7 +590,20 @@ class ReproServer:
         self._httpd.repro = self
         self._thread: Optional[threading.Thread] = None
         self._recovery_thread: Optional[threading.Thread] = None
+        self._discovery_thread: Optional[threading.Thread] = None
         self._closed = False
+        self._close_lock = threading.Lock()
+        self._close_done = threading.Event()
+        if self.config.replica_of is not None:
+            # Follow the upstream's tenant list: any tenant the primary
+            # serves gets a local replica session (which bootstraps itself
+            # over the WAL feed) without waiting for a client to ask.
+            self._discovery_thread = threading.Thread(
+                target=self._discover_upstream_tenants,
+                name="repro-serve-discover",
+                daemon=True,
+            )
+            self._discovery_thread.start()
         if self.config.data_dir is not None:
             # Recover existing tenants off the accept path: the server
             # answers /health as "recovering" (and tenant requests as 503 +
@@ -520,6 +616,35 @@ class ReproServer:
             self._recovery_thread.start()
 
     # ------------------------------------------------------------------ #
+    def _discover_upstream_tenants(self) -> None:
+        """Poll the upstream's ``/health`` and open replica sessions.
+
+        Best-effort and quiet: a partitioned or dead upstream just means
+        no *new* tenants appear — existing replica sessions keep their own
+        links (which do their own retrying).
+        """
+        import json as _json
+        import urllib.request
+
+        upstream = (self.config.replica_of or "").rstrip("/")
+        while not self._closed:
+            try:
+                with urllib.request.urlopen(f"{upstream}/health", timeout=5.0) as resp:
+                    body = _json.loads(resp.read().decode("utf-8"))
+                for name in body.get("tenants", []):
+                    if self._closed:
+                        break
+                    try:
+                        self.sessions.get(str(name))
+                    except Exception:  # noqa: BLE001 - recovering/bad name
+                        pass
+            except Exception:  # noqa: BLE001 - upstream unreachable
+                pass
+            for _ in range(10):
+                if self._closed:
+                    return
+                time.sleep(0.2)
+
     @property
     def address(self) -> Tuple[str, int]:
         """The bound (host, port) — port resolved even when configured as 0."""
@@ -570,7 +695,19 @@ class ReproServer:
         """
 
         def _handle(signum: int, frame: Any) -> None:  # noqa: ARG001
-            self.close(drain=True)
+            # Signal handlers run on the main thread — the same thread
+            # ``repro-cli serve`` parks in ``serve_forever()``.  Closing
+            # inline would deadlock: ``httpd.shutdown()`` waits for the
+            # serve loop to exit, and the serve loop is suspended under
+            # this very handler.  Close from a helper thread instead; the
+            # unblocked ``serve_forever`` returns and the CLI's own
+            # ``close()`` call then waits for this close to finish.
+            threading.Thread(
+                target=self.close,
+                kwargs={"drain": True},
+                name="repro-serve-shutdown",
+                daemon=True,
+            ).start()
 
         signal.signal(signal.SIGTERM, _handle)
         signal.signal(signal.SIGINT, _handle)
@@ -583,18 +720,29 @@ class ReproServer:
         ``drain=False`` abandons queued work (pending waiters get errors).
         Idempotent and thread-safe.
         """
-        if self._closed:
+        with self._close_lock:
+            first = not self._closed
+            self._closed = True
+        if not first:
+            # A close is already in flight (e.g. the signal-handler thread);
+            # wait for it so "after close() returns" means fully closed.
+            self._close_done.wait(60.0)
             return
-        self._closed = True
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(10.0)
-            self._thread = None
-        if self._recovery_thread is not None:
-            self._recovery_thread.join(30.0)
-            self._recovery_thread = None
-        self.sessions.close_all(drain=drain)
+        try:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._thread is not None:
+                self._thread.join(10.0)
+                self._thread = None
+            if self._recovery_thread is not None:
+                self._recovery_thread.join(30.0)
+                self._recovery_thread = None
+            if self._discovery_thread is not None:
+                self._discovery_thread.join(10.0)
+                self._discovery_thread = None
+            self.sessions.close_all(drain=drain)
+        finally:
+            self._close_done.set()
 
     def __enter__(self) -> "ReproServer":
         return self.start()

@@ -196,6 +196,63 @@ class TestWAL:
         empty.write_bytes(b"")
         assert scan_segment(2, str(empty), is_last=True).status == "ok"
 
+    # -- tailing at segment-rotation boundaries (satellite: replication) -- #
+    def test_tail_resume_at_exact_rotation_boundary(self, tmp_path):
+        """A subscriber parked at the EOF of a segment that then seals must
+        resume on the next segment — no skipped and no duplicated record."""
+        from repro.replication.feed import frame_payload, read_frames
+
+        wal = WriteAheadLog(str(tmp_path), fsync="always", segment_bytes=64)
+        wal.append(b"a" * 48)  # fills segment 1 past the rotation threshold
+        chunk = read_frames(str(tmp_path), 1, 8)
+        assert [frame_payload(raw) for _, _, raw in chunk.frames] == [b"a" * 48]
+        parked = chunk.next  # exactly at segment 1's EOF
+        wal.append(b"b" * 48)  # rotation: lands in segment 2
+        wal.append(b"c" * 48)  # and segment 3
+        wal.close()
+        collected = []
+        position = parked
+        for _ in range(10):
+            chunk = read_frames(str(tmp_path), *position)
+            assert chunk.status == "ok"
+            if not chunk.frames:
+                break
+            collected.extend(frame_payload(raw) for _, _, raw in chunk.frames)
+            position = chunk.next
+        assert collected == [b"b" * 48, b"c" * 48]
+
+    def test_tail_mirror_is_byte_identical_across_rotation(self, tmp_path):
+        """Chunked shipping across rotations reproduces every segment file
+        byte for byte — the invariant replica recovery depends on."""
+        from repro.replication.feed import append_mirror_frames, read_frames
+
+        source = tmp_path / "src"
+        mirror = tmp_path / "dst"
+        wal = WriteAheadLog(str(source), fsync="always", segment_bytes=64)
+        for index in range(6):
+            wal.append(bytes([65 + index]) * 40)
+        wal.close()
+        position = (1, 8)
+        for _ in range(40):
+            chunk = read_frames(str(source), *position, max_bytes=64)
+            if not chunk.frames:
+                break
+            append_mirror_frames(str(mirror), chunk.frames)
+            position = chunk.next
+        originals = list_segments(str(source))
+        mirrored = list_segments(str(mirror))
+        # Every record-bearing segment is mirrored byte for byte; only a
+        # magic-only tail segment (a rotation that never took a record) may
+        # be missing, since there are no frames to ship from it.
+        assert [number for number, _ in mirrored] == [
+            number for number, _ in originals[: len(mirrored)]
+        ]
+        for (_, original), (_, copy) in zip(originals, mirrored):
+            with open(original, "rb") as left, open(copy, "rb") as right:
+                assert left.read() == right.read()
+        for _, extra in originals[len(mirrored) :]:
+            assert os.path.getsize(extra) == 8  # magic only, no records
+
 
 # --------------------------------------------------------------------------- #
 # Record codec at the WAL boundary (satellite: codec round-trips)
